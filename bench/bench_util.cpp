@@ -1,0 +1,47 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/assert.hpp"
+
+namespace memopt::bench {
+
+std::vector<KernelRun> run_suite(bool fetch) {
+    std::vector<KernelRun> runs;
+    CpuConfig config;
+    config.record_fetch_stream = fetch;
+    for (const Kernel& kernel : kernel_suite()) {
+        KernelRun run;
+        run.name = kernel.name;
+        run.program = assemble(kernel.source);
+        run.result = Cpu(config).run(run.program);
+        runs.push_back(std::move(run));
+    }
+    return runs;
+}
+
+void print_header(const std::string& experiment, const std::string& paper_claim,
+                  const std::string& setup) {
+    std::printf("================================================================\n");
+    std::printf("%s\n", experiment.c_str());
+    std::printf("paper claim : %s\n", paper_claim.c_str());
+    std::printf("setup       : %s\n", setup.c_str());
+    std::printf("================================================================\n");
+}
+
+void print_shape(bool ok, const std::string& message) {
+    std::printf("SHAPE %s: %s\n", ok ? "ok" : "WARN", message.c_str());
+}
+
+std::optional<std::ofstream> csv_sink(const std::string& name) {
+    const char* dir = std::getenv("MEMOPT_CSV_DIR");
+    if (dir == nullptr || *dir == '\0') return std::nullopt;
+    const std::string path = std::string(dir) + "/" + name + ".csv";
+    std::ofstream os(path);
+    require(os.is_open(), "csv_sink: cannot create '" + path + "'");
+    std::printf("(figure data -> %s)\n", path.c_str());
+    return os;
+}
+
+}  // namespace memopt::bench

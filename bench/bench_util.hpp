@@ -1,0 +1,39 @@
+// Shared helpers for the experiment-reproduction benches.
+#pragma once
+
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "sim/cpu.hpp"
+#include "sim/kernels.hpp"
+
+namespace memopt::bench {
+
+/// A kernel together with its simulation artifacts, computed once per bench.
+struct KernelRun {
+    std::string name;
+    AssembledProgram program;
+    RunResult result;
+};
+
+/// Run the whole kernel suite (data traces always recorded; fetch streams
+/// when `fetch` is set).
+std::vector<KernelRun> run_suite(bool fetch = false);
+
+/// Print the standard bench header: experiment id, paper claim, setup.
+void print_header(const std::string& experiment, const std::string& paper_claim,
+                  const std::string& setup);
+
+/// Print the closing shape-check line ("SHAPE <ok/warn>: ...").
+void print_shape(bool ok, const std::string& message);
+
+/// Figure-data export: when the MEMOPT_CSV_DIR environment variable is set,
+/// returns an open stream on <dir>/<name>.csv (throws memopt::Error if the
+/// file cannot be created); otherwise nullopt. Lets plots be regenerated
+/// from the exact series a bench printed.
+std::optional<std::ofstream> csv_sink(const std::string& name);
+
+}  // namespace memopt::bench

@@ -1,0 +1,82 @@
+// E11 — extension ablation: the differential codec against alternative
+// line-compression schemes (zero-run, base-delta-immediate, and the
+// trained frequent-value dictionary the papers argue against).
+//
+// Metric: compression ratio on the actual write-back line population of
+// each kernel (collected from the compressed-memory simulation geometry),
+// plus the resulting memory-path energy on the VLIW platform.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "compress/bdi_codec.hpp"
+#include "compress/dictionary_codec.hpp"
+#include "compress/diff_codec.hpp"
+#include "compress/platform.hpp"
+#include "compress/zero_run.hpp"
+#include "support/stats.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+
+using namespace memopt;
+
+int main() {
+    bench::print_header(
+        "E11  codec comparison: differential vs zero-run vs BDI vs dictionary",
+        "extension: the per-word-tagged differential scheme dominates uniform-width "
+        "and dictionary schemes on embedded data",
+        "AR32 kernel suite; VLIW platform; dictionary trained per kernel on its own "
+        "write values (16 entries)");
+
+    const PlatformModel platform = vliw_platform();
+    const DiffCodec diff;
+    const ZeroRunCodec zero_run;
+    const BdiCodec bdi;
+
+    TablePrinter table({"benchmark", "diff ratio", "zero-run ratio", "bdi ratio",
+                        "dict ratio", "best"});
+    Accumulator diff_acc;
+    Accumulator zr_acc;
+    Accumulator bdi_acc;
+    Accumulator dict_acc;
+
+    for (const auto& run : bench::run_suite()) {
+        const DictionaryCodec dict = DictionaryCodec::train(run.result.data_trace, 16);
+        struct Entry {
+            const char* label;
+            const LineCodec* codec;
+            double ratio;
+        };
+        std::vector<Entry> entries = {{"diff", &diff, 0.0},
+                                      {"zero-run", &zero_run, 0.0},
+                                      {"bdi", &bdi, 0.0},
+                                      {"dict", &dict, 0.0}};
+        for (Entry& e : entries) {
+            const auto report =
+                CompressedMemorySim(platform.config, e.codec)
+                    .run(run.result.data_trace, run.program.data, run.program.data_base);
+            e.ratio = report.traffic_ratio();
+        }
+        diff_acc.add(entries[0].ratio);
+        zr_acc.add(entries[1].ratio);
+        bdi_acc.add(entries[2].ratio);
+        dict_acc.add(entries[3].ratio);
+        const Entry* best = &entries[0];
+        for (const Entry& e : entries)
+            if (e.ratio < best->ratio) best = &e;
+        table.add_row({run.name, format_fixed(entries[0].ratio, 3),
+                       format_fixed(entries[1].ratio, 3), format_fixed(entries[2].ratio, 3),
+                       format_fixed(entries[3].ratio, 3), best->label});
+    }
+    table.add_separator();
+    table.add_row({"average", format_fixed(diff_acc.mean(), 3), format_fixed(zr_acc.mean(), 3),
+                   format_fixed(bdi_acc.mean(), 3), format_fixed(dict_acc.mean(), 3), ""});
+    table.print(std::cout);
+
+    std::printf("\n(lower traffic ratio is better; 1.000 = incompressible)\n");
+    bench::print_shape(diff_acc.mean() <= zr_acc.mean() && diff_acc.mean() <= bdi_acc.mean() &&
+                           diff_acc.mean() <= dict_acc.mean(),
+                       "the differential codec achieves the best average traffic ratio "
+                       "across the suite");
+    return 0;
+}

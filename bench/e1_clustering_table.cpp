@@ -1,0 +1,61 @@
+// E1 — DATE'03 1B-1, main table.
+//
+// Per-benchmark data-memory energy under three architectures:
+//   monolithic | partitioned (no clustering) | address clustering + partition
+// Paper: clustering saves on average 25% (max 57%) versus the partitioned
+// memory synthesized without clustering, on embedded kernels on an ARM7.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/flow.hpp"
+#include "core/report.hpp"
+#include "support/stats.hpp"
+#include "support/string_util.hpp"
+
+using namespace memopt;
+
+int main() {
+    bench::print_header(
+        "E1  address clustering: per-benchmark memory energy",
+        "avg 25% (max 57%) energy reduction vs partitioning alone",
+        "AR32 kernel suite; 256 B blocks; <=4 banks; exact DP partitioner; "
+        "remap-table overhead charged to the clustered configurations");
+
+    FlowParams fp;
+    fp.block_size = 256;
+    fp.constraints.max_banks = 4;
+    const MemoryOptimizationFlow flow(fp);
+
+    TablePrinter table({"benchmark", "monolithic [nJ]", "partitioned [nJ]", "freq-clustered [nJ]",
+                        "aff-clustered [nJ]", "freq savings [%]", "aff savings [%]"});
+    std::vector<double> freq_savings;
+    std::vector<double> aff_savings;
+
+    for (const auto& run : bench::run_suite()) {
+        const FlowComparison freq = flow.compare(run.result.data_trace, ClusterMethod::Frequency);
+        const FlowComparison aff = flow.compare(run.result.data_trace, ClusterMethod::Affinity);
+        freq_savings.push_back(freq.clustering_savings_pct());
+        aff_savings.push_back(aff.clustering_savings_pct());
+        table.add_row({run.name, format_fixed(freq.monolithic.total() / 1e3, 1),
+                       format_fixed(freq.partitioned.energy.total() / 1e3, 1),
+                       format_fixed(freq.clustered.energy.total() / 1e3, 1),
+                       format_fixed(aff.clustered.energy.total() / 1e3, 1),
+                       format_fixed(freq.clustering_savings_pct(), 1),
+                       format_fixed(aff.clustering_savings_pct(), 1)});
+    }
+    table.add_separator();
+    table.add_row({"average", "", "", "", "", format_fixed(mean(freq_savings), 1),
+                   format_fixed(mean(aff_savings), 1)});
+    table.print(std::cout);
+
+    const double avg = mean(freq_savings);
+    const double max = percentile(freq_savings, 100.0);
+    const double min = percentile(freq_savings, 0.0);
+    std::printf("\nmeasured: avg %.1f%%  max %.1f%%  min %.1f%%   (paper: avg 25%%, max 57%%)\n",
+                avg, max, min);
+    bench::print_shape(avg > 15.0 && max > 40.0 && min > 0.0,
+                       "clustering beats plain partitioning on every kernel, with the "
+                       "paper's avg/max magnitude");
+    return 0;
+}

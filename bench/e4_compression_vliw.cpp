@@ -1,0 +1,10 @@
+// E4 — DATE'03 1B-2, table: per-benchmark energy savings from write-back
+// data compression on the Lx-ST200-class VLIW platform (paper: 10-22%).
+#include "compression_table.hpp"
+
+int main() {
+    memopt::bench::run_compression_table(
+        memopt::vliw_platform(), "E4",
+        "10-22% energy savings on the Lx-ST200 VLIW platform (Ptolemy/MediaBench)", 10.0, 22.0);
+    return 0;
+}

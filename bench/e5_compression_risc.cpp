@@ -1,0 +1,11 @@
+// E5 — DATE'03 1B-2, table: per-benchmark energy savings from write-back
+// data compression on the MIPS/SimpleScalar-class RISC platform
+// (paper: 11-14%, a narrower band than the VLIW platform).
+#include "compression_table.hpp"
+
+int main() {
+    memopt::bench::run_compression_table(
+        memopt::risc_platform(), "E5",
+        "11-14% energy savings on the MIPS platform simulated with SimpleScalar", 11.0, 14.0);
+    return 0;
+}

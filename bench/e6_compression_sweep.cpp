@@ -1,0 +1,87 @@
+// E6 — 1B-2 figure: sensitivity of compression savings to the D-cache line
+// size and to the off-chip energy cost. The paper's scheme compresses
+// per-line, so longer lines give the codec more context (better ratios)
+// while the off-chip per-byte energy scales how much a saved byte is worth.
+#include <cstdio>
+#include <optional>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "support/csv.hpp"
+#include "compress/diff_codec.hpp"
+#include "compress/platform.hpp"
+#include "support/stats.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+
+using namespace memopt;
+
+namespace {
+
+/// Suite-average memory-path savings for one configuration.
+double avg_path_savings(const CompressedMemConfig& config,
+                        const std::vector<bench::KernelRun>& runs) {
+    const DiffCodec codec;
+    Accumulator acc;
+    for (const auto& run : runs) {
+        const auto base = CompressedMemorySim(config, nullptr)
+                              .run(run.result.data_trace, run.program.data, run.program.data_base);
+        const auto comp = CompressedMemorySim(config, &codec)
+                              .run(run.result.data_trace, run.program.data, run.program.data_base);
+        const double b = base.energy.component("main_memory");
+        const double c = comp.energy.component("main_memory") + comp.energy.component("codec");
+        acc.add(percent_savings(b, c));
+    }
+    return acc.mean();
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header(
+        "E6  compression savings vs line size and off-chip energy",
+        "per-line compression gains grow with line size and off-chip cost (figure shape)",
+        "AR32 kernel suite; VLIW platform baseline config, one axis swept at a time");
+
+    const auto runs = bench::run_suite();
+    const PlatformModel base_platform = vliw_platform();
+
+    std::puts("\n-- (a) line-size sweep -----------------------------------------");
+    TablePrinter line_table({"line size", "avg mem-path savings [%]"});
+    std::vector<double> by_line;
+    auto csv = bench::csv_sink("e6_compression_sweep");
+    std::optional<CsvWriter> csv_writer;
+    if (csv) {
+        csv_writer.emplace(*csv);
+        csv_writer->write_row({"axis", "value", "avg_savings_pct"});
+    }
+    for (unsigned line : {16u, 32u, 64u}) {
+        CompressedMemConfig cfg = base_platform.config;
+        cfg.cache.line_bytes = line;
+        by_line.push_back(avg_path_savings(cfg, runs));
+        line_table.add_row({format("%u B", line), format_fixed(by_line.back(), 1)});
+        if (csv_writer) csv_writer->write_row_numeric("line_bytes", {double(line), by_line.back()});
+    }
+    line_table.print(std::cout);
+
+    std::puts("\n-- (b) off-chip per-byte energy sweep --------------------------");
+    TablePrinter dram_table({"per-byte multiplier", "avg mem-path savings [%]"});
+    std::vector<double> by_cost;
+    for (double mult : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+        CompressedMemConfig cfg = base_platform.config;
+        cfg.dram.per_byte_pj *= mult;
+        by_cost.push_back(avg_path_savings(cfg, runs));
+        dram_table.add_row({format_fixed(mult, 2), format_fixed(by_cost.back(), 1)});
+        if (csv_writer) csv_writer->write_row_numeric("per_byte_mult", {mult, by_cost.back()});
+    }
+    dram_table.print(std::cout);
+
+    bool cost_monotone = true;
+    for (std::size_t i = 1; i < by_cost.size(); ++i)
+        cost_monotone = cost_monotone && by_cost[i] >= by_cost[i - 1] - 1e-9;
+    std::printf("\n");
+    bench::print_shape(by_line.back() > by_line.front() && cost_monotone,
+                       "savings grow with line size and monotonically with the off-chip "
+                       "per-byte energy");
+    return 0;
+}

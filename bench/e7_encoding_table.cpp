@@ -1,0 +1,73 @@
+// E7 — DATE'03 1B-3, main table: instruction-bus switching reduction from
+// application-specific functional transformations, against bus-invert and
+// Gray re-coding. Paper: "reductions that range up to half of the original
+// transitions" on numerical/DSP codes, beating dictionary-free baselines.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "encoding/baselines.hpp"
+#include "encoding/decoder_cost.hpp"
+#include "encoding/search.hpp"
+#include "energy/bus_model.hpp"
+#include "energy/sram_model.hpp"
+#include "trace/trace.hpp"
+#include "support/stats.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+
+using namespace memopt;
+
+int main() {
+    bench::print_header(
+        "E7  application-specific instruction-bus transformations",
+        "transition reductions up to ~50% (\"half of the original transitions\")",
+        "AR32 kernel fetch streams; greedy gate search, 16-gate budget; "
+        "bus-invert (incl. invert line) and Gray re-coding as baselines");
+
+    TablePrinter table({"benchmark", "raw transitions", "bus-invert [%]", "gray [%]",
+                        "transform [%]", "gates", "fetch-path saved [%]"});
+    std::vector<double> reductions;
+    const BusEnergyModel bus;
+
+    for (const auto& run : bench::run_suite(/*fetch=*/true)) {
+        const auto& stream = run.result.fetch_stream;
+        const std::uint64_t raw = count_transitions(stream);
+        const std::uint64_t bi = bus_invert_transitions(stream);
+        const std::uint64_t gray = gray_code_transitions(stream);
+        const TransformSearchResult xf = search_transform(stream, {.max_gates = 16});
+        reductions.push_back(100.0 * xf.reduction());
+
+        // Whole fetch path: I-memory array reads + bus + decoder. The
+        // transform only shrinks the bus term, so path savings are the
+        // honest (diluted) number a designer would quote.
+        const SramEnergyModel imem(
+            ceil_pow2(run.program.code.size() * 4), 32);
+        const double imem_pj =
+            imem.read_energy() * static_cast<double>(stream.size());
+        const double raw_path =
+            imem_pj + bus.transition_energy(raw);
+        const EnergyBreakdown enc = encoded_energy(
+            xf.transform, stream, bus.technology().energy_per_transition_pj);
+        const double enc_path = imem_pj + enc.total();
+
+        table.add_row(
+            {run.name, format("%llu", (unsigned long long)raw),
+             format_fixed(100.0 * (1.0 - double(bi) / double(raw)), 1),
+             format_fixed(100.0 * (1.0 - double(gray) / double(raw)), 1),
+             format_fixed(100.0 * xf.reduction(), 1), format("%zu", xf.transform.gate_count()),
+             format_fixed(100.0 * (raw_path - enc_path) / raw_path, 1)});
+    }
+    table.print(std::cout);
+
+    const double avg = mean(reductions);
+    const double max = *std::max_element(reductions.begin(), reductions.end());
+    const double min = *std::min_element(reductions.begin(), reductions.end());
+    std::printf("\nmeasured: avg %.1f%%  max %.1f%%  min %.1f%%   (paper: up to ~50%%)\n", avg,
+                max, min);
+    bench::print_shape(max > 45.0 && min > 20.0,
+                       "transforms reach ~half of the original transitions at the top and "
+                       "beat bus-invert and Gray on every kernel");
+    return 0;
+}

@@ -1,0 +1,135 @@
+// E10 — throughput microbenchmarks (google-benchmark) for the core
+// algorithms: ISS simulation rate, partitioning DP, clustering, the line
+// codec, the gate search, and the cache model. These guard the engineering
+// claim that the whole evaluation runs at interactive speed on one core.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "cache/cache.hpp"
+#include "cluster/frequency.hpp"
+#include "compress/diff_codec.hpp"
+#include "core/flow.hpp"
+#include "encoding/search.hpp"
+#include "partition/solver.hpp"
+#include "sim/kernels.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using namespace memopt;
+
+void BM_IssSimulation(benchmark::State& state) {
+    const auto prog = assemble(kernel_by_name("fir").source);
+    CpuConfig cfg;
+    cfg.record_data_trace = false;
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        const RunResult r = Cpu(cfg).run(prog);
+        instructions += r.instructions;
+        benchmark::DoNotOptimize(r.output);
+    }
+    state.counters["instr/s"] = benchmark::Counter(static_cast<double>(instructions),
+                                                   benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IssSimulation);
+
+void BM_PartitionDp(benchmark::State& state) {
+    const auto blocks = static_cast<std::size_t>(state.range(0));
+    const MemTrace trace = scattered_hotspot_trace({
+        .base = {.span_bytes = blocks * 256, .num_accesses = 50000, .write_fraction = 0.3,
+                 .seed = 1},
+        .num_hotspots = 8,
+        .hotspot_bytes = 1024,
+        .hot_fraction = 0.9,
+    });
+    const BlockProfile profile = BlockProfile::from_trace(trace, 256);
+    for (auto _ : state) {
+        const auto sol = solve_partition_optimal(profile, {8}, {});
+        benchmark::DoNotOptimize(sol.energy.total());
+    }
+}
+BENCHMARK(BM_PartitionDp)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_PartitionGreedy(benchmark::State& state) {
+    const auto blocks = static_cast<std::size_t>(state.range(0));
+    const MemTrace trace = scattered_hotspot_trace({
+        .base = {.span_bytes = blocks * 256, .num_accesses = 50000, .write_fraction = 0.3,
+                 .seed = 1},
+        .num_hotspots = 8,
+        .hotspot_bytes = 1024,
+        .hot_fraction = 0.9,
+    });
+    const BlockProfile profile = BlockProfile::from_trace(trace, 256);
+    for (auto _ : state) {
+        const auto sol = solve_partition_greedy(profile, {8}, {});
+        benchmark::DoNotOptimize(sol.energy.total());
+    }
+}
+BENCHMARK(BM_PartitionGreedy)->Arg(1024)->Arg(4096);
+
+void BM_FrequencyClustering(benchmark::State& state) {
+    const MemTrace trace = uniform_trace({.span_bytes = 256 * 1024, .num_accesses = 100000,
+                                          .write_fraction = 0.3, .seed = 2});
+    const BlockProfile profile = BlockProfile::from_trace(trace, 256);
+    for (auto _ : state) {
+        const AddressMap map = frequency_clustering(profile);
+        benchmark::DoNotOptimize(map.num_blocks());
+    }
+}
+BENCHMARK(BM_FrequencyClustering);
+
+void BM_DiffCodecEncode(benchmark::State& state) {
+    const DiffCodec codec;
+    const auto words = smooth_word_stream(8, 0.8, 200, 3);
+    const auto line = words_to_line(words);
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(codec.compressed_bits(line));
+        bytes += line.size();
+    }
+    state.counters["bytes/s"] =
+        benchmark::Counter(static_cast<double>(bytes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DiffCodecEncode);
+
+void BM_CacheSimulation(benchmark::State& state) {
+    const MemTrace trace = uniform_trace({.span_bytes = 64 * 1024, .num_accesses = 100000,
+                                          .write_fraction = 0.3, .seed = 4});
+    std::uint64_t accesses = 0;
+    for (auto _ : state) {
+        CacheModel cache(CacheConfig{});
+        for (const MemAccess& a : trace.accesses()) cache.access(a.addr, a.kind);
+        accesses += trace.size();
+        benchmark::DoNotOptimize(cache.stats().misses());
+    }
+    state.counters["accesses/s"] =
+        benchmark::Counter(static_cast<double>(accesses), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CacheSimulation);
+
+void BM_TransformSearch(benchmark::State& state) {
+    CpuConfig cfg;
+    cfg.record_data_trace = false;
+    cfg.record_fetch_stream = true;
+    const RunResult run = Cpu(cfg).run(assemble(kernel_by_name("qsort").source));
+    for (auto _ : state) {
+        const auto r = search_transform(run.fetch_stream,
+                                        {.max_gates = static_cast<std::size_t>(state.range(0))});
+        benchmark::DoNotOptimize(r.encoded_transitions);
+    }
+}
+BENCHMARK(BM_TransformSearch)->Arg(4)->Arg(16);
+
+void BM_FullFlow(benchmark::State& state) {
+    const RunResult run = Cpu(CpuConfig{}).run(assemble(kernel_by_name("histogram").source));
+    FlowParams fp;
+    fp.constraints.max_banks = 4;
+    const MemoryOptimizationFlow flow(fp);
+    for (auto _ : state) {
+        const FlowComparison cmp = flow.compare(run.data_trace, ClusterMethod::Frequency);
+        benchmark::DoNotOptimize(cmp.clustering_savings_pct());
+    }
+}
+BENCHMARK(BM_FullFlow);
+
+}  // namespace

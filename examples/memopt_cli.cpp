@@ -1,0 +1,320 @@
+// memopt_cli — command-line driver for the toolkit.
+//
+// Lets a user exercise every pipeline from the shell without writing C++:
+//
+//   memopt_cli kernels
+//   memopt_cli run <kernel>
+//   memopt_cli disasm <kernel>
+//   memopt_cli cc <file.arc> [--emit asm|run]
+//   memopt_cli trace <kernel> <out-file>          (.mtrc = binary, else text)
+//   memopt_cli partition <kernel|trace-file> [--banks N] [--block BYTES]
+//                        [--cluster none|frequency|affinity]
+//   memopt_cli compress <kernel> [--platform vliw|risc]
+//                        [--codec diff|zero-run|bdi|dictionary]
+//   memopt_cli encode <kernel> [--gates N]
+//   memopt_cli schedule [--seed N]
+//   memopt_cli study <kernel>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compress/bdi_codec.hpp"
+#include "compress/dictionary_codec.hpp"
+#include "compress/diff_codec.hpp"
+#include "compress/platform.hpp"
+#include "compress/zero_run.hpp"
+#include "core/flow.hpp"
+#include "core/report.hpp"
+#include "core/study.hpp"
+#include "encoding/baselines.hpp"
+#include "isa/disasm.hpp"
+#include "lang/codegen.hpp"
+#include "encoding/decoder_cost.hpp"
+#include "encoding/search.hpp"
+#include "energy/bus_model.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/kernels.hpp"
+#include "support/string_util.hpp"
+#include "trace/io.hpp"
+#include "trace/symbolize.hpp"
+
+namespace {
+
+using namespace memopt;
+
+/// Trivial "--key value" option parser; positional args stay in order.
+struct Args {
+    std::vector<std::string> positional;
+    std::map<std::string, std::string> options;
+
+    static Args parse(int argc, char** argv, int first) {
+        Args args;
+        for (int i = first; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg.rfind("--", 0) == 0) {
+                require(i + 1 < argc, "option " + arg + " needs a value");
+                args.options[arg.substr(2)] = argv[++i];
+            } else {
+                args.positional.push_back(arg);
+            }
+        }
+        return args;
+    }
+
+    std::string get(const std::string& key, const std::string& fallback) const {
+        const auto it = options.find(key);
+        return it == options.end() ? fallback : it->second;
+    }
+
+    std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+        const auto it = options.find(key);
+        if (it == options.end()) return fallback;
+        const auto v = parse_int(it->second);
+        require(v.has_value(), "option --" + key + " expects an integer");
+        return *v;
+    }
+};
+
+int usage() {
+    std::puts("usage: memopt_cli <command> [args]\n"
+              "  kernels                                list bundled kernels\n"
+              "  run <kernel>                           simulate and print stats\n"
+              "  disasm <kernel>                        annotated program listing\n"
+              "  cc <file.arc> [--emit asm|run]         compile arclang and emit/run\n"
+              "  trace <kernel> <file>                  dump the data trace\n"
+              "  partition <kernel|file> [--banks N] [--block BYTES]\n"
+              "            [--cluster none|frequency|affinity]\n"
+              "  compress <kernel> [--platform vliw|risc]\n"
+              "            [--codec diff|zero-run|bdi|dictionary]\n"
+              "  encode <kernel> [--gates N]\n"
+              "  schedule [--seed N]\n"
+              "  study <kernel>                         all optimizations, one report");
+    return 2;
+}
+
+MemTrace trace_of(const std::string& source) {
+    // A kernel name, or a trace file path for anything containing a dot/slash.
+    if (source.find('.') != std::string::npos || source.find('/') != std::string::npos)
+        return load_trace(source);
+    return run_kernel(kernel_by_name(source)).data_trace;
+}
+
+int cmd_kernels() {
+    for (const Kernel& k : kernel_suite()) std::printf("%-10s %s\n", k.name.c_str(),
+                                                       k.description.c_str());
+    return 0;
+}
+
+int cmd_run(const Args& args) {
+    require(!args.positional.empty(), "run: missing kernel name");
+    CpuConfig config;
+    config.record_fetch_stream = true;
+    const AssembledProgram program = assemble(kernel_by_name(args.positional[0]).source);
+    const RunResult r = Cpu(config).run(program);
+    std::printf("instructions : %llu\n", (unsigned long long)r.instructions);
+    std::printf("cycles       : %llu\n", (unsigned long long)r.cycles);
+    std::printf("data accesses: %zu (%llu R / %llu W)\n", r.data_trace.size(),
+                (unsigned long long)r.data_trace.read_count(),
+                (unsigned long long)r.data_trace.write_count());
+    std::printf("outputs      :");
+    for (std::uint32_t v : r.output) std::printf(" 0x%08x", v);
+    std::printf("\nhot symbols  :\n");
+    const auto traffic = symbolize_trace(program, r.data_trace);
+    for (std::size_t i = 0; i < traffic.size() && i < 6; ++i) {
+        const SymbolTraffic& t = traffic[i];
+        std::printf("  %-12s %6llu R %6llu W  (%4.1f%% of accesses)\n", t.name.c_str(),
+                    (unsigned long long)t.reads, (unsigned long long)t.writes,
+                    100.0 * double(t.total()) / double(r.data_trace.size()));
+    }
+    return 0;
+}
+
+int cmd_disasm(const Args& args) {
+    require(!args.positional.empty(), "disasm: missing kernel name");
+    const AssembledProgram program = assemble(kernel_by_name(args.positional[0]).source);
+    std::fputs(disassemble_program(program).c_str(), stdout);
+    return 0;
+}
+
+int cmd_cc(const Args& args) {
+    require(!args.positional.empty(), "cc: missing source file");
+    std::ifstream in(args.positional[0]);
+    require(in.is_open(), "cc: cannot open '" + args.positional[0] + "'");
+    std::string source((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+    const std::string mode = args.get("emit", "run");
+    if (mode == "asm") {
+        std::fputs(lang::compile_to_asm(source).c_str(), stdout);
+        return 0;
+    }
+    require(mode == "run", "cc: --emit must be 'asm' or 'run'");
+    const AssembledProgram program = lang::compile(source);
+    const RunResult r = Cpu(CpuConfig{}).run(program);
+    std::printf("instructions : %llu\n", (unsigned long long)r.instructions);
+    std::printf("outputs      :");
+    for (std::uint32_t v : r.output) std::printf(" 0x%08x", v);
+    std::printf("\n");
+    return 0;
+}
+
+int cmd_trace(const Args& args) {
+    require(args.positional.size() >= 2, "trace: need <kernel> <file>");
+    const MemTrace trace = run_kernel(kernel_by_name(args.positional[0])).data_trace;
+    save_trace(args.positional[1], trace);
+    std::printf("wrote %zu accesses to %s\n", trace.size(), args.positional[1].c_str());
+    return 0;
+}
+
+int cmd_partition(const Args& args) {
+    require(!args.positional.empty(), "partition: missing kernel or trace file");
+    const MemTrace trace = trace_of(args.positional[0]);
+
+    FlowParams fp;
+    fp.block_size = static_cast<std::uint64_t>(args.get_int("block", 256));
+    fp.constraints.max_banks = static_cast<std::size_t>(args.get_int("banks", 4));
+    const MemoryOptimizationFlow flow(fp);
+
+    const std::string method_name = args.get("cluster", "frequency");
+    ClusterMethod method = ClusterMethod::Frequency;
+    if (method_name == "none") method = ClusterMethod::None;
+    else if (method_name == "frequency") method = ClusterMethod::Frequency;
+    else if (method_name == "affinity") method = ClusterMethod::Affinity;
+    else throw Error("partition: unknown clustering method '" + method_name + "'");
+
+    if (method == ClusterMethod::None) {
+        const FlowResult result = flow.run(trace, method);
+        result.energy.print(std::cout, "partitioned energy:");
+        std::printf("banks: %zu\n", result.solution.arch.num_banks());
+        return 0;
+    }
+    const FlowComparison cmp = flow.compare(trace, method);
+    energy_comparison_table({
+                                {"monolithic", cmp.monolithic},
+                                {"partitioned", cmp.partitioned.energy},
+                                {cluster_method_name(method) + "-clustered",
+                                 cmp.clustered.energy},
+                            })
+        .print(std::cout);
+    std::printf("\nclustering savings vs partitioning: %.1f%%\n", cmp.clustering_savings_pct());
+    for (const Bank& b : cmp.clustered.solution.arch.banks())
+        std::printf("  bank [%zu, %zu) -> %s\n", b.first_block, b.end_block(),
+                    format_bytes(b.size_bytes).c_str());
+    return 0;
+}
+
+int cmd_compress(const Args& args) {
+    require(!args.positional.empty(), "compress: missing kernel name");
+    const auto program = assemble(kernel_by_name(args.positional[0]).source);
+    const RunResult run = Cpu(CpuConfig{}).run(program);
+
+    const std::string platform_name = args.get("platform", "vliw");
+    const PlatformModel platform =
+        platform_name == "risc" ? risc_platform() : vliw_platform();
+    require(platform_name == "vliw" || platform_name == "risc",
+            "compress: unknown platform '" + platform_name + "'");
+
+    const DiffCodec diff;
+    const ZeroRunCodec zero_run;
+    const BdiCodec bdi;
+    const DictionaryCodec dict = DictionaryCodec::train(run.data_trace, 16);
+    const std::string codec_name = args.get("codec", "diff");
+    const LineCodec* codec = nullptr;
+    if (codec_name == "diff") codec = &diff;
+    else if (codec_name == "zero-run") codec = &zero_run;
+    else if (codec_name == "bdi") codec = &bdi;
+    else if (codec_name == "dictionary") codec = &dict;
+    else throw Error("compress: unknown codec '" + codec_name + "'");
+
+    const auto base = CompressedMemorySim(platform.config, nullptr)
+                          .run(run.data_trace, program.data, program.data_base);
+    const auto comp = CompressedMemorySim(platform.config, codec)
+                          .run(run.data_trace, program.data, program.data_base);
+    base.energy.print(std::cout, "uncompressed:");
+    comp.energy.print(std::cout, "\nwith " + codec_name + " codec:");
+    std::printf("\ntraffic ratio: %.3f   total savings: %.1f%%\n", comp.traffic_ratio(),
+                100.0 * (base.energy.total() - comp.energy.total()) / base.energy.total());
+    return 0;
+}
+
+int cmd_encode(const Args& args) {
+    require(!args.positional.empty(), "encode: missing kernel name");
+    CpuConfig config;
+    config.record_data_trace = false;
+    config.record_fetch_stream = true;
+    const RunResult run = run_kernel(kernel_by_name(args.positional[0]), config);
+
+    TransformSearchParams params;
+    params.max_gates = static_cast<std::size_t>(args.get_int("gates", 16));
+    const TransformSearchResult result = search_transform(run.fetch_stream, params);
+    const BusEnergyModel bus;
+    const EnergyBreakdown net = encoded_energy(result.transform, run.fetch_stream,
+                                               bus.technology().energy_per_transition_pj);
+
+    std::printf("raw transitions    : %llu\n",
+                (unsigned long long)result.original_transitions);
+    std::printf("encoded transitions: %llu (-%.1f%%)\n",
+                (unsigned long long)result.encoded_transitions, 100.0 * result.reduction());
+    std::printf("gates used         : %zu\n", result.transform.gate_count());
+    for (const XorGate& g : result.transform.gates())
+        std::printf("  bit[%2u] ^= bit[%2u]\n", g.dst, g.src);
+    net.print(std::cout, "\nencoded-side energy (bus + decoder):");
+    return 0;
+}
+
+int cmd_schedule(const Args& args) {
+    AppGenParams params;
+    params.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const Application app = generate_application(params);
+    const ReconfArch arch;
+    const auto naive = evaluate_schedule(app, arch, naive_schedule(app, arch));
+    const auto optimal = evaluate_schedule(app, arch, optimal_schedule(app, arch));
+    naive.print(std::cout, "naive schedule:");
+    optimal.print(std::cout, "\noptimal schedule:");
+    std::printf("\nsavings: %.1f%%\n",
+                100.0 * (naive.total() - optimal.total()) / naive.total());
+    return 0;
+}
+
+int cmd_study(const Args& args) {
+    require(!args.positional.empty(), "study: missing kernel name");
+    StudyParams params;
+    params.flow.constraints.max_banks = 4;
+    const StudyReport report = study_kernel(kernel_by_name(args.positional[0]), params);
+    std::printf("study for %s\n", report.name.c_str());
+    std::printf("  1B-1 clustering savings vs partitioning : %6.1f %%\n",
+                report.clustering_savings_pct());
+    std::printf("  1B-2 compression savings (memory path)  : %6.1f %%\n",
+                report.compression_savings_pct());
+    std::printf("  1B-3 bus-transition reduction           : %6.1f %%\n",
+                report.encoding_reduction_pct());
+    report.memory.clustered.energy.print(std::cout, "\nclustered data-memory breakdown:");
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    const Args args = Args::parse(argc, argv, 2);
+    try {
+        if (command == "kernels") return cmd_kernels();
+        if (command == "run") return cmd_run(args);
+        if (command == "disasm") return cmd_disasm(args);
+        if (command == "cc") return cmd_cc(args);
+        if (command == "trace") return cmd_trace(args);
+        if (command == "partition") return cmd_partition(args);
+        if (command == "compress") return cmd_compress(args);
+        if (command == "encode") return cmd_encode(args);
+        if (command == "schedule") return cmd_schedule(args);
+        if (command == "study") return cmd_study(args);
+        std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+        return usage();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

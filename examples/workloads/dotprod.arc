@@ -1,0 +1,11 @@
+// 256-element dot product over random vectors.
+// Run:  memopt_cli cc examples/workloads/dotprod.arc
+array a[256] = rand(17);
+array b[256] = rand(18);
+var i = 0;
+var acc = 0;
+while (i < 256) {
+    acc = acc + a[i] * b[i];
+    i = i + 1;
+}
+out(acc);

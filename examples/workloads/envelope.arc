@@ -1,0 +1,27 @@
+// Peak-envelope follower over smooth "audio": attack fast, decay slow.
+// Run:  memopt_cli cc examples/workloads/envelope.arc
+array input[512] = smooth(77, 2000000);
+array envelope[512];
+var env = 0;
+var i = 0;
+while (i < 512) {
+    var x = 0;
+    x = input[i] >> 16;
+    if (x < 0) {
+        x = -x;
+    }
+    if (x > env) {
+        env = x;                      // instant attack
+    } else {
+        env = env - (env >> 5);       // exponential decay
+    }
+    envelope[i] = env;
+    i = i + 1;
+}
+var cks = 0;
+i = 0;
+while (i < 512) {
+    cks = cks + envelope[i];
+    i = i + 1;
+}
+out(cks);

@@ -1,0 +1,27 @@
+// Sieve of Eratosthenes up to 1024; outputs the prime count (172).
+// Run:  memopt_cli cc examples/workloads/sieve.arc
+array flags[1024];
+var i = 2;
+while (i < 1024) {
+    flags[i] = 1;
+    i = i + 1;
+}
+i = 2;
+while (i * i < 1024) {
+    if (flags[i] == 1) {
+        var j = 0;
+        j = i * i;
+        while (j < 1024) {
+            flags[j] = 0;
+            j = j + i;
+        }
+    }
+    i = i + 1;
+}
+var count = 0;
+i = 2;
+while (i < 1024) {
+    count = count + flags[i];
+    i = i + 1;
+}
+out(count);

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Plot the figure-data CSVs exported by the benches.
+
+Usage:
+    scripts/reproduce.sh                     # writes reproduction/figures/*.csv
+    python3 scripts/plot_figures.py [dir]    # writes <dir>/*.png
+
+Degrades gracefully: without matplotlib it prints the series as text.
+"""
+import csv
+import sys
+from pathlib import Path
+
+
+def load(path: Path):
+    with path.open() as f:
+        rows = list(csv.reader(f))
+    header, data = rows[0], rows[1:]
+    series = {name: [] for name in header}
+    for row in data:
+        for name, value in zip(header, row):
+            series[name].append(float(value))
+    return header, series
+
+
+def main() -> int:
+    directory = Path(sys.argv[1] if len(sys.argv) > 1 else "reproduction/figures")
+    csvs = sorted(directory.glob("*.csv"))
+    if not csvs:
+        print(f"no CSV files in {directory}; run scripts/reproduce.sh with "
+              "MEMOPT_CSV_DIR set (reproduce.sh does this for you)")
+        return 1
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+        have_mpl = True
+    except ImportError:
+        have_mpl = False
+        print("matplotlib not available; printing series instead\n")
+
+    for path in csvs:
+        header, series = load(path)
+        x_name, y_names = header[0], header[1:]
+        if have_mpl:
+            fig, ax = plt.subplots(figsize=(6, 4))
+            for y in y_names:
+                ax.plot(series[x_name], series[y], marker="o", label=y)
+            ax.set_xlabel(x_name)
+            ax.set_title(path.stem)
+            ax.grid(True, alpha=0.3)
+            ax.legend()
+            out = path.with_suffix(".png")
+            fig.savefig(out, dpi=150, bbox_inches="tight")
+            print(f"wrote {out}")
+        else:
+            print(f"-- {path.stem} --")
+            for y in y_names:
+                pairs = ", ".join(f"{int(a)}:{b:.1f}" for a, b in zip(series[x_name], series[y]))
+                print(f"  {y}: {pairs}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

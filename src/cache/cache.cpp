@@ -1,0 +1,147 @@
+#include "cache/cache.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace memopt {
+
+CacheModel::CacheModel(const CacheConfig& config) : config_(config) {
+    require(is_pow2(config.size_bytes), "CacheConfig: size must be a power of two");
+    require(is_pow2(config.line_bytes) && config.line_bytes >= 4,
+            "CacheConfig: line size must be a power of two >= 4");
+    require(config.associativity >= 1, "CacheConfig: associativity must be >= 1");
+    const std::uint64_t line_capacity = config.size_bytes / config.line_bytes;
+    require(line_capacity >= config.associativity,
+            "CacheConfig: fewer lines than ways");
+    require(line_capacity % config.associativity == 0,
+            "CacheConfig: lines not divisible by associativity");
+    sets_ = static_cast<std::size_t>(line_capacity / config.associativity);
+    require(is_pow2(sets_), "CacheConfig: set count must be a power of two");
+    ways_.assign(sets_ * config.associativity, Way{});
+}
+
+std::uint64_t CacheModel::line_base(std::uint64_t addr) const {
+    return addr & ~static_cast<std::uint64_t>(config_.line_bytes - 1);
+}
+
+std::size_t CacheModel::set_of(std::uint64_t addr) const {
+    return static_cast<std::size_t>((addr / config_.line_bytes) & (sets_ - 1));
+}
+
+std::uint64_t CacheModel::tag_of(std::uint64_t addr) const {
+    return addr / config_.line_bytes / sets_;
+}
+
+bool CacheModel::contains(std::uint64_t addr) const {
+    const std::size_t set = set_of(addr);
+    const std::uint64_t tag = tag_of(addr);
+    const Way* base = &ways_[set * config_.associativity];
+    for (unsigned w = 0; w < config_.associativity; ++w) {
+        if (base[w].valid && base[w].tag == tag) return true;
+    }
+    return false;
+}
+
+CacheAccessResult CacheModel::access(std::uint64_t addr, AccessKind kind) {
+    CacheAccessResult result;
+    const std::size_t set = set_of(addr);
+    const std::uint64_t tag = tag_of(addr);
+    Way* base = &ways_[set * config_.associativity];
+    ++tick_;
+
+    // Hit path.
+    for (unsigned w = 0; w < config_.associativity; ++w) {
+        Way& way = base[w];
+        if (way.valid && way.tag == tag) {
+            // FIFO keeps the fill order: touches do not refresh age.
+            if (config_.replacement == Replacement::Lru) way.lru = tick_;
+            if (kind == AccessKind::Read) {
+                ++stats_.read_hits;
+            } else {
+                ++stats_.write_hits;
+                if (config_.write_policy == WritePolicy::WriteBackAllocate) {
+                    way.dirty = true;
+                } else {
+                    ++stats_.write_throughs;
+                    result.write_through_addr = addr;
+                }
+            }
+            result.hit = true;
+            return result;
+        }
+    }
+
+    // Miss path.
+    if (kind == AccessKind::Read) {
+        ++stats_.read_misses;
+    } else {
+        ++stats_.write_misses;
+    }
+
+    if (kind == AccessKind::Write && config_.write_policy == WritePolicy::WriteThroughNoAllocate) {
+        ++stats_.write_throughs;
+        result.write_through_addr = addr;
+        return result;  // no allocation
+    }
+
+    // Choose the victim: an invalid way if any, else by policy.
+    Way* victim = nullptr;
+    for (unsigned w = 0; w < config_.associativity && victim == nullptr; ++w) {
+        if (!base[w].valid) victim = &base[w];
+    }
+    if (victim == nullptr) {
+        if (config_.replacement == Replacement::Random) {
+            // xorshift64*: deterministic across runs, uniform enough here.
+            rng_state_ ^= rng_state_ >> 12;
+            rng_state_ ^= rng_state_ << 25;
+            rng_state_ ^= rng_state_ >> 27;
+            victim = &base[(rng_state_ * 0x2545F4914F6CDD1DULL) % config_.associativity];
+        } else {  // Lru and Fifo both evict the smallest age stamp
+            victim = base;
+            for (unsigned w = 1; w < config_.associativity; ++w) {
+                if (base[w].lru < victim->lru) victim = &base[w];
+            }
+        }
+    }
+
+    if (victim->valid && victim->dirty) {
+        ++stats_.writebacks;
+        // Reconstruct the victim's base address from tag and set.
+        const std::uint64_t victim_addr =
+            (victim->tag * sets_ + set) * config_.line_bytes;
+        result.writeback_line = victim_addr;
+    }
+
+    ++stats_.fills;
+    result.fill_line = line_base(addr);
+    victim->valid = true;
+    victim->dirty = kind == AccessKind::Write &&
+                    config_.write_policy == WritePolicy::WriteBackAllocate;
+    victim->tag = tag;
+    victim->lru = tick_;
+    return result;
+}
+
+std::vector<std::uint64_t> CacheModel::flush() {
+    std::vector<std::uint64_t> dirty_lines;
+    for (std::size_t set = 0; set < sets_; ++set) {
+        for (unsigned w = 0; w < config_.associativity; ++w) {
+            Way& way = ways_[set * config_.associativity + w];
+            if (way.valid && way.dirty) {
+                dirty_lines.push_back((way.tag * sets_ + set) * config_.line_bytes);
+                ++stats_.writebacks;
+                way.dirty = false;
+            }
+        }
+    }
+    return dirty_lines;
+}
+
+void CacheModel::reset() {
+    std::fill(ways_.begin(), ways_.end(), Way{});
+    tick_ = 0;
+    stats_ = CacheStats{};
+}
+
+}  // namespace memopt

@@ -1,0 +1,112 @@
+// Set-associative cache model.
+//
+// A trace-driven geometric cache simulator: it tracks tags, validity,
+// dirtiness and LRU state, and reports hit/miss/fill/write-back events per
+// access. It does not store data — data reconstruction is layered on top by
+// the compressed-memory simulation (src/compress/memsys), which replays
+// access values from the trace.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace memopt {
+
+/// Write policy of the cache.
+enum class WritePolicy {
+    WriteBackAllocate,     ///< write-back, write-allocate (default for D$)
+    WriteThroughNoAllocate ///< write-through, no write-allocate
+};
+
+/// Replacement policy of the cache.
+enum class Replacement {
+    Lru,    ///< true least-recently-used (default)
+    Fifo,   ///< evict the oldest fill, ignoring later touches
+    Random  ///< pseudo-random victim (deterministic: internal xorshift)
+};
+
+/// Cache geometry. size_bytes, line_bytes and associativity must make a
+/// consistent power-of-two geometry (sets = size / (line * assoc) >= 1).
+struct CacheConfig {
+    std::uint64_t size_bytes = 8 * 1024;
+    unsigned line_bytes = 32;
+    unsigned associativity = 4;
+    WritePolicy write_policy = WritePolicy::WriteBackAllocate;
+    Replacement replacement = Replacement::Lru;
+};
+
+/// Counters accumulated by the model.
+struct CacheStats {
+    std::uint64_t read_hits = 0;
+    std::uint64_t read_misses = 0;
+    std::uint64_t write_hits = 0;
+    std::uint64_t write_misses = 0;
+    std::uint64_t fills = 0;           ///< lines fetched from the next level
+    std::uint64_t writebacks = 0;      ///< dirty lines evicted to the next level
+    std::uint64_t write_throughs = 0;  ///< accesses forwarded by write-through
+
+    std::uint64_t accesses() const {
+        return read_hits + read_misses + write_hits + write_misses;
+    }
+    std::uint64_t misses() const { return read_misses + write_misses; }
+    double miss_rate() const {
+        return accesses() == 0 ? 0.0 : static_cast<double>(misses()) / static_cast<double>(accesses());
+    }
+};
+
+/// Outcome of one access: what traffic it caused toward the next level.
+struct CacheAccessResult {
+    bool hit = false;
+    std::optional<std::uint64_t> fill_line;       ///< line base addr fetched
+    std::optional<std::uint64_t> writeback_line;  ///< dirty line base addr evicted
+    std::optional<std::uint64_t> write_through_addr;  ///< word written through
+};
+
+/// The cache model (true LRU replacement).
+class CacheModel {
+public:
+    explicit CacheModel(const CacheConfig& config);
+
+    const CacheConfig& config() const { return config_; }
+    const CacheStats& stats() const { return stats_; }
+    std::size_t num_sets() const { return sets_; }
+
+    /// Simulate one access.
+    CacheAccessResult access(std::uint64_t addr, AccessKind kind);
+
+    /// Evict every dirty line (end-of-run flush); returns their base
+    /// addresses and counts them as writebacks.
+    std::vector<std::uint64_t> flush();
+
+    /// True if the line containing `addr` is resident.
+    bool contains(std::uint64_t addr) const;
+
+    /// Reset tags and statistics.
+    void reset();
+
+    /// Line base address of `addr` under this geometry.
+    std::uint64_t line_base(std::uint64_t addr) const;
+
+private:
+    struct Way {
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0;  // larger = more recently used
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::size_t set_of(std::uint64_t addr) const;
+    std::uint64_t tag_of(std::uint64_t addr) const;
+
+    CacheConfig config_;
+    std::size_t sets_;
+    std::vector<Way> ways_;  // sets_ * associativity, row-major by set
+    std::uint64_t tick_ = 0;
+    std::uint64_t rng_state_ = 0x9E3779B97F4A7C15ULL;  // Random replacement
+    CacheStats stats_;
+};
+
+}  // namespace memopt

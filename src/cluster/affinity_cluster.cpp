@@ -1,0 +1,85 @@
+#include "cluster/affinity_cluster.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace memopt {
+
+AddressMap affinity_clustering(const BlockProfile& profile, const AffinityMatrix& affinity,
+                               const AffinityClusterParams& params) {
+    require(affinity.num_blocks() == profile.num_blocks(),
+            "affinity_clustering: affinity matrix does not match profile");
+    require(params.tail_window >= 1, "affinity_clustering: tail_window must be >= 1");
+    const std::size_t n = profile.num_blocks();
+
+    // Normalization constants.
+    std::uint64_t max_count = 0;
+    for (std::size_t b = 0; b < n; ++b)
+        max_count = std::max(max_count, profile.counts(b).total());
+    double max_affinity = 0.0;
+    for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = a + 1; b < n; ++b)
+            max_affinity = std::max(max_affinity, affinity.at(a, b));
+    }
+
+    const auto heat = [&](std::size_t b) {
+        return max_count == 0
+                   ? 0.0
+                   : static_cast<double>(profile.counts(b).total()) / static_cast<double>(max_count);
+    };
+
+    // Hot blocks are chained greedily; cold (zero-access) blocks keep their
+    // original relative order at the tail.
+    std::vector<std::size_t> hot;
+    std::vector<std::size_t> cold;
+    for (std::size_t b = 0; b < n; ++b) {
+        (profile.counts(b).total() > 0 ? hot : cold).push_back(b);
+    }
+
+    std::vector<std::size_t> chain;
+    chain.reserve(hot.size());
+    std::vector<bool> placed(n, false);
+
+    if (!hot.empty()) {
+        // Seed: hottest block (stable for ties).
+        std::size_t seed = hot.front();
+        for (std::size_t b : hot) {
+            if (profile.counts(b).total() > profile.counts(seed).total()) seed = b;
+        }
+        chain.push_back(seed);
+        placed[seed] = true;
+
+        while (chain.size() < hot.size()) {
+            const std::size_t tail_start =
+                chain.size() > params.tail_window ? chain.size() - params.tail_window : 0;
+            double best_score = -1.0;
+            std::size_t best_block = SIZE_MAX;
+            for (std::size_t b : hot) {
+                if (placed[b]) continue;
+                double aff = 0.0;
+                for (std::size_t t = tail_start; t < chain.size(); ++t)
+                    aff += affinity.at(b, chain[t]);
+                if (max_affinity > 0.0) aff /= max_affinity * static_cast<double>(params.tail_window);
+                const double score = aff + params.frequency_weight * heat(b);
+                if (score > best_score) {
+                    best_score = score;
+                    best_block = b;
+                }
+            }
+            MEMOPT_ASSERT(best_block != SIZE_MAX);
+            chain.push_back(best_block);
+            placed[best_block] = true;
+        }
+    }
+
+    std::vector<std::size_t> perm(n, SIZE_MAX);
+    std::size_t position = 0;
+    for (std::size_t b : chain) perm[b] = position++;
+    for (std::size_t b : cold) perm[b] = position++;
+    MEMOPT_ASSERT(position == n);
+    return AddressMap(profile.block_size(), std::move(perm));
+}
+
+}  // namespace memopt

@@ -1,0 +1,13 @@
+#include "cluster/frequency.hpp"
+
+namespace memopt {
+
+AddressMap frequency_clustering(const BlockProfile& profile) {
+    const std::vector<std::size_t> order = profile.blocks_by_access_desc();
+    // order[rank] = logical block; we need perm[logical] = physical rank.
+    std::vector<std::size_t> perm(order.size());
+    for (std::size_t rank = 0; rank < order.size(); ++rank) perm[order[rank]] = rank;
+    return AddressMap(profile.block_size(), std::move(perm));
+}
+
+}  // namespace memopt

@@ -1,0 +1,19 @@
+// Frequency-based address clustering.
+//
+// The simplest clustering policy of DATE'03 1B-1's family: sort blocks by
+// descending access count and relocate them in that order, so the hottest
+// blocks occupy a contiguous prefix of the physical block space. After
+// partitioning, the prefix becomes one (or a few) small, frequently hit
+// banks while the cold mass lands in large, rarely activated banks.
+#pragma once
+
+#include "cluster/address_map.hpp"
+#include "trace/profile.hpp"
+
+namespace memopt {
+
+/// Build the frequency-ordered AddressMap for `profile`.
+/// Deterministic: ties keep the original block order (stable sort).
+AddressMap frequency_clustering(const BlockProfile& profile);
+
+}  // namespace memopt

@@ -1,0 +1,21 @@
+#include "cluster/remap_cost.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace memopt {
+
+RemapTableModel::RemapTableModel(std::size_t num_blocks, const RemapTechnology& tech)
+    : num_blocks_(num_blocks) {
+    require(num_blocks >= 1, "RemapTableModel: num_blocks must be >= 1");
+    index_bits_ = 0;
+    while ((std::size_t{1} << index_bits_) < num_blocks) ++index_bits_;
+    table_bits_ = static_cast<std::uint64_t>(num_blocks) * index_bits_;
+    lookup_pj_ = num_blocks <= 1
+                     ? 0.0
+                     : tech.base_pj + tech.per_index_bit_pj * index_bits_ +
+                           tech.per_entry_bit_pj * index_bits_;
+}
+
+}  // namespace memopt

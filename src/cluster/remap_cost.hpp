@@ -1,0 +1,47 @@
+// Hardware cost model of the address-remap stage.
+//
+// The remap table is a narrow structure indexed by the block bits of the
+// address: N entries of ceil(log2 N) bits each, sitting in front of the
+// bank decoder. Every memory access pays one lookup. Reporting clustering
+// savings *net* of this overhead is what keeps the reproduction honest —
+// an AddressMap that buys nothing still costs a lookup per access.
+#pragma once
+
+#include <cstdint>
+
+namespace memopt {
+
+/// Technology constants for the remap lookup.
+/// The default models a small, flip-flop/latch-array-based translation
+/// table (not a full SRAM macro): energy grows with the index width and
+/// (weakly) with the entry width.
+struct RemapTechnology {
+    double base_pj = 0.4;       ///< wire + control overhead per lookup
+    double per_index_bit_pj = 0.06;  ///< decode cost per index bit
+    double per_entry_bit_pj = 0.02;  ///< read-out cost per entry bit
+};
+
+/// Cost model for a remap table over `num_blocks` blocks.
+class RemapTableModel {
+public:
+    /// `num_blocks` >= 1. A single-block table degenerates to zero cost.
+    explicit RemapTableModel(std::size_t num_blocks,
+                             const RemapTechnology& tech = RemapTechnology{});
+
+    /// Energy of one address translation [pJ].
+    double lookup_energy() const { return lookup_pj_; }
+
+    /// Table size in bits (N entries of ceil(log2 N) bits).
+    std::uint64_t table_bits() const { return table_bits_; }
+
+    std::size_t num_blocks() const { return num_blocks_; }
+    unsigned index_bits() const { return index_bits_; }
+
+private:
+    std::size_t num_blocks_;
+    unsigned index_bits_;
+    std::uint64_t table_bits_;
+    double lookup_pj_;
+};
+
+}  // namespace memopt

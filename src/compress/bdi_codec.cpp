@@ -1,0 +1,124 @@
+#include "compress/bdi_codec.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace memopt {
+
+namespace {
+
+constexpr unsigned kModeRaw = 0;
+constexpr unsigned kModeZero = 1;
+constexpr unsigned kModeRepeat = 2;
+constexpr unsigned kModeDelta8 = 3;
+constexpr unsigned kModeDelta16 = 4;
+constexpr unsigned kModeBits = 3;
+
+bool fits_signed(std::uint32_t delta, unsigned bits) {
+    const auto sdelta = static_cast<std::int64_t>(static_cast<std::int32_t>(delta));
+    const std::int64_t lo = -(1LL << (bits - 1));
+    const std::int64_t hi = (1LL << (bits - 1)) - 1;
+    return sdelta >= lo && sdelta <= hi;
+}
+
+}  // namespace
+
+BitWriter BdiCodec::encode(std::span<const std::uint8_t> line) const {
+    const std::vector<std::uint32_t> words = line_words(line);
+    require(!words.empty(), "BdiCodec: empty line");
+
+    const bool all_zero = std::all_of(words.begin(), words.end(),
+                                      [](std::uint32_t w) { return w == 0; });
+    const bool all_equal = std::all_of(words.begin(), words.end(),
+                                       [&](std::uint32_t w) { return w == words[0]; });
+    const std::uint32_t base = words[0];
+    bool d8 = true;
+    bool d16 = true;
+    for (std::uint32_t w : words) {
+        const std::uint32_t delta = w - base;
+        d8 = d8 && fits_signed(delta, 8);
+        d16 = d16 && fits_signed(delta, 16);
+    }
+
+    BitWriter out;
+    if (all_zero) {
+        out.put_bits(kModeZero, kModeBits);
+        return out;
+    }
+    if (all_equal) {
+        out.put_bits(kModeRepeat, kModeBits);
+        out.put_bits(base, 32);
+        return out;
+    }
+    const std::size_t raw_bits = words.size() * 32;
+    const std::size_t d8_bits = 32 + (words.size() - 1) * 8;
+    const std::size_t d16_bits = 32 + (words.size() - 1) * 16;
+    if (d8 && kModeBits + d8_bits < kModeBits + raw_bits) {
+        out.put_bits(kModeDelta8, kModeBits);
+        out.put_bits(base, 32);
+        for (std::size_t w = 1; w < words.size(); ++w)
+            out.put_bits(words[w] - base, 8);
+        MEMOPT_ASSERT(out.bit_count() == kModeBits + d8_bits);
+        return out;
+    }
+    if (d16 && d16_bits < raw_bits) {
+        out.put_bits(kModeDelta16, kModeBits);
+        out.put_bits(base, 32);
+        for (std::size_t w = 1; w < words.size(); ++w)
+            out.put_bits(words[w] - base, 16);
+        MEMOPT_ASSERT(out.bit_count() == kModeBits + d16_bits);
+        return out;
+    }
+    out.put_bits(kModeRaw, kModeBits);
+    for (std::uint32_t w : words) out.put_bits(w, 32);
+    return out;
+}
+
+std::vector<std::uint8_t> BdiCodec::decode(std::span<const std::uint8_t> coded,
+                                           std::size_t line_bytes) const {
+    require(line_bytes % 4 == 0 && line_bytes > 0, "BdiCodec: bad line size");
+    const std::size_t num_words = line_bytes / 4;
+    BitReader in(coded);
+    const unsigned mode = in.get_bits(kModeBits);
+    std::vector<std::uint32_t> words;
+    words.reserve(num_words);
+    switch (mode) {
+        case kModeZero:
+            words.assign(num_words, 0);
+            break;
+        case kModeRepeat: {
+            const std::uint32_t base = in.get_bits(32);
+            words.assign(num_words, base);
+            break;
+        }
+        case kModeDelta8: {
+            const std::uint32_t base = in.get_bits(32);
+            words.push_back(base);
+            for (std::size_t w = 1; w < num_words; ++w) {
+                const auto delta = static_cast<std::uint32_t>(
+                    static_cast<std::int32_t>(static_cast<std::int8_t>(in.get_bits(8))));
+                words.push_back(base + delta);
+            }
+            break;
+        }
+        case kModeDelta16: {
+            const std::uint32_t base = in.get_bits(32);
+            words.push_back(base);
+            for (std::size_t w = 1; w < num_words; ++w) {
+                const auto delta = static_cast<std::uint32_t>(
+                    static_cast<std::int32_t>(static_cast<std::int16_t>(in.get_bits(16))));
+                words.push_back(base + delta);
+            }
+            break;
+        }
+        case kModeRaw:
+            for (std::size_t w = 0; w < num_words; ++w) words.push_back(in.get_bits(32));
+            break;
+        default:
+            throw Error("BdiCodec: corrupt mode field");
+    }
+    return words_to_line(words);
+}
+
+}  // namespace memopt

@@ -1,0 +1,24 @@
+// Base-delta-immediate line codec (comparison point for DiffCodec).
+//
+// Classic cache-compression scheme: the whole line is encoded as one base
+// word plus uniform-width deltas against that base. Uniform widths decode
+// in parallel (a hardware advantage) but lose to the per-word tags of
+// DiffCodec whenever one outlier word forces a wide delta for the whole
+// line. Modes (3-bit header):
+//   0 raw | 1 zero line | 2 repeated word | 3 base+delta8 | 4 base+delta16
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace memopt {
+
+/// The base-delta-immediate codec (see file comment).
+class BdiCodec final : public LineCodec {
+public:
+    std::string name() const override { return "bdi"; }
+    BitWriter encode(std::span<const std::uint8_t> line) const override;
+    std::vector<std::uint8_t> decode(std::span<const std::uint8_t> coded,
+                                     std::size_t line_bytes) const override;
+};
+
+}  // namespace memopt

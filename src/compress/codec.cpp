@@ -1,0 +1,60 @@
+#include "compress/codec.hpp"
+
+#include "support/assert.hpp"
+
+namespace memopt {
+
+void BitWriter::put_bit(bool bit) {
+    const std::size_t byte_index = bits_ / 8;
+    if (byte_index == bytes_.size()) bytes_.push_back(0);
+    if (bit) bytes_[byte_index] |= static_cast<std::uint8_t>(1u << (bits_ % 8));
+    ++bits_;
+}
+
+void BitWriter::put_bits(std::uint32_t value, unsigned count) {
+    MEMOPT_ASSERT(count <= 32);
+    for (unsigned i = 0; i < count; ++i) put_bit((value >> i) & 1u);
+}
+
+bool BitReader::get_bit() {
+    require(pos_ < bytes_.size() * 8, "BitReader: read past end of stream");
+    const bool bit = (bytes_[pos_ / 8] >> (pos_ % 8)) & 1u;
+    ++pos_;
+    return bit;
+}
+
+std::uint32_t BitReader::get_bits(unsigned count) {
+    MEMOPT_ASSERT(count <= 32);
+    std::uint32_t value = 0;
+    for (unsigned i = 0; i < count; ++i) value |= static_cast<std::uint32_t>(get_bit()) << i;
+    return value;
+}
+
+std::size_t LineCodec::compressed_bits(std::span<const std::uint8_t> line) const {
+    return encode(line).bit_count();
+}
+
+std::vector<std::uint32_t> line_words(std::span<const std::uint8_t> line) {
+    require(line.size() % 4 == 0, "line size must be a multiple of 4 bytes");
+    std::vector<std::uint32_t> words(line.size() / 4);
+    for (std::size_t w = 0; w < words.size(); ++w) {
+        words[w] = static_cast<std::uint32_t>(line[4 * w]) |
+                   (static_cast<std::uint32_t>(line[4 * w + 1]) << 8) |
+                   (static_cast<std::uint32_t>(line[4 * w + 2]) << 16) |
+                   (static_cast<std::uint32_t>(line[4 * w + 3]) << 24);
+    }
+    return words;
+}
+
+std::vector<std::uint8_t> words_to_line(std::span<const std::uint32_t> words) {
+    std::vector<std::uint8_t> line(words.size() * 4);
+    for (std::size_t w = 0; w < words.size(); ++w) {
+        line[4 * w] = static_cast<std::uint8_t>(words[w]);
+        line[4 * w + 1] = static_cast<std::uint8_t>(words[w] >> 8);
+        line[4 * w + 2] = static_cast<std::uint8_t>(words[w] >> 16);
+        line[4 * w + 3] = static_cast<std::uint8_t>(words[w] >> 24);
+    }
+    return line;
+}
+
+}  // namespace memopt

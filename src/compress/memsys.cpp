@@ -1,0 +1,132 @@
+#include "compress/memsys.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace memopt {
+
+CompressedMemorySim::CompressedMemorySim(const CompressedMemConfig& config,
+                                         const LineCodec* codec)
+    : config_(config), codec_(codec) {
+    require(config.cache.write_policy == WritePolicy::WriteBackAllocate,
+            "CompressedMemorySim: compression requires a write-back cache");
+}
+
+CompressedMemReport CompressedMemorySim::run(const MemTrace& trace,
+                                             std::span<const std::uint8_t> image,
+                                             std::uint64_t image_base) {
+    require(!trace.empty(), "CompressedMemorySim: empty trace");
+
+    const unsigned line_bytes = config_.cache.line_bytes;
+    const std::uint64_t span =
+        std::max(ceil_pow2(std::max(trace.max_addr() + 1, image_base + image.size())),
+                 static_cast<std::uint64_t>(line_bytes));
+
+    // Shadow memory: the current value of every byte. It reflects the
+    // program's view (cache + memory combined); at eviction time the victim
+    // line's bytes are exactly the values the cache would write back.
+    std::vector<std::uint8_t> shadow(span, 0);
+    std::copy(image.begin(), image.end(),
+              shadow.begin() + static_cast<std::ptrdiff_t>(image_base));
+
+    // Stored size (bytes) of each line currently resident in main memory in
+    // compressed form; absent means stored raw.
+    std::unordered_map<std::uint64_t, std::uint32_t> stored_compressed;
+    // Stored blobs for the verify_roundtrip invariant.
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> stored_blobs;
+
+    CacheModel cache(config_.cache);
+    const SramEnergyModel cache_sram(config_.cache.size_bytes, 32, config_.cache_sram);
+    const DramEnergyModel dram(config_.dram);
+    const std::size_t words_per_line = line_bytes / 4;
+
+    CompressedMemReport report;
+    double cache_pj = 0.0;
+    double dram_pj = 0.0;
+    double codec_pj = 0.0;
+
+    auto line_span = [&](std::uint64_t line_addr) {
+        return std::span<const std::uint8_t>(shadow).subspan(line_addr, line_bytes);
+    };
+
+    auto do_writeback = [&](std::uint64_t line_addr) {
+        ++report.writeback_lines;
+        report.raw_traffic_bytes += line_bytes;
+        // Reading the victim line out of the cache array.
+        cache_pj += cache_sram.read_energy() * static_cast<double>(words_per_line);
+        std::uint64_t burst_bytes = line_bytes;
+        if (codec_ != nullptr) {
+            const BitWriter coded = codec_->encode(line_span(line_addr));
+            burst_bytes = (coded.bit_count() + 7) / 8;
+            codec_pj += config_.compress_pj_per_word * static_cast<double>(words_per_line);
+            if (burst_bytes < line_bytes) {
+                stored_compressed[line_addr] = static_cast<std::uint32_t>(burst_bytes);
+                if (config_.verify_roundtrip) stored_blobs[line_addr] = coded.bytes();
+            } else {
+                burst_bytes = line_bytes;  // store raw when compression does not pay
+                stored_compressed.erase(line_addr);
+                if (config_.verify_roundtrip) stored_blobs.erase(line_addr);
+            }
+        }
+        report.actual_traffic_bytes += burst_bytes;
+        dram_pj += dram.burst_energy(burst_bytes);
+    };
+
+    auto do_fill = [&](std::uint64_t line_addr) {
+        ++report.fill_lines;
+        report.raw_traffic_bytes += line_bytes;
+        std::uint64_t burst_bytes = line_bytes;
+        if (codec_ != nullptr) {
+            const auto it = stored_compressed.find(line_addr);
+            if (it != stored_compressed.end()) {
+                burst_bytes = it->second;
+                codec_pj += config_.decompress_pj_per_word * static_cast<double>(words_per_line);
+                if (config_.verify_roundtrip) {
+                    // Between eviction and this refill nothing wrote the
+                    // line (writes allocate first), so the shadow still
+                    // holds the bytes that were compressed: decode and
+                    // compare, end to end.
+                    const auto blob = stored_blobs.find(line_addr);
+                    MEMOPT_ASSERT(blob != stored_blobs.end());
+                    const std::vector<std::uint8_t> decoded =
+                        codec_->decode(blob->second, line_bytes);
+                    const auto expected = line_span(line_addr);
+                    require(std::equal(decoded.begin(), decoded.end(), expected.begin()),
+                            "CompressedMemorySim: stored line failed the round-trip check");
+                }
+            }
+        }
+        report.actual_traffic_bytes += burst_bytes;
+        dram_pj += dram.burst_energy(burst_bytes);
+        // Installing the line into the cache array.
+        cache_pj += cache_sram.write_energy() * static_cast<double>(words_per_line);
+    };
+
+    for (const MemAccess& access : trace.accesses()) {
+        require(access.addr + access.size <= span, "CompressedMemorySim: access outside span");
+        const CacheAccessResult r = cache.access(access.addr, access.kind);
+        // The CPU-side cache access itself.
+        cache_pj += access.kind == AccessKind::Read ? cache_sram.read_energy()
+                                                    : cache_sram.write_energy();
+        if (r.writeback_line) do_writeback(*r.writeback_line);
+        if (r.fill_line) do_fill(*r.fill_line);
+        // Update the shadow after the geometric simulation.
+        if (access.kind == AccessKind::Write) {
+            for (unsigned b = 0; b < access.size; ++b)
+                shadow[access.addr + b] = static_cast<std::uint8_t>(access.value >> (8 * b));
+        }
+    }
+
+    // Flush so that all dirty data is accounted in both configurations.
+    for (std::uint64_t line : cache.flush()) do_writeback(line);
+
+    report.cache_stats = cache.stats();
+    report.energy.add("cache", cache_pj);
+    report.energy.add("main_memory", dram_pj);
+    if (codec_ != nullptr) report.energy.add("codec", codec_pj);
+    return report;
+}
+
+}  // namespace memopt

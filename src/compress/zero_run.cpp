@@ -1,0 +1,46 @@
+#include "compress/zero_run.hpp"
+
+#include "support/assert.hpp"
+
+namespace memopt {
+
+BitWriter ZeroRunCodec::encode(std::span<const std::uint8_t> line) const {
+    const std::vector<std::uint32_t> words = line_words(line);
+    require(!words.empty(), "ZeroRunCodec: empty line");
+
+    std::size_t flagged_bits = 1;
+    for (std::uint32_t w : words) flagged_bits += w == 0 ? 1 : 33;
+
+    BitWriter out;
+    const std::size_t raw_bits = words.size() * 32;
+    if (flagged_bits >= 1 + raw_bits) {
+        out.put_bit(false);
+        for (std::uint32_t w : words) out.put_bits(w, 32);
+        return out;
+    }
+    out.put_bit(true);
+    for (std::uint32_t w : words) {
+        out.put_bit(w == 0);
+        if (w != 0) out.put_bits(w, 32);
+    }
+    MEMOPT_ASSERT(out.bit_count() == flagged_bits);
+    return out;
+}
+
+std::vector<std::uint8_t> ZeroRunCodec::decode(std::span<const std::uint8_t> coded,
+                                               std::size_t line_bytes) const {
+    require(line_bytes % 4 == 0 && line_bytes > 0, "ZeroRunCodec: bad line size");
+    const std::size_t num_words = line_bytes / 4;
+    BitReader in(coded);
+    std::vector<std::uint32_t> words;
+    words.reserve(num_words);
+    if (!in.get_bit()) {
+        for (std::size_t w = 0; w < num_words; ++w) words.push_back(in.get_bits(32));
+    } else {
+        for (std::size_t w = 0; w < num_words; ++w)
+            words.push_back(in.get_bit() ? 0u : in.get_bits(32));
+    }
+    return words_to_line(words);
+}
+
+}  // namespace memopt

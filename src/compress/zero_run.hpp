@@ -1,0 +1,22 @@
+// Zero-aware line codec — the simple comparison point for DiffCodec.
+//
+// Per word: a 1-bit zero flag, followed by the raw 32 bits only for nonzero
+// words. With a leading raw-fallback mode bit, worst case is raw + 1 bit.
+// Zero words dominate freshly allocated buffers and sparse structures, so
+// this codec is a meaningful baseline despite its simplicity.
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace memopt {
+
+/// The zero-run codec (see file comment).
+class ZeroRunCodec final : public LineCodec {
+public:
+    std::string name() const override { return "zero-run"; }
+    BitWriter encode(std::span<const std::uint8_t> line) const override;
+    std::vector<std::uint8_t> decode(std::span<const std::uint8_t> coded,
+                                     std::size_t line_bytes) const override;
+};
+
+}  // namespace memopt

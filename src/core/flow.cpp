@@ -1,0 +1,90 @@
+#include "core/flow.hpp"
+
+#include "cluster/frequency.hpp"
+#include "support/assert.hpp"
+#include "support/stats.hpp"
+
+namespace memopt {
+
+std::string cluster_method_name(ClusterMethod method) {
+    switch (method) {
+        case ClusterMethod::None: return "none";
+        case ClusterMethod::Frequency: return "frequency";
+        case ClusterMethod::Affinity: return "affinity";
+    }
+    MEMOPT_ASSERT_MSG(false, "invalid ClusterMethod");
+    return "?";
+}
+
+MemoryOptimizationFlow::MemoryOptimizationFlow(const FlowParams& params) : params_(params) {
+    require(is_pow2(params.block_size), "FlowParams: block_size must be a power of two");
+    require(params.affinity_window >= 2, "FlowParams: affinity_window must be >= 2");
+}
+
+FlowResult MemoryOptimizationFlow::run(const MemTrace& trace, ClusterMethod method) const {
+    const BlockProfile profile = BlockProfile::from_trace(trace, params_.block_size);
+    return run(profile, method, &trace);
+}
+
+FlowResult MemoryOptimizationFlow::run(const BlockProfile& profile, ClusterMethod method,
+                                       const MemTrace* trace) const {
+    AddressMap map = AddressMap::identity(profile.block_size(), profile.num_blocks());
+    switch (method) {
+        case ClusterMethod::None:
+            break;
+        case ClusterMethod::Frequency:
+            map = frequency_clustering(profile);
+            break;
+        case ClusterMethod::Affinity: {
+            require(trace != nullptr,
+                    "affinity clustering requires the trace, not just the profile");
+            const AffinityMatrix affinity =
+                windowed_affinity(*trace, profile, params_.affinity_window);
+            map = affinity_clustering(profile, affinity, params_.affinity);
+            break;
+        }
+    }
+
+    const BlockProfile physical = map.apply(profile);
+
+    // The remap table adds a constant per-access energy; being constant it
+    // does not change the partitioner's arg-min, so it is added at
+    // evaluation time only.
+    PartitionEnergyParams energy_params = params_.energy;
+    if (method != ClusterMethod::None) {
+        const RemapTableModel remap(physical.num_blocks(), params_.remap);
+        energy_params.extra_pj_per_access = remap.lookup_energy();
+    }
+
+    const bool greedy = params_.use_greedy_solver ||
+                        physical.num_blocks() > params_.auto_greedy_blocks;
+    PartitionSolution solution =
+        greedy ? solve_partition_greedy(physical, params_.constraints, energy_params)
+               : solve_partition_optimal(physical, params_.constraints, energy_params);
+
+    FlowResult result{method, std::move(map), std::move(solution), EnergyBreakdown{}};
+    result.energy = result.solution.energy;
+    return result;
+}
+
+FlowComparison MemoryOptimizationFlow::compare(const MemTrace& trace,
+                                               ClusterMethod method) const {
+    require(method != ClusterMethod::None, "compare: pick a real clustering method");
+    const BlockProfile profile = BlockProfile::from_trace(trace, params_.block_size);
+    FlowComparison cmp{
+        evaluate_monolithic(profile, params_.energy),
+        run(profile, ClusterMethod::None, &trace),
+        run(profile, method, &trace),
+    };
+    return cmp;
+}
+
+double FlowComparison::clustering_savings_pct() const {
+    return percent_savings(partitioned.energy.total(), clustered.energy.total());
+}
+
+double FlowComparison::partitioning_savings_pct() const {
+    return percent_savings(monolithic.total(), partitioned.energy.total());
+}
+
+}  // namespace memopt

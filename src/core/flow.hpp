@@ -1,0 +1,91 @@
+// End-to-end memory-optimization flow (the library's main entry point).
+//
+// Wires the full DATE'03 1B-1 pipeline together:
+//
+//   trace -> block profile -> [address clustering] -> partitioning -> energy
+//
+// and evaluates each configuration with the same objective, including the
+// remap-table overhead when clustering is enabled. Used by the examples and
+// by the E1/E2/E3 reproduction benches.
+#pragma once
+
+#include <string>
+
+#include "cluster/address_map.hpp"
+#include "cluster/affinity_cluster.hpp"
+#include "cluster/remap_cost.hpp"
+#include "energy/report.hpp"
+#include "partition/solver.hpp"
+#include "trace/trace.hpp"
+
+namespace memopt {
+
+/// Which clustering policy to apply before partitioning.
+enum class ClusterMethod {
+    None,       ///< partition the raw profile (1B-1's baseline)
+    Frequency,  ///< hot-first block reordering
+    Affinity,   ///< greedy temporal-affinity chain
+};
+
+/// Display name ("none", "frequency", "affinity").
+std::string cluster_method_name(ClusterMethod method);
+
+/// Flow configuration.
+struct FlowParams {
+    std::uint64_t block_size = 256;          ///< profile granularity [bytes]
+    PartitionConstraints constraints;        ///< bank budget
+    PartitionEnergyParams energy;            ///< technology + objective knobs
+    AffinityClusterParams affinity;          ///< affinity-chain tuning
+    std::size_t affinity_window = 32;        ///< co-access window [accesses]
+    RemapTechnology remap;                   ///< remap-table technology
+    bool use_greedy_solver = false;          ///< greedy instead of exact DP
+    /// Profiles larger than this fall back to the greedy solver even when
+    /// use_greedy_solver is false — the exact DP is O(N^2 K) and a 2 MiB
+    /// span at 256 B blocks is where it stops being interactive.
+    std::size_t auto_greedy_blocks = 4096;
+};
+
+/// Result of one flow configuration.
+struct FlowResult {
+    ClusterMethod method = ClusterMethod::None;
+    AddressMap map;               ///< applied remap (identity for None)
+    PartitionSolution solution;   ///< architecture in physical block space
+    EnergyBreakdown energy;       ///< full breakdown incl. remap overhead
+};
+
+/// Side-by-side evaluation of one trace under all configurations.
+struct FlowComparison {
+    EnergyBreakdown monolithic;   ///< single-bank baseline
+    FlowResult partitioned;       ///< ClusterMethod::None
+    FlowResult clustered;         ///< the requested clustering method
+
+    /// Savings of clustering vs partitioning alone [%], the paper's metric.
+    double clustering_savings_pct() const;
+    /// Savings of partitioning alone vs monolithic [%].
+    double partitioning_savings_pct() const;
+};
+
+/// The flow driver. Stateless apart from its parameters; thread-compatible.
+class MemoryOptimizationFlow {
+public:
+    explicit MemoryOptimizationFlow(const FlowParams& params);
+
+    const FlowParams& params() const { return params_; }
+
+    /// Run one configuration on a trace.
+    FlowResult run(const MemTrace& trace, ClusterMethod method) const;
+
+    /// Run one configuration on a pre-built profile (no affinity methods:
+    /// Affinity requires the trace; throws if requested).
+    FlowResult run(const BlockProfile& profile, ClusterMethod method,
+                   const MemTrace* trace = nullptr) const;
+
+    /// Monolithic / partitioned / clustered comparison on one trace.
+    FlowComparison compare(const MemTrace& trace,
+                           ClusterMethod method = ClusterMethod::Frequency) const;
+
+private:
+    FlowParams params_;
+};
+
+}  // namespace memopt

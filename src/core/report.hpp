@@ -1,0 +1,29 @@
+// Comparative energy reporting helpers shared by benches and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "energy/report.hpp"
+#include "support/table.hpp"
+
+namespace memopt {
+
+/// One labelled configuration in a comparison table.
+struct NamedEnergy {
+    std::string name;
+    EnergyBreakdown energy;
+};
+
+/// Build a table with one row per configuration: total energy and savings
+/// versus the first entry (the baseline).
+TablePrinter energy_comparison_table(const std::vector<NamedEnergy>& rows);
+
+/// Build a per-benchmark results table: columns are configuration totals
+/// plus savings of the last configuration vs the second-to-last. `rows`
+/// maps benchmark name -> energies in column order; all rows must have
+/// `columns.size()` entries.
+TablePrinter benchmark_energy_table(const std::vector<std::string>& columns,
+                                    const std::vector<std::pair<std::string, std::vector<double>>>& rows);
+
+}  // namespace memopt

@@ -1,0 +1,47 @@
+#include "core/study.hpp"
+
+#include "support/assert.hpp"
+#include "support/stats.hpp"
+
+namespace memopt {
+
+double StudyReport::compression_savings_pct() const {
+    const double base = compression_baseline.energy.component("main_memory");
+    if (base == 0.0) return 0.0;
+    const double opt =
+        compression.energy.component("main_memory") + compression.energy.component("codec");
+    return percent_savings(base, opt);
+}
+
+StudyReport study_trace(const std::string& name, const MemTrace& data_trace,
+                        std::span<const std::uint8_t> image, std::uint64_t image_base,
+                        std::span<const std::uint32_t> fetch_stream,
+                        const StudyParams& params) {
+    require(!data_trace.empty(), "study_trace: empty data trace");
+    StudyReport report;
+    report.name = name;
+
+    const MemoryOptimizationFlow flow(params.flow);
+    report.memory = flow.compare(data_trace, params.cluster_method);
+
+    const DiffCodec codec;
+    report.compression_baseline =
+        CompressedMemorySim(params.platform.config, nullptr).run(data_trace, image, image_base);
+    report.compression =
+        CompressedMemorySim(params.platform.config, &codec).run(data_trace, image, image_base);
+
+    if (!fetch_stream.empty())
+        report.encoding = search_transform(fetch_stream, params.encoding);
+    return report;
+}
+
+StudyReport study_kernel(const Kernel& kernel, const StudyParams& params) {
+    CpuConfig config;
+    config.record_fetch_stream = true;
+    const AssembledProgram program = assemble(kernel.source);
+    const RunResult run = Cpu(config).run(program);
+    return study_trace(kernel.name, run.data_trace, program.data, program.data_base,
+                       run.fetch_stream, params);
+}
+
+}  // namespace memopt

@@ -1,0 +1,67 @@
+// One-call kernel study: every optimization of the toolkit applied to one
+// program, with a combined report.
+//
+// This is the "what can memopt do for my application?" entry point: run a
+// kernel (or adopt an external trace + fetch stream), and get back the
+// 1B-1 partition/clustering comparison, the 1B-2 compression result on a
+// platform model, and the 1B-3 bus-transform result, each with its energy
+// numbers.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "compress/diff_codec.hpp"
+#include "compress/memsys.hpp"
+#include "compress/platform.hpp"
+#include "core/flow.hpp"
+#include "encoding/search.hpp"
+#include "sim/kernels.hpp"
+
+namespace memopt {
+
+/// Configuration of a study.
+struct StudyParams {
+    FlowParams flow;                        ///< partition/clustering settings
+    ClusterMethod cluster_method = ClusterMethod::Frequency;
+    PlatformModel platform = vliw_platform();  ///< compression platform
+    TransformSearchParams encoding;         ///< bus-transform search budget
+};
+
+/// Combined results of a study.
+struct StudyReport {
+    std::string name;
+
+    // 1B-1: data-memory partitioning and clustering.
+    FlowComparison memory;
+
+    // 1B-2: write-back compression (baseline vs diff codec).
+    CompressedMemReport compression_baseline;
+    CompressedMemReport compression;
+
+    // 1B-3: instruction-bus transformation.
+    TransformSearchResult encoding;
+
+    /// Clustering savings vs plain partitioning [%] (the E1 metric).
+    double clustering_savings_pct() const { return memory.clustering_savings_pct(); }
+
+    /// Compression savings over the main-memory path [%] (the E4 metric).
+    double compression_savings_pct() const;
+
+    /// Bus-transition reduction [%] (the E7 metric).
+    double encoding_reduction_pct() const { return 100.0 * encoding.reduction(); }
+};
+
+/// Run the full study on a bundled kernel.
+StudyReport study_kernel(const Kernel& kernel, const StudyParams& params = StudyParams{});
+
+/// Run the full study on externally supplied artifacts: a value-carrying
+/// data trace, the initial data image (may be empty), and the instruction
+/// fetch stream (may be empty: the encoding section is then skipped and
+/// left value-initialized).
+StudyReport study_trace(const std::string& name, const MemTrace& data_trace,
+                        std::span<const std::uint8_t> image, std::uint64_t image_base,
+                        std::span<const std::uint32_t> fetch_stream,
+                        const StudyParams& params = StudyParams{});
+
+}  // namespace memopt

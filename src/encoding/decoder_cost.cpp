@@ -1,0 +1,59 @@
+#include "encoding/decoder_cost.hpp"
+
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace memopt {
+
+std::uint64_t decoder_toggles(const LinearTransform& transform,
+                              std::span<const std::uint32_t> words, std::uint32_t initial) {
+    if (transform.is_identity() || words.empty()) return 0;
+    const auto& gates = transform.gates();
+
+    // prev_outputs[g] = output bit of gate g for the previous word.
+    // The decoder applies the gates in reverse (invert order); the gate
+    // chain state is reproduced here stage by stage.
+    std::vector<std::uint8_t> prev_outputs(gates.size(), 0);
+    std::uint64_t toggles = 0;
+
+    auto stage_outputs = [&](std::uint32_t encoded, std::vector<std::uint8_t>& outputs) {
+        std::uint32_t w = encoded;
+        for (std::size_t g = gates.size(); g-- > 0;) {
+            const XorGate& gate = gates[g];
+            const std::uint32_t src_bit = (w >> gate.src) & 1u;
+            w ^= src_bit << gate.dst;
+            outputs[g] = static_cast<std::uint8_t>((w >> gate.dst) & 1u);
+        }
+    };
+
+    // Initialize with the encoded idle state.
+    stage_outputs(transform.apply(initial), prev_outputs);
+    std::vector<std::uint8_t> outputs(gates.size(), 0);
+    for (std::uint32_t word : words) {
+        stage_outputs(transform.apply(word), outputs);
+        for (std::size_t g = 0; g < gates.size(); ++g)
+            toggles += prev_outputs[g] != outputs[g];
+        prev_outputs = outputs;
+    }
+    return toggles;
+}
+
+double decoder_energy(const LinearTransform& transform, std::span<const std::uint32_t> words,
+                      std::uint32_t initial, const DecoderTechnology& tech) {
+    return tech.gate_toggle_pj * static_cast<double>(decoder_toggles(transform, words, initial));
+}
+
+EnergyBreakdown encoded_energy(const LinearTransform& transform,
+                               std::span<const std::uint32_t> words,
+                               double bus_pj_per_transition, std::uint32_t initial,
+                               const DecoderTechnology& tech) {
+    require(bus_pj_per_transition >= 0.0, "encoded_energy: negative bus energy");
+    EnergyBreakdown breakdown;
+    breakdown.add("bus", bus_pj_per_transition *
+                             static_cast<double>(encoded_transitions(transform, words, initial)));
+    breakdown.add("decoder", decoder_energy(transform, words, initial, tech));
+    return breakdown;
+}
+
+}  // namespace memopt

@@ -1,0 +1,41 @@
+// Decoder hardware cost of a bus transform — closes the 1B-3 energy loop.
+//
+// Each XOR gate in the fetch-path decoder dissipates energy when its output
+// toggles. Gate output capacitance is ~three orders of magnitude below a
+// bus line, so the decoder overhead is tiny — but reporting savings *net*
+// of it (like the remap table in 1B-1) keeps the reproduction honest and
+// lets the E8 ablation show where an oversized gate budget stops paying.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "encoding/transform.hpp"
+#include "energy/report.hpp"
+
+namespace memopt {
+
+/// Decoder technology constants.
+struct DecoderTechnology {
+    double gate_toggle_pj = 0.012;  ///< one XOR output toggle (gate-load cap)
+};
+
+/// Exact toggle count of every gate output across the stream: the stream is
+/// replayed through the gate chain word by word and each gate's output bit
+/// is compared with its previous value.
+std::uint64_t decoder_toggles(const LinearTransform& transform,
+                              std::span<const std::uint32_t> words, std::uint32_t initial = 0);
+
+/// Decoder energy [pJ] for the stream.
+double decoder_energy(const LinearTransform& transform, std::span<const std::uint32_t> words,
+                      std::uint32_t initial = 0,
+                      const DecoderTechnology& tech = DecoderTechnology{});
+
+/// Net bus+decoder energy comparison for a transform on a stream:
+/// components "bus" (encoded transitions) and "decoder".
+EnergyBreakdown encoded_energy(const LinearTransform& transform,
+                               std::span<const std::uint32_t> words,
+                               double bus_pj_per_transition, std::uint32_t initial = 0,
+                               const DecoderTechnology& tech = DecoderTechnology{});
+
+}  // namespace memopt

@@ -1,0 +1,159 @@
+#include "encoding/search.hpp"
+
+#include <array>
+#include <bit>
+#include <unordered_map>
+#include <vector>
+
+#include "energy/bus_model.hpp"
+#include "support/assert.hpp"
+
+namespace memopt {
+
+namespace {
+
+/// The multiset of consecutive XOR differences, deduplicated. Instruction
+/// streams are loop-dominated, so the number of distinct differences is
+/// orders of magnitude below the stream length.
+struct DiffHistogram {
+    std::vector<std::uint32_t> values;
+    std::vector<std::uint64_t> counts;
+
+    static DiffHistogram build(std::span<const std::uint32_t> words, std::uint32_t initial) {
+        std::unordered_map<std::uint32_t, std::uint64_t> map;
+        std::uint32_t prev = initial;
+        for (std::uint32_t w : words) {
+            ++map[prev ^ w];
+            prev = w;
+        }
+        DiffHistogram h;
+        h.values.reserve(map.size());
+        h.counts.reserve(map.size());
+        for (const auto& [v, c] : map) {
+            h.values.push_back(v);
+            h.counts.push_back(c);
+        }
+        return h;
+    }
+
+    std::uint64_t total_transitions() const {
+        std::uint64_t total = 0;
+        for (std::size_t k = 0; k < values.size(); ++k)
+            total += static_cast<std::uint64_t>(std::popcount(values[k])) * counts[k];
+        return total;
+    }
+
+    /// Apply gate to every difference value (the linear action).
+    void apply(const XorGate& g) {
+        for (std::uint32_t& v : values) {
+            const std::uint32_t src_bit = (v >> g.src) & 1u;
+            v ^= src_bit << g.dst;
+        }
+    }
+};
+
+/// cost[i] = weighted count of set bit i; cooc[i][j] = weighted count of
+/// (bit i AND bit j) both set.
+struct BitStats {
+    std::array<std::uint64_t, 32> cost{};
+    std::array<std::array<std::uint64_t, 32>, 32> cooc{};
+
+    static BitStats build(const DiffHistogram& h) {
+        BitStats s;
+        for (std::size_t k = 0; k < h.values.size(); ++k) {
+            std::uint32_t v = h.values[k];
+            const std::uint64_t c = h.counts[k];
+            // Enumerate set bits.
+            std::array<unsigned, 32> bits;
+            unsigned nbits = 0;
+            while (v != 0) {
+                const unsigned b = static_cast<unsigned>(std::countr_zero(v));
+                bits[nbits++] = b;
+                v &= v - 1;
+            }
+            for (unsigned a = 0; a < nbits; ++a) {
+                s.cost[bits[a]] += c;
+                for (unsigned bidx = 0; bidx < nbits; ++bidx)
+                    s.cooc[bits[a]][bits[bidx]] += c;
+            }
+        }
+        return s;
+    }
+};
+
+/// Best gate for the current histogram: improvement of bit[dst] ^= bit[src]
+/// is cost[dst] - N(dst,src) = 2*cooc[dst][src] - cost[src].
+struct GateChoice {
+    XorGate gate;
+    std::int64_t improvement = 0;
+};
+
+GateChoice best_gate(const DiffHistogram& h) {
+    const BitStats stats = BitStats::build(h);
+    GateChoice best;
+    best.improvement = 0;
+    for (unsigned dst = 0; dst < 32; ++dst) {
+        for (unsigned src = 0; src < 32; ++src) {
+            if (dst == src) continue;
+            const std::int64_t improvement =
+                2 * static_cast<std::int64_t>(stats.cooc[dst][src]) -
+                static_cast<std::int64_t>(stats.cost[src]);
+            if (improvement > best.improvement) {
+                best.improvement = improvement;
+                best.gate = XorGate{static_cast<std::uint8_t>(dst),
+                                    static_cast<std::uint8_t>(src)};
+            }
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+TransformSearchResult search_transform(std::span<const std::uint32_t> words,
+                                       const TransformSearchParams& params) {
+    require(params.max_gates <= 1024, "TransformSearchParams: absurd gate budget");
+    TransformSearchResult result;
+    if (words.empty()) return result;
+
+    DiffHistogram hist = DiffHistogram::build(words, params.initial);
+    result.original_transitions = hist.total_transitions();
+
+    LinearTransform transform;
+    for (std::size_t step = 0; step < params.max_gates; ++step) {
+        const GateChoice choice = best_gate(hist);
+        if (choice.improvement <= 0) break;
+        transform.append(choice.gate);
+        hist.apply(choice.gate);
+    }
+    result.encoded_transitions = hist.total_transitions();
+    result.transform = std::move(transform);
+
+    // Cross-check the histogram bookkeeping against a direct simulation of
+    // the encoder; cheap relative to the search and catches any drift.
+    MEMOPT_ASSERT(encoded_transitions(result.transform, words, params.initial) ==
+                  result.encoded_transitions);
+    return result;
+}
+
+TransformSearchResult best_single_gate(std::span<const std::uint32_t> words,
+                                       std::uint32_t initial) {
+    TransformSearchResult result;
+    result.original_transitions = count_transitions(words, initial);
+    result.encoded_transitions = result.original_transitions;
+    for (unsigned dst = 0; dst < 32; ++dst) {
+        for (unsigned src = 0; src < 32; ++src) {
+            if (dst == src) continue;
+            const LinearTransform t(std::vector<XorGate>{
+                XorGate{static_cast<std::uint8_t>(dst), static_cast<std::uint8_t>(src)}});
+            const std::uint64_t trans = encoded_transitions(t, words, initial);
+            if (trans < result.encoded_transitions) {
+                result.encoded_transitions = trans;
+                result.transform = t;
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace memopt

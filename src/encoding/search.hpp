@@ -1,0 +1,54 @@
+// Application-specific transform search — the 1B-3 algorithm.
+//
+// Because a LinearTransform acts linearly on consecutive XOR differences
+// (see transform.hpp), minimizing encoded bus transitions reduces to:
+//
+//   given the multiset D of difference words of the profiled fetch stream,
+//   find an invertible linear map L (a short sequence of 2-input XOR
+//   gates) minimizing  sum_{d in D} popcount(L(d)).
+//
+// The searcher is greedy: each step adds the single gate bit[dst] ^= bit[src]
+// with the largest transition reduction, computed exactly from the bit
+// co-occurrence matrix of the (transformed) difference multiset. The gate
+// budget models the hardware frugality constraint of the paper — each gate
+// is one 2-input XOR in the fetch path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "encoding/transform.hpp"
+
+namespace memopt {
+
+/// Search configuration.
+struct TransformSearchParams {
+    std::size_t max_gates = 16;   ///< hardware budget (XOR gates in the decoder)
+    std::uint32_t initial = 0;    ///< bus line state before the first fetch
+};
+
+/// Result of a search.
+struct TransformSearchResult {
+    LinearTransform transform;
+    std::uint64_t original_transitions = 0;
+    std::uint64_t encoded_transitions = 0;
+
+    /// Fractional reduction in [0, 1).
+    double reduction() const {
+        return original_transitions == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(encoded_transitions) /
+                               static_cast<double>(original_transitions);
+    }
+};
+
+/// Greedy gate search over the profiled stream.
+TransformSearchResult search_transform(std::span<const std::uint32_t> words,
+                                       const TransformSearchParams& params = {});
+
+/// Exhaustive best single gate (32*31 candidates); used by tests to certify
+/// that the greedy step is optimal for a one-gate budget.
+TransformSearchResult best_single_gate(std::span<const std::uint32_t> words,
+                                       std::uint32_t initial = 0);
+
+}  // namespace memopt

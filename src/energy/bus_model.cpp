@@ -1,0 +1,30 @@
+#include "energy/bus_model.hpp"
+
+#include <bit>
+
+namespace memopt {
+
+unsigned hamming32(std::uint32_t a, std::uint32_t b) {
+    return static_cast<unsigned>(std::popcount(a ^ b));
+}
+
+std::uint64_t count_transitions(std::span<const std::uint32_t> words, std::uint32_t initial) {
+    std::uint64_t total = 0;
+    std::uint32_t prev = initial;
+    for (std::uint32_t w : words) {
+        total += hamming32(prev, w);
+        prev = w;
+    }
+    return total;
+}
+
+double BusEnergyModel::transition_energy(std::uint64_t transitions) const {
+    return tech_.energy_per_transition_pj * static_cast<double>(transitions);
+}
+
+double BusEnergyModel::stream_energy(std::span<const std::uint32_t> words,
+                                     std::uint32_t initial) const {
+    return transition_energy(count_transitions(words, initial));
+}
+
+}  // namespace memopt

@@ -1,0 +1,44 @@
+#include "energy/sram_model.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "trace/trace.hpp"
+
+namespace memopt {
+
+SramEnergyModel::SramEnergyModel(std::uint64_t size_bytes, unsigned word_bits,
+                                 const SramTechnology& tech)
+    : size_bytes_(size_bytes), word_bits_(word_bits), tech_(tech) {
+    require(is_pow2(size_bytes), "SramEnergyModel: size must be a power of two");
+    require(size_bytes >= 16, "SramEnergyModel: size must be >= 16 bytes");
+    require(word_bits == 8 || word_bits == 16 || word_bits == 32 || word_bits == 64 ||
+                word_bits == 128,
+            "SramEnergyModel: unsupported word width");
+
+    const double words = static_cast<double>(size_bytes) / (word_bits / 8.0);
+    const double addr_bits = std::log2(words);
+    // Wider words move more bitlines per access; scale the array term
+    // linearly with width relative to the 32-bit reference.
+    read_pj_ = tech.read_base_pj + tech.read_dec_pj * addr_bits +
+               tech.read_sqrt_pj * std::sqrt(words) * (static_cast<double>(word_bits) / 32.0);
+    write_pj_ = read_pj_ * tech.write_factor;
+    leak_pw_ = tech.leak_pw_per_byte * static_cast<double>(size_bytes);
+}
+
+double SramEnergyModel::leakage_energy(std::uint64_t cycles, double cycle_ns) const {
+    require(cycle_ns >= 0.0, "leakage_energy: negative cycle time");
+    // pW * ns = 1e-21 J = 1e-9 pJ.
+    return leak_pw_ * static_cast<double>(cycles) * cycle_ns * 1e-9;
+}
+
+double bank_select_energy(std::size_t num_banks, const SramTechnology& tech) {
+    MEMOPT_ASSERT(num_banks >= 1);
+    if (num_banks <= 1) return 0.0;
+    const double sel_bits = std::ceil(std::log2(static_cast<double>(num_banks)));
+    // Selector decode scales with select bits; output multiplexing and the
+    // longer inter-bank wiring scale mildly with the bank count itself.
+    return 0.9 * tech.read_dec_pj * sel_bits + 0.15 * static_cast<double>(num_banks);
+}
+
+}  // namespace memopt

@@ -1,0 +1,121 @@
+#include "isa/disasm.hpp"
+
+#include <map>
+
+#include "isa/encode.hpp"
+#include "support/string_util.hpp"
+
+namespace memopt {
+
+std::string disassemble(const Instr& i) {
+    const std::string m(mnemonic(i.op));
+    switch (i.op) {
+        // Three-register ALU ops.
+        case Op::Add:
+        case Op::Sub:
+        case Op::And:
+        case Op::Orr:
+        case Op::Eor:
+        case Op::Lsl:
+        case Op::Lsr:
+        case Op::Asr:
+        case Op::Mul:
+            return format("%s %s, %s, %s", m.c_str(), reg_name(i.rd).c_str(),
+                          reg_name(i.rn).c_str(), reg_name(i.rm).c_str());
+        case Op::Mov:
+        case Op::Mvn:
+            return format("%s %s, %s", m.c_str(), reg_name(i.rd).c_str(), reg_name(i.rm).c_str());
+        case Op::Cmp:
+            return format("cmp %s, %s", reg_name(i.rn).c_str(), reg_name(i.rm).c_str());
+        case Op::Ldwx:
+        case Op::Ldbx:
+        case Op::Stwx:
+        case Op::Stbx:
+            return format("%s %s, [%s, %s]", m.c_str(), reg_name(i.rd).c_str(),
+                          reg_name(i.rn).c_str(), reg_name(i.rm).c_str());
+        case Op::Jr:
+            return format("jr %s", reg_name(i.rm).c_str());
+        case Op::Addi:
+        case Op::Subi:
+        case Op::Andi:
+        case Op::Orri:
+        case Op::Eori:
+        case Op::Lsli:
+        case Op::Lsri:
+        case Op::Asri:
+            return format("%s %s, %s, #%d", m.c_str(), reg_name(i.rd).c_str(),
+                          reg_name(i.rn).c_str(), i.imm);
+        case Op::Movi:
+        case Op::Movhi:
+            return format("%s %s, #%d", m.c_str(), reg_name(i.rd).c_str(), i.imm);
+        case Op::Cmpi:
+            return format("cmpi %s, #%d", reg_name(i.rn).c_str(), i.imm);
+        case Op::Ldw:
+        case Op::Ldh:
+        case Op::Ldb:
+        case Op::Stw:
+        case Op::Sth:
+        case Op::Stb:
+            return format("%s %s, [%s, #%d]", m.c_str(), reg_name(i.rd).c_str(),
+                          reg_name(i.rn).c_str(), i.imm);
+        case Op::B: {
+            const std::string suffix(cond_name(i.cond));
+            return format("b%s %+d", suffix.c_str(), i.imm);
+        }
+        case Op::Bl:
+            return format("bl %+d", i.imm);
+        case Op::Out:
+            return format("out %s", reg_name(i.rm).c_str());
+        case Op::Halt:
+            return "halt";
+        case Op::Nop:
+            return "nop";
+        case Op::Count_:
+            break;
+    }
+    return "<invalid>";
+}
+
+std::string disassemble_word(std::uint32_t word) { return disassemble(decode(word)); }
+
+std::string disassemble_program(const AssembledProgram& program) {
+    // Reverse the symbol table for annotation. Code symbols are < data_base.
+    std::map<std::uint64_t, std::string> code_labels;
+    std::map<std::uint64_t, std::string> data_labels;
+    for (const auto& [name, addr] : program.symbols) {
+        if (addr < program.data_base && addr < program.code.size() * 4) {
+            code_labels.emplace(addr, name);
+        } else {
+            data_labels.emplace(addr, name);
+        }
+    }
+
+    std::string out;
+    for (std::size_t index = 0; index < program.code.size(); ++index) {
+        const std::uint64_t addr = index * 4;
+        if (const auto it = code_labels.find(addr); it != code_labels.end())
+            out += it->second + ":\n";
+        const std::uint32_t word = program.code[index];
+        const Instr instr = decode(word);
+        std::string text = disassemble(instr);
+        // Resolve branch/call targets back to labels when one exists.
+        if (instr.op == Op::B || instr.op == Op::Bl) {
+            const std::uint64_t target =
+                addr + 4 + (static_cast<std::int64_t>(instr.imm) * 4);
+            if (const auto it = code_labels.find(target); it != code_labels.end()) {
+                const std::size_t space = text.rfind(' ');
+                text = text.substr(0, space + 1) + it->second;
+            }
+        }
+        out += format("  %06llx: %08x  %s\n", static_cast<unsigned long long>(addr), word,
+                      text.c_str());
+    }
+    if (!data_labels.empty()) {
+        out += "\ndata symbols:\n";
+        for (const auto& [addr, name] : data_labels)
+            out += format("  %06llx: %s\n", static_cast<unsigned long long>(addr), name.c_str());
+    }
+    return out;
+}
+
+}  // namespace memopt

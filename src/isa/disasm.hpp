@@ -1,0 +1,28 @@
+// AR32 disassembler: renders decoded instructions back to assembler syntax.
+// Primarily a debugging and test aid; the output of disassemble() for any
+// valid instruction re-assembles to the same word (round-trip tested).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/assembler.hpp"
+#include "isa/isa.hpp"
+
+namespace memopt {
+
+/// Render one instruction in assembler syntax. Branch/call targets are
+/// rendered as numeric word offsets ("b +12") because label names are not
+/// recoverable from the binary.
+std::string disassemble(const Instr& instr);
+
+/// Decode and render one binary word.
+std::string disassemble_word(std::uint32_t word);
+
+/// Render a full program listing: one line per instruction with its
+/// address, raw word, mnemonic rendering, and label annotations from the
+/// symbol table; branch/call targets are resolved back to label names when
+/// a symbol matches. Data symbols are listed in a trailing section.
+std::string disassemble_program(const AssembledProgram& program);
+
+}  // namespace memopt

@@ -1,0 +1,37 @@
+// AR32 binary encoding and decoding.
+//
+// encode/decode are exact inverses over the set of valid instructions; this
+// round-trip is property-tested across the full opcode space. The encoding
+// is the word stream that the instruction-bus transformation experiments
+// (src/encoding) operate on.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/isa.hpp"
+
+namespace memopt {
+
+/// Encode one instruction into its 32-bit word.
+/// Throws memopt::Error if a field is out of range for the format
+/// (e.g. a branch offset that does not fit in 22 bits).
+std::uint32_t encode(const Instr& instr);
+
+/// Decode a 32-bit word. Throws memopt::Error on an invalid opcode field.
+Instr decode(std::uint32_t word);
+
+/// Range limits for immediate fields (inclusive).
+inline constexpr std::int32_t kImm16Min = -32768;
+inline constexpr std::int32_t kImm16Max = 32767;
+inline constexpr std::int32_t kUimm16Max = 65535;
+inline constexpr std::int32_t kBranchOffsetMin = -(1 << 21);
+inline constexpr std::int32_t kBranchOffsetMax = (1 << 21) - 1;
+inline constexpr std::int32_t kCallOffsetMin = -(1 << 25);
+inline constexpr std::int32_t kCallOffsetMax = (1 << 25) - 1;
+
+/// True if `imm` is representable in the immediate field of `op`
+/// (sign-extended ops accept [-32768, 32767]; zero-extended ops accept
+/// [0, 65535]).
+bool imm_fits(Op op, std::int32_t imm);
+
+}  // namespace memopt

@@ -1,0 +1,87 @@
+// arclang — abstract syntax.
+//
+// arclang is a deliberately small C-like kernel language that compiles to
+// AR32 assembly (src/lang/codegen.hpp), so workloads can be written without
+// hand-writing assembly. It has 32-bit integer scalars, global word arrays
+// with deterministic initializers, assignments, `if`/`else`, `while`, and
+// an `out(expr)` statement mapping to the AR32 `out` instruction.
+//
+// Expression precedence (tightest first):
+//   unary - ~  >  *  >  + - & | ^  >  << >> >>>
+// (bitwise ops share the additive level; parenthesize when mixing — the
+// compiler is honest about its simplicity.) Comparisons appear only in
+// `if`/`while` conditions and are signed: == != < <= > >=.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace memopt::lang {
+
+/// Binary arithmetic operators.
+enum class BinOp { Add, Sub, Mul, And, Or, Xor, Shl, Shr, Shru };
+
+/// Comparison operators (signed).
+enum class CmpOp { Eq, Ne, Lt, Le, Gt, Ge };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One expression node.
+struct Expr {
+    enum class Kind { Literal, Var, Index, Unary, Binary };
+
+    Kind kind = Kind::Literal;
+    int line = 0;                 ///< source line (diagnostics)
+    std::int64_t literal = 0;     ///< Literal
+    std::string name;             ///< Var / Index (array name)
+    char unary_op = 0;            ///< Unary: '-' or '~'
+    BinOp bin_op = BinOp::Add;    ///< Binary
+    ExprPtr lhs;                  ///< Binary lhs / Unary operand
+    ExprPtr rhs;                  ///< Binary rhs / Index subscript
+};
+
+/// A condition `lhs cmp rhs`.
+struct Cond {
+    CmpOp op = CmpOp::Eq;
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+struct Stmt;
+
+/// One statement.
+struct Stmt {
+    enum class Kind { VarDecl, Assign, Store, If, While, Out, Break, Continue };
+
+    Kind kind = Kind::Out;
+    int line = 0;
+    std::string name;            ///< VarDecl/Assign target; Store array name
+    ExprPtr index;               ///< Store subscript
+    ExprPtr value;               ///< VarDecl/Assign/Store/Out expression
+    Cond cond;                   ///< If/While
+    std::vector<Stmt> body;      ///< If-then / While body
+    std::vector<Stmt> else_body; ///< If-else
+};
+
+/// A global word array with a deterministic initializer.
+struct ArrayDecl {
+    enum class Init { Zero, Rand, Smooth };
+
+    std::string name;
+    std::size_t length = 0;       ///< number of 32-bit words
+    Init init = Init::Zero;
+    std::uint64_t seed = 0;       ///< Rand/Smooth
+    std::uint32_t max_delta = 0;  ///< Smooth
+    int line = 0;
+};
+
+/// A whole program.
+struct Program {
+    std::vector<ArrayDecl> arrays;
+    std::vector<Stmt> stmts;
+};
+
+}  // namespace memopt::lang

@@ -1,0 +1,31 @@
+// arclang — code generation to AR32.
+//
+// A deliberately straightforward compiler: locals live in a stack frame
+// (every read/write is a real memory access — like unoptimized embedded C,
+// which is exactly the traffic the memory experiments study), expressions
+// evaluate in the register stack r1..r8, r9/r10 are scratch. Arrays become
+// .data symbols with deterministic initializers, so compiled programs are
+// as reproducible as the hand-written kernels.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "isa/assembler.hpp"
+#include "lang/ast.hpp"
+
+namespace memopt::lang {
+
+/// Compile a parsed program to AR32 assembly text.
+/// Throws memopt::Error (with source lines) on semantic errors: use of an
+/// undeclared name, re-declaration, indexing a scalar, using an array
+/// without a subscript, or an expression deeper than the register stack.
+std::string generate_asm(const Program& program);
+
+/// Convenience: parse + generate.
+std::string compile_to_asm(std::string_view source);
+
+/// Convenience: parse + generate + assemble.
+AssembledProgram compile(std::string_view source);
+
+}  // namespace memopt::lang

@@ -1,0 +1,81 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+
+#include "support/assert.hpp"
+#include "support/string_util.hpp"
+
+namespace memopt::lang {
+
+std::vector<Token> tokenize(std::string_view source) {
+    std::vector<Token> tokens;
+    int line = 1;
+    std::size_t i = 0;
+
+    auto fail = [&](const std::string& message) -> void {
+        throw Error(format("arclang line %d: %s", line, message.c_str()));
+    };
+
+    while (i < source.size()) {
+        const char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Line comments.
+        if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+            while (i < source.size() && source[i] != '\n') ++i;
+            continue;
+        }
+        // Identifiers / keywords.
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t start = i;
+            while (i < source.size() &&
+                   (std::isalnum(static_cast<unsigned char>(source[i])) || source[i] == '_'))
+                ++i;
+            tokens.push_back(Token{TokKind::Identifier,
+                                   std::string(source.substr(start, i - start)), 0, line});
+            continue;
+        }
+        // Numbers (decimal or 0x hex).
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t start = i;
+            while (i < source.size() &&
+                   (std::isalnum(static_cast<unsigned char>(source[i]))))
+                ++i;
+            const auto value = parse_int(source.substr(start, i - start));
+            if (!value) fail("malformed number '" + std::string(source.substr(start, i - start)) + "'");
+            tokens.push_back(Token{TokKind::Number, "", *value, line});
+            continue;
+        }
+        // Multi-character operators, longest first.
+        static constexpr std::string_view kMulti[] = {">>>", "==", "!=", "<=", ">=", "<<", ">>"};
+        bool matched = false;
+        for (std::string_view op : kMulti) {
+            if (source.substr(i, op.size()) == op) {
+                tokens.push_back(Token{TokKind::Punct, std::string(op), 0, line});
+                i += op.size();
+                matched = true;
+                break;
+            }
+        }
+        if (matched) continue;
+        // Single-character punctuation.
+        static constexpr std::string_view kSingle = "+-*&|^~()[]{}=<>;,";
+        if (kSingle.find(c) != std::string_view::npos) {
+            tokens.push_back(Token{TokKind::Punct, std::string(1, c), 0, line});
+            ++i;
+            continue;
+        }
+        fail(format("unexpected character '%c'", c));
+    }
+    tokens.push_back(Token{TokKind::End, "", 0, line});
+    return tokens;
+}
+
+}  // namespace memopt::lang

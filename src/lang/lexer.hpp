@@ -1,0 +1,32 @@
+// arclang — lexical analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace memopt::lang {
+
+/// Token kinds. Punctuation/operator tokens use their spelling as `text`.
+enum class TokKind {
+    Identifier,  // names and keywords (keywords resolved by the parser)
+    Number,      // integer literal (value in `number`)
+    Punct,       // operators and punctuation
+    End,         // end of input
+};
+
+/// One token.
+struct Token {
+    TokKind kind = TokKind::End;
+    std::string text;          ///< identifier spelling or punctuation
+    std::int64_t number = 0;   ///< Number value
+    int line = 1;              ///< 1-based source line
+};
+
+/// Tokenize arclang source. `//` starts a line comment. Throws
+/// memopt::Error with a line number on an invalid character or malformed
+/// literal. Multi-character operators recognized: == != <= >= << >> >>>.
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace memopt::lang

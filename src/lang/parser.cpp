@@ -1,0 +1,292 @@
+#include "lang/parser.hpp"
+
+#include "lang/lexer.hpp"
+#include "support/assert.hpp"
+#include "support/string_util.hpp"
+
+namespace memopt::lang {
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view source) : tokens_(tokenize(source)) {}
+
+    Program parse_program() {
+        Program program;
+        while (!at_end()) {
+            if (peek_ident("array")) {
+                program.arrays.push_back(parse_array_decl());
+            } else {
+                program.stmts.push_back(parse_stmt());
+            }
+        }
+        return program;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& message) const {
+        throw Error(format("arclang line %d: %s", current().line, message.c_str()));
+    }
+
+    const Token& current() const { return tokens_[pos_]; }
+    bool at_end() const { return current().kind == TokKind::End; }
+
+    bool peek_punct(std::string_view p) const {
+        return current().kind == TokKind::Punct && current().text == p;
+    }
+    bool peek_ident(std::string_view name) const {
+        return current().kind == TokKind::Identifier && current().text == name;
+    }
+
+    Token advance() { return tokens_[pos_++]; }
+
+    void expect_punct(std::string_view p) {
+        if (!peek_punct(p)) fail(format("expected '%.*s'", int(p.size()), p.data()));
+        ++pos_;
+    }
+
+    std::string expect_ident() {
+        if (current().kind != TokKind::Identifier) fail("expected an identifier");
+        return advance().text;
+    }
+
+    std::int64_t expect_number() {
+        if (current().kind != TokKind::Number) fail("expected a number");
+        return advance().number;
+    }
+
+    // ---- declarations ------------------------------------------------------
+
+    ArrayDecl parse_array_decl() {
+        ArrayDecl decl;
+        decl.line = current().line;
+        ++pos_;  // "array"
+        decl.name = expect_ident();
+        expect_punct("[");
+        const std::int64_t length = expect_number();
+        if (length <= 0 || length > (1 << 20)) fail("array length out of range");
+        decl.length = static_cast<std::size_t>(length);
+        expect_punct("]");
+        if (peek_punct("=")) {
+            ++pos_;
+            if (peek_ident("rand")) {
+                ++pos_;
+                expect_punct("(");
+                decl.init = ArrayDecl::Init::Rand;
+                decl.seed = static_cast<std::uint64_t>(expect_number());
+                expect_punct(")");
+            } else if (peek_ident("smooth")) {
+                ++pos_;
+                expect_punct("(");
+                decl.init = ArrayDecl::Init::Smooth;
+                decl.seed = static_cast<std::uint64_t>(expect_number());
+                expect_punct(",");
+                decl.max_delta = static_cast<std::uint32_t>(expect_number());
+                expect_punct(")");
+            } else {
+                fail("expected 'rand(seed)' or 'smooth(seed, delta)'");
+            }
+        }
+        expect_punct(";");
+        return decl;
+    }
+
+    // ---- statements --------------------------------------------------------
+
+    Stmt parse_stmt() {
+        Stmt stmt;
+        stmt.line = current().line;
+        if (peek_ident("var")) {
+            ++pos_;
+            stmt.kind = Stmt::Kind::VarDecl;
+            stmt.name = expect_ident();
+            expect_punct("=");
+            stmt.value = parse_expr();
+            expect_punct(";");
+            return stmt;
+        }
+        if (peek_ident("if")) {
+            ++pos_;
+            stmt.kind = Stmt::Kind::If;
+            expect_punct("(");
+            stmt.cond = parse_cond();
+            expect_punct(")");
+            stmt.body = parse_block();
+            if (peek_ident("else")) {
+                ++pos_;
+                stmt.else_body = parse_block();
+            }
+            return stmt;
+        }
+        if (peek_ident("while")) {
+            ++pos_;
+            stmt.kind = Stmt::Kind::While;
+            expect_punct("(");
+            stmt.cond = parse_cond();
+            expect_punct(")");
+            stmt.body = parse_block();
+            return stmt;
+        }
+        if (peek_ident("break") || peek_ident("continue")) {
+            stmt.kind = current().text == "break" ? Stmt::Kind::Break : Stmt::Kind::Continue;
+            ++pos_;
+            expect_punct(";");
+            return stmt;
+        }
+        if (peek_ident("out")) {
+            ++pos_;
+            stmt.kind = Stmt::Kind::Out;
+            expect_punct("(");
+            stmt.value = parse_expr();
+            expect_punct(")");
+            expect_punct(";");
+            return stmt;
+        }
+        // Assignment or array store.
+        stmt.name = expect_ident();
+        if (peek_punct("[")) {
+            ++pos_;
+            stmt.kind = Stmt::Kind::Store;
+            stmt.index = parse_expr();
+            expect_punct("]");
+        } else {
+            stmt.kind = Stmt::Kind::Assign;
+        }
+        expect_punct("=");
+        stmt.value = parse_expr();
+        expect_punct(";");
+        return stmt;
+    }
+
+    std::vector<Stmt> parse_block() {
+        expect_punct("{");
+        std::vector<Stmt> stmts;
+        while (!peek_punct("}")) {
+            if (at_end()) fail("unterminated block");
+            stmts.push_back(parse_stmt());
+        }
+        ++pos_;
+        return stmts;
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    Cond parse_cond() {
+        Cond cond;
+        cond.lhs = parse_expr();
+        if (current().kind != TokKind::Punct) fail("expected a comparison operator");
+        const std::string op = current().text;
+        if (op == "==") cond.op = CmpOp::Eq;
+        else if (op == "!=") cond.op = CmpOp::Ne;
+        else if (op == "<") cond.op = CmpOp::Lt;
+        else if (op == "<=") cond.op = CmpOp::Le;
+        else if (op == ">") cond.op = CmpOp::Gt;
+        else if (op == ">=") cond.op = CmpOp::Ge;
+        else fail("expected a comparison operator");
+        ++pos_;
+        cond.rhs = parse_expr();
+        return cond;
+    }
+
+    ExprPtr parse_expr() {
+        ExprPtr lhs = parse_additive();
+        while (peek_punct("<<") || peek_punct(">>") || peek_punct(">>>")) {
+            const std::string op = advance().text;
+            ExprPtr node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::Binary;
+            node->line = current().line;
+            node->bin_op = op == "<<" ? BinOp::Shl : op == ">>" ? BinOp::Shr : BinOp::Shru;
+            node->lhs = std::move(lhs);
+            node->rhs = parse_additive();
+            lhs = std::move(node);
+        }
+        return lhs;
+    }
+
+    ExprPtr parse_additive() {
+        ExprPtr lhs = parse_mult();
+        while (peek_punct("+") || peek_punct("-") || peek_punct("&") || peek_punct("|") ||
+               peek_punct("^")) {
+            const std::string op = advance().text;
+            ExprPtr node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::Binary;
+            node->line = current().line;
+            node->bin_op = op == "+"   ? BinOp::Add
+                           : op == "-" ? BinOp::Sub
+                           : op == "&" ? BinOp::And
+                           : op == "|" ? BinOp::Or
+                                       : BinOp::Xor;
+            node->lhs = std::move(lhs);
+            node->rhs = parse_mult();
+            lhs = std::move(node);
+        }
+        return lhs;
+    }
+
+    ExprPtr parse_mult() {
+        ExprPtr lhs = parse_unary();
+        while (peek_punct("*")) {
+            ++pos_;
+            ExprPtr node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::Binary;
+            node->line = current().line;
+            node->bin_op = BinOp::Mul;
+            node->lhs = std::move(lhs);
+            node->rhs = parse_unary();
+            lhs = std::move(node);
+        }
+        return lhs;
+    }
+
+    ExprPtr parse_unary() {
+        if (peek_punct("-") || peek_punct("~")) {
+            const char op = advance().text[0];
+            ExprPtr node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::Unary;
+            node->line = current().line;
+            node->unary_op = op;
+            node->lhs = parse_unary();
+            return node;
+        }
+        return parse_primary();
+    }
+
+    ExprPtr parse_primary() {
+        ExprPtr node = std::make_unique<Expr>();
+        node->line = current().line;
+        if (current().kind == TokKind::Number) {
+            node->kind = Expr::Kind::Literal;
+            node->literal = advance().number;
+            return node;
+        }
+        if (current().kind == TokKind::Identifier) {
+            node->name = advance().text;
+            if (peek_punct("[")) {
+                ++pos_;
+                node->kind = Expr::Kind::Index;
+                node->rhs = parse_expr();
+                expect_punct("]");
+            } else {
+                node->kind = Expr::Kind::Var;
+            }
+            return node;
+        }
+        if (peek_punct("(")) {
+            ++pos_;
+            node = parse_expr();
+            expect_punct(")");
+            return node;
+        }
+        fail("expected an expression");
+    }
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse(std::string_view source) { return Parser(source).parse_program(); }
+
+}  // namespace memopt::lang

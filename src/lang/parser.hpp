@@ -1,0 +1,34 @@
+// arclang — recursive-descent parser.
+//
+// Grammar (see ast.hpp for semantics):
+//
+//   program    := (array_decl | stmt)*
+//   array_decl := "array" ident "[" number "]" ("=" init)? ";"
+//   init       := "rand" "(" number ")" | "smooth" "(" number "," number ")"
+//   stmt       := "var" ident "=" expr ";"
+//              |  ident "=" expr ";"
+//              |  ident "[" expr "]" "=" expr ";"
+//              |  "if" "(" cond ")" block ("else" block)?
+//              |  "while" "(" cond ")" block
+//              |  "out" "(" expr ")" ";"
+//              |  "break" ";"  |  "continue" ";"      (innermost while)
+//   block      := "{" stmt* "}"
+//   cond       := expr ("=="|"!="|"<"|"<="|">"|">=") expr
+//   expr       := additive (("<<"|">>"|">>>") additive)*
+//   additive   := mult (("+"|"-"|"&"|"|"|"^") mult)*
+//   mult       := unary ("*" unary)*
+//   unary      := ("-"|"~") unary | primary
+//   primary    := number | ident | ident "[" expr "]" | "(" expr ")"
+#pragma once
+
+#include <string_view>
+
+#include "lang/ast.hpp"
+
+namespace memopt::lang {
+
+/// Parse arclang source into an AST. Throws memopt::Error with a line
+/// number on any syntax error. Name resolution happens in codegen.
+Program parse(std::string_view source);
+
+}  // namespace memopt::lang

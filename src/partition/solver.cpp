@@ -1,0 +1,234 @@
+#include "partition/solver.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace memopt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Precomputed per-range bank cost oracle: prefix access sums plus cached
+/// per-capacity SRAM energies make cost(i, j) an O(1) query.
+class BankCostOracle {
+public:
+    BankCostOracle(const BlockProfile& profile, const PartitionEnergyParams& params)
+        : block_size_(profile.block_size()), params_(params) {
+        const std::size_t n = profile.num_blocks();
+        prefix_reads_.assign(n + 1, 0);
+        prefix_writes_.assign(n + 1, 0);
+        for (std::size_t b = 0; b < n; ++b) {
+            prefix_reads_[b + 1] = prefix_reads_[b] + profile.counts(b).reads;
+            prefix_writes_[b + 1] = prefix_writes_[b] + profile.counts(b).writes;
+        }
+        // Cache energies for every capacity that can occur: powers of two
+        // from min_bank_bytes up to the full span.
+        const std::uint64_t max_cap =
+            MemoryArchitecture::capacity_for(block_size_, n, params.min_bank_bytes);
+        for (std::uint64_t cap = params.min_bank_bytes; cap <= max_cap; cap *= 2) {
+            const SramEnergyModel model(cap, 32, params.sram);
+            const double leak = params.runtime_cycles > 0
+                                    ? model.leakage_energy(params.runtime_cycles, params.cycle_ns)
+                                    : 0.0;
+            energies_.push_back(Entry{cap, model.read_energy(), model.write_energy(), leak});
+        }
+    }
+
+    /// Energy of one bank covering blocks [i, j), excluding bank-select.
+    double cost(std::size_t i, std::size_t j) const {
+        MEMOPT_ASSERT(i < j && j < prefix_reads_.size());
+        const std::uint64_t cap =
+            MemoryArchitecture::capacity_for(block_size_, j - i, params_.min_bank_bytes);
+        const Entry& e = entry_for(cap);
+        const auto reads = static_cast<double>(prefix_reads_[j] - prefix_reads_[i]);
+        const auto writes = static_cast<double>(prefix_writes_[j] - prefix_writes_[i]);
+        return reads * e.read_pj + writes * e.write_pj + e.leak_pj;
+    }
+
+    std::uint64_t total_accesses() const {
+        return prefix_reads_.back() + prefix_writes_.back();
+    }
+
+private:
+    struct Entry {
+        std::uint64_t capacity;
+        double read_pj;
+        double write_pj;
+        double leak_pj;
+    };
+
+    const Entry& entry_for(std::uint64_t cap) const {
+        for (const Entry& e : energies_) {
+            if (e.capacity == cap) return e;
+        }
+        MEMOPT_ASSERT_MSG(false, "BankCostOracle: uncached capacity");
+        return energies_.front();
+    }
+
+    std::uint64_t block_size_;
+    PartitionEnergyParams params_;
+    std::vector<std::uint64_t> prefix_reads_;
+    std::vector<std::uint64_t> prefix_writes_;
+    std::vector<Entry> energies_;
+};
+
+PartitionSolution make_solution(const BlockProfile& profile,
+                                const PartitionEnergyParams& params,
+                                const std::vector<std::size_t>& splits) {
+    auto arch = MemoryArchitecture::from_splits(profile.block_size(), profile.num_blocks(),
+                                                splits, params.min_bank_bytes);
+    auto energy = evaluate_partition(arch, profile, params);
+    return PartitionSolution{std::move(arch), std::move(energy)};
+}
+
+void check_inputs(const BlockProfile& profile, const PartitionConstraints& constraints) {
+    require(constraints.max_banks >= 1, "PartitionConstraints: max_banks must be >= 1");
+    require(profile.num_blocks() >= 1, "solve_partition: empty profile");
+}
+
+}  // namespace
+
+PartitionSolution solve_partition_optimal(const BlockProfile& profile,
+                                          const PartitionConstraints& constraints,
+                                          const PartitionEnergyParams& params) {
+    check_inputs(profile, constraints);
+    const std::size_t n = profile.num_blocks();
+    const std::size_t kmax = std::min(constraints.max_banks, n);
+    const BankCostOracle oracle(profile, params);
+    const auto total_accesses = static_cast<double>(oracle.total_accesses());
+
+    // dp[k][j]: min cost of covering blocks [0, j) with exactly k banks
+    // (bank-select excluded; it depends only on the final k and is added at
+    // the end). parent[k][j]: the start block of the last bank.
+    std::vector<std::vector<double>> dp(kmax + 1, std::vector<double>(n + 1, kInf));
+    std::vector<std::vector<std::size_t>> parent(kmax + 1, std::vector<std::size_t>(n + 1, 0));
+    dp[0][0] = 0.0;
+    for (std::size_t k = 1; k <= kmax; ++k) {
+        for (std::size_t j = k; j <= n; ++j) {
+            double best = kInf;
+            std::size_t best_i = 0;
+            for (std::size_t i = k - 1; i < j; ++i) {
+                if (dp[k - 1][i] == kInf) continue;
+                const double cand = dp[k - 1][i] + oracle.cost(i, j);
+                if (cand < best) {
+                    best = cand;
+                    best_i = i;
+                }
+            }
+            dp[k][j] = best;
+            parent[k][j] = best_i;
+        }
+    }
+
+    // Pick the best bank count including the per-access select overhead.
+    double best_total = kInf;
+    std::size_t best_k = 1;
+    for (std::size_t k = 1; k <= kmax; ++k) {
+        if (dp[k][n] == kInf) continue;
+        const double total =
+            dp[k][n] + total_accesses * bank_select_energy(k, params.sram);
+        if (total < best_total) {
+            best_total = total;
+            best_k = k;
+        }
+    }
+    MEMOPT_ASSERT(best_total < kInf);
+
+    // Reconstruct split points.
+    std::vector<std::size_t> splits;
+    std::size_t j = n;
+    for (std::size_t k = best_k; k >= 1; --k) {
+        const std::size_t i = parent[k][j];
+        if (i != 0) splits.push_back(i);
+        j = i;
+    }
+    MEMOPT_ASSERT(j == 0);
+    std::reverse(splits.begin(), splits.end());
+    return make_solution(profile, params, splits);
+}
+
+PartitionSolution solve_partition_greedy(const BlockProfile& profile,
+                                         const PartitionConstraints& constraints,
+                                         const PartitionEnergyParams& params) {
+    check_inputs(profile, constraints);
+    const std::size_t n = profile.num_blocks();
+    const BankCostOracle oracle(profile, params);
+    const auto total_accesses = static_cast<double>(oracle.total_accesses());
+
+    // Current architecture as bank boundaries [b0=0, b1, ..., bk=n].
+    std::vector<std::size_t> bounds = {0, n};
+    double current_bank_cost = oracle.cost(0, n);
+
+    while (bounds.size() - 1 < constraints.max_banks) {
+        const std::size_t k = bounds.size() - 1;
+        const double current_total =
+            current_bank_cost + total_accesses * bank_select_energy(k, params.sram);
+        const double next_select =
+            total_accesses * bank_select_energy(k + 1, params.sram);
+
+        // Find the single most profitable split across all banks.
+        double best_total = current_total;
+        std::size_t best_bank = 0;
+        std::size_t best_pos = 0;
+        for (std::size_t b = 0; b + 1 < bounds.size(); ++b) {
+            const std::size_t lo = bounds[b];
+            const std::size_t hi = bounds[b + 1];
+            const double old_cost = oracle.cost(lo, hi);
+            for (std::size_t pos = lo + 1; pos < hi; ++pos) {
+                const double new_bank_cost = current_bank_cost - old_cost +
+                                             oracle.cost(lo, pos) + oracle.cost(pos, hi);
+                const double total = new_bank_cost + next_select;
+                if (total < best_total) {
+                    best_total = total;
+                    best_bank = b;
+                    best_pos = pos;
+                }
+            }
+        }
+        if (best_pos == 0) break;  // no profitable split
+        const std::size_t lo = bounds[best_bank];
+        const std::size_t hi = bounds[best_bank + 1];
+        current_bank_cost += oracle.cost(lo, best_pos) + oracle.cost(best_pos, hi) -
+                             oracle.cost(lo, hi);
+        bounds.insert(bounds.begin() + static_cast<std::ptrdiff_t>(best_bank) + 1, best_pos);
+    }
+
+    const std::vector<std::size_t> splits(bounds.begin() + 1, bounds.end() - 1);
+    return make_solution(profile, params, splits);
+}
+
+PartitionSolution solve_partition_brute(const BlockProfile& profile,
+                                        const PartitionConstraints& constraints,
+                                        const PartitionEnergyParams& params) {
+    check_inputs(profile, constraints);
+    const std::size_t n = profile.num_blocks();
+    require(n <= 20, "solve_partition_brute: too many blocks (tests only)");
+
+    double best_total = kInf;
+    std::vector<std::size_t> best_splits;
+    const std::uint64_t combinations = 1ULL << (n - 1);
+    for (std::uint64_t mask = 0; mask < combinations; ++mask) {
+        const auto bank_count = static_cast<std::size_t>(std::popcount(mask)) + 1;
+        if (bank_count > constraints.max_banks) continue;
+        std::vector<std::size_t> splits;
+        for (std::size_t bit = 0; bit + 1 < n; ++bit) {
+            if (mask & (1ULL << bit)) splits.push_back(bit + 1);
+        }
+        const auto arch = MemoryArchitecture::from_splits(profile.block_size(), n, splits,
+                                                          params.min_bank_bytes);
+        const double total = evaluate_partition(arch, profile, params).total();
+        if (total < best_total) {
+            best_total = total;
+            best_splits = std::move(splits);
+        }
+    }
+    return make_solution(profile, params, best_splits);
+}
+
+}  // namespace memopt

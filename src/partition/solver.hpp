@@ -1,0 +1,54 @@
+// Memory partitioning solvers.
+//
+// Given a block profile, find the multi-bank architecture (contiguous block
+// ranges, power-of-two capacities, bounded bank count) minimizing the
+// energy objective of partition/evaluate.hpp. Three solvers:
+//   * solve_partition_optimal — exact dynamic program, O(N^2 * K);
+//   * solve_partition_greedy  — iterative best-split refinement, O(K * N),
+//     for very large block counts;
+//   * solve_partition_brute   — exhaustive split enumeration (tests only,
+//     N <= 20).
+// The DP is the reference partitioner from the memory-partitioning prior
+// art that DATE'03 1B-1's address clustering builds on.
+#pragma once
+
+#include <cstddef>
+
+#include "energy/report.hpp"
+#include "partition/bank.hpp"
+#include "partition/evaluate.hpp"
+#include "trace/profile.hpp"
+
+namespace memopt {
+
+/// Solver constraints.
+struct PartitionConstraints {
+    std::size_t max_banks = 8;  ///< upper bound on bank count (>= 1)
+};
+
+/// A solved partition plus its evaluated energy.
+struct PartitionSolution {
+    MemoryArchitecture arch;
+    EnergyBreakdown energy;
+};
+
+/// Exact DP solver. Considers every bank count in [1, max_banks] and
+/// returns the globally optimal contiguous partition.
+PartitionSolution solve_partition_optimal(const BlockProfile& profile,
+                                          const PartitionConstraints& constraints,
+                                          const PartitionEnergyParams& params);
+
+/// Greedy refinement solver: starts monolithic and repeatedly applies the
+/// single most profitable bank split until no split helps or the bank
+/// budget is reached. Fast and usually near-optimal.
+PartitionSolution solve_partition_greedy(const BlockProfile& profile,
+                                         const PartitionConstraints& constraints,
+                                         const PartitionEnergyParams& params);
+
+/// Exhaustive solver over all split subsets; requires num_blocks <= 20.
+/// Used by tests to certify the DP.
+PartitionSolution solve_partition_brute(const BlockProfile& profile,
+                                        const PartitionConstraints& constraints,
+                                        const PartitionEnergyParams& params);
+
+}  // namespace memopt

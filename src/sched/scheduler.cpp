@@ -1,0 +1,300 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <list>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace memopt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+const std::array<MemLevel, kNumLevels> kLevels = {MemLevel::L1, MemLevel::L2, MemLevel::Ext};
+
+/// Effective L2 capacity, accounting for the context staging reservation.
+std::uint64_t l2_capacity(const ReconfArch& arch, bool prefetch_contexts) {
+    if (!prefetch_contexts) return arch.l2_bytes;
+    require(arch.l2_bytes > arch.context_bytes,
+            "ReconfArch: context plane does not fit in L2 for prefetching");
+    return arch.l2_bytes - arch.context_bytes;
+}
+
+/// Capacity check of one phase assignment.
+bool fits(const Application& app, const ReconfArch& arch, bool prefetch,
+          const std::vector<MemLevel>& assign) {
+    std::uint64_t l1 = 0;
+    std::uint64_t l2 = 0;
+    for (std::size_t d = 0; d < assign.size(); ++d) {
+        if (assign[d] == MemLevel::L1) l1 += app.datasets[d].bytes;
+        if (assign[d] == MemLevel::L2) l2 += app.datasets[d].bytes;
+    }
+    return l1 <= arch.l1_bytes && l2 <= l2_capacity(arch, prefetch);
+}
+
+/// Context-store simulation (LRU over `context_slots` slots). Returns the
+/// number of context loads (first-use and reloads alike).
+std::uint64_t count_context_loads(const Application& app, std::size_t slots) {
+    MEMOPT_ASSERT(slots >= 1);
+    std::list<std::size_t> lru;  // front = most recent
+    std::uint64_t loads = 0;
+    for (const KernelPhase& phase : app.phases) {
+        const auto it = std::find(lru.begin(), lru.end(), phase.context);
+        if (it != lru.end()) {
+            lru.erase(it);
+        } else {
+            ++loads;
+            if (lru.size() == slots) lru.pop_back();
+        }
+        lru.push_front(phase.context);
+    }
+    return loads;
+}
+
+std::size_t distinct_contexts(const Application& app) {
+    std::vector<bool> seen(app.num_contexts, false);
+    std::size_t n = 0;
+    for (const KernelPhase& phase : app.phases) {
+        if (!seen[phase.context]) {
+            seen[phase.context] = true;
+            ++n;
+        }
+    }
+    return n;
+}
+
+double context_energy(const Application& app, const ReconfArch& arch, bool prefetch) {
+    const std::uint64_t loads = count_context_loads(app, arch.context_slots);
+    const auto plane = static_cast<double>(arch.context_bytes);
+    if (!prefetch) return static_cast<double>(loads) * plane * arch.context_byte_pj;
+    // With staging, each distinct context is fetched from external memory
+    // into L2 once; every load into the context store then reads L2, which
+    // is cheaper in proportion to the level access energies.
+    const double l2_factor = arch.l2_access_pj / arch.ext_access_pj;
+    const double stage = static_cast<double>(distinct_contexts(app)) * plane * arch.context_byte_pj;
+    return stage + static_cast<double>(loads) * plane * arch.context_byte_pj * l2_factor;
+}
+
+}  // namespace
+
+EnergyBreakdown evaluate_schedule(const Application& app, const ReconfArch& arch,
+                                  const DataSchedule& schedule) {
+    app.validate();
+    require(schedule.assignment.size() == app.phases.size(),
+            "evaluate_schedule: wrong phase count");
+
+    double access_pj = 0.0;
+    double move_pj = 0.0;
+    std::vector<MemLevel> prev(app.datasets.size(), MemLevel::Ext);
+    for (std::size_t p = 0; p < app.phases.size(); ++p) {
+        const auto& assign = schedule.assignment[p];
+        require(assign.size() == app.datasets.size(),
+                "evaluate_schedule: wrong data set count in phase");
+        require(fits(app, arch, schedule.prefetch_contexts, assign),
+                "evaluate_schedule: capacity violated in phase " + app.phases[p].name);
+        for (std::size_t d = 0; d < assign.size(); ++d)
+            move_pj += arch.move_pj(prev[d], assign[d], app.datasets[d].bytes);
+        for (const KernelUse& use : app.phases[p].uses)
+            access_pj +=
+                static_cast<double>(use.accesses) * arch.access_pj(assign[use.dataset]);
+        prev = assign;
+    }
+
+    EnergyBreakdown breakdown;
+    breakdown.add("data_access", access_pj);
+    breakdown.add("data_movement", move_pj);
+    breakdown.add("context_load", context_energy(app, arch, schedule.prefetch_contexts));
+    return breakdown;
+}
+
+DataSchedule naive_schedule(const Application& app, const ReconfArch& arch) {
+    app.validate();
+    std::vector<MemLevel> assign(app.datasets.size(), MemLevel::Ext);
+    std::uint64_t l2_used = 0;
+    for (std::size_t d = 0; d < app.datasets.size(); ++d) {
+        if (l2_used + app.datasets[d].bytes <= arch.l2_bytes) {
+            assign[d] = MemLevel::L2;
+            l2_used += app.datasets[d].bytes;
+        }
+    }
+    DataSchedule schedule;
+    schedule.assignment.assign(app.phases.size(), assign);
+    schedule.prefetch_contexts = false;
+    return schedule;
+}
+
+namespace {
+
+DataSchedule greedy_with_prefetch(const Application& app, const ReconfArch& arch,
+                                  bool prefetch) {
+    DataSchedule schedule;
+    schedule.prefetch_contexts = prefetch;
+    std::vector<MemLevel> prev(app.datasets.size(), MemLevel::Ext);
+
+    for (const KernelPhase& phase : app.phases) {
+        std::vector<MemLevel> assign(app.datasets.size(), MemLevel::Ext);
+        std::uint64_t remaining_l1 = arch.l1_bytes;
+        std::uint64_t remaining_l2 = l2_capacity(arch, prefetch);
+
+        // Used data sets first, by access density (accesses per byte).
+        std::vector<KernelUse> uses = phase.uses;
+        std::sort(uses.begin(), uses.end(), [&](const KernelUse& a, const KernelUse& b) {
+            const double da = static_cast<double>(a.accesses) /
+                              static_cast<double>(app.datasets[a.dataset].bytes);
+            const double db = static_cast<double>(b.accesses) /
+                              static_cast<double>(app.datasets[b.dataset].bytes);
+            if (da != db) return da > db;
+            return a.dataset < b.dataset;  // deterministic tie-break
+        });
+        for (const KernelUse& use : uses) {
+            const std::uint64_t bytes = app.datasets[use.dataset].bytes;
+            double best_cost = kInf;
+            MemLevel best = MemLevel::Ext;
+            for (MemLevel level : kLevels) {
+                if (level == MemLevel::L1 && bytes > remaining_l1) continue;
+                if (level == MemLevel::L2 && bytes > remaining_l2) continue;
+                const double cost =
+                    static_cast<double>(use.accesses) * arch.access_pj(level) +
+                    arch.move_pj(prev[use.dataset], level, bytes);
+                if (cost < best_cost) {
+                    best_cost = cost;
+                    best = level;
+                }
+            }
+            assign[use.dataset] = best;
+            if (best == MemLevel::L1) remaining_l1 -= bytes;
+            if (best == MemLevel::L2) remaining_l2 -= bytes;
+        }
+
+        // Unused data sets keep their residency when it still fits
+        // (avoiding pointless copies), otherwise they spill to Ext.
+        for (std::size_t d = 0; d < app.datasets.size(); ++d) {
+            bool used = false;
+            for (const KernelUse& use : phase.uses) used = used || use.dataset == d;
+            if (used) continue;
+            const std::uint64_t bytes = app.datasets[d].bytes;
+            MemLevel keep = prev[d];
+            if (keep == MemLevel::L1 && bytes <= remaining_l1) {
+                remaining_l1 -= bytes;
+            } else if (keep == MemLevel::L2 && bytes <= remaining_l2) {
+                remaining_l2 -= bytes;
+            } else {
+                keep = MemLevel::Ext;
+            }
+            assign[d] = keep;
+        }
+
+        schedule.assignment.push_back(assign);
+        prev = std::move(assign);
+    }
+    return schedule;
+}
+
+}  // namespace
+
+DataSchedule greedy_schedule(const Application& app, const ReconfArch& arch) {
+    app.validate();
+    DataSchedule no_prefetch = greedy_with_prefetch(app, arch, false);
+    DataSchedule with_prefetch = greedy_with_prefetch(app, arch, true);
+    const double e0 = evaluate_schedule(app, arch, no_prefetch).total();
+    const double e1 = evaluate_schedule(app, arch, with_prefetch).total();
+    return e1 < e0 ? with_prefetch : no_prefetch;
+}
+
+namespace {
+
+/// All capacity-feasible assignment vectors for `app` (3^D enumeration).
+std::vector<std::vector<MemLevel>> feasible_states(const Application& app,
+                                                   const ReconfArch& arch, bool prefetch) {
+    const std::size_t d = app.datasets.size();
+    std::vector<std::vector<MemLevel>> states;
+    std::vector<MemLevel> current(d, MemLevel::L1);
+    std::size_t total = 1;
+    for (std::size_t i = 0; i < d; ++i) total *= kNumLevels;
+    for (std::size_t code = 0; code < total; ++code) {
+        std::size_t rest = code;
+        for (std::size_t i = 0; i < d; ++i) {
+            current[i] = kLevels[rest % kNumLevels];
+            rest /= kNumLevels;
+        }
+        if (fits(app, arch, prefetch, current)) states.push_back(current);
+    }
+    return states;
+}
+
+DataSchedule viterbi(const Application& app, const ReconfArch& arch, bool prefetch) {
+    const auto states = feasible_states(app, arch, prefetch);
+    MEMOPT_ASSERT(!states.empty());  // all-Ext is always feasible
+    const std::size_t s = states.size();
+    const std::size_t p = app.phases.size();
+
+    // Movement cost matrix between states is phase-independent but large;
+    // compute transitions lazily instead.
+    auto move_cost = [&](const std::vector<MemLevel>& a, const std::vector<MemLevel>& b) {
+        double cost = 0.0;
+        for (std::size_t i = 0; i < a.size(); ++i)
+            cost += arch.move_pj(a[i], b[i], app.datasets[i].bytes);
+        return cost;
+    };
+    auto access_cost = [&](std::size_t phase, const std::vector<MemLevel>& assign) {
+        double cost = 0.0;
+        for (const KernelUse& use : app.phases[phase].uses)
+            cost += static_cast<double>(use.accesses) * arch.access_pj(assign[use.dataset]);
+        return cost;
+    };
+
+    const std::vector<MemLevel> start(app.datasets.size(), MemLevel::Ext);
+    std::vector<double> best(s, kInf);
+    std::vector<std::vector<std::size_t>> parent(p, std::vector<std::size_t>(s, 0));
+    for (std::size_t j = 0; j < s; ++j)
+        best[j] = move_cost(start, states[j]) + access_cost(0, states[j]);
+
+    for (std::size_t phase = 1; phase < p; ++phase) {
+        std::vector<double> next(s, kInf);
+        for (std::size_t j = 0; j < s; ++j) {
+            const double access = access_cost(phase, states[j]);
+            for (std::size_t i = 0; i < s; ++i) {
+                if (best[i] == kInf) continue;
+                const double cand = best[i] + move_cost(states[i], states[j]) + access;
+                if (cand < next[j]) {
+                    next[j] = cand;
+                    parent[phase][j] = i;
+                }
+            }
+        }
+        best = std::move(next);
+    }
+
+    std::size_t arg = 0;
+    for (std::size_t j = 1; j < s; ++j) {
+        if (best[j] < best[arg]) arg = j;
+    }
+
+    DataSchedule schedule;
+    schedule.prefetch_contexts = prefetch;
+    schedule.assignment.assign(p, {});
+    for (std::size_t phase = p; phase-- > 0;) {
+        schedule.assignment[phase] = states[arg];
+        if (phase > 0) arg = parent[phase][arg];
+    }
+    return schedule;
+}
+
+}  // namespace
+
+DataSchedule optimal_schedule(const Application& app, const ReconfArch& arch) {
+    app.validate();
+    require(app.datasets.size() <= 6, "optimal_schedule: too many data sets (exact DP)");
+    DataSchedule no_prefetch = viterbi(app, arch, false);
+    DataSchedule with_prefetch = viterbi(app, arch, true);
+    const double e0 = evaluate_schedule(app, arch, no_prefetch).total();
+    const double e1 = evaluate_schedule(app, arch, with_prefetch).total();
+    return e1 < e0 ? with_prefetch : no_prefetch;
+}
+
+}  // namespace memopt

@@ -1,0 +1,760 @@
+#include "sim/kernels.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace memopt {
+
+namespace {
+
+// Each kernel keeps all mutable state in data memory where natural, ends
+// with `out <checksum>` + `halt`, and lays out .data with cold padding
+// between hot arrays (see kernels.hpp).
+
+const char* const kFirSource = R"(
+; fir: 32-tap FIR filter over 256 samples
+        li   r1, fin
+        li   r2, fcoef
+        li   r3, fout
+        movi r4, 0              ; i
+fi:     movi r5, 0              ; k
+        movi r6, 0              ; acc
+fk:     add  r7, r4, r5
+        lsli r7, r7, 2
+        ldwx r8, [r1, r7]       ; in[i+k]
+        asri r8, r8, 16         ; scale sample to ~16 bits
+        lsli r9, r5, 2
+        ldwx r10, [r2, r9]      ; coef[k]
+        asri r10, r10, 26       ; small fixed-point coefficient
+        mul  r8, r8, r10
+        add  r6, r6, r8
+        addi r5, r5, 1
+        cmpi r5, 32
+        blt  fk
+        asri r6, r6, 6          ; output scaling
+        lsli r9, r4, 2
+        stwx r6, [r3, r9]
+        addi r4, r4, 1
+        cmpi r4, 256
+        blt  fi
+; checksum over outputs
+        movi r4, 0
+        movi r6, 0
+fc:     lsli r9, r4, 2
+        ldwx r8, [r3, r9]
+        add  r6, r6, r8
+        addi r4, r4, 1
+        cmpi r4, 256
+        blt  fc
+        out  r6
+        halt
+.data
+        .space 4096
+fin:    .randsmooth 288, 161, 1048576
+        .space 8192
+fcoef:  .rand 32, 162
+        .space 12288
+fout:   .space 1024
+)";
+
+const char* const kBiquadSource = R"(
+; biquad: two cascaded direct-form-I IIR sections over 512 samples
+        li   r10, bqin
+        li   r11, bqout
+        movi r12, 0             ; i
+        movi r15, 0             ; checksum
+bqloop: lsli r5, r12, 2
+        ldwx r3, [r10, r5]
+        asri r3, r3, 16         ; scale sample to ~16 bits
+        li   r1, bqc1
+        li   r2, bqs1
+        bl   bqsec
+        li   r1, bqc2
+        li   r2, bqs2
+        bl   bqsec
+        lsli r5, r12, 2
+        stwx r3, [r11, r5]
+        add  r15, r15, r3
+        addi r12, r12, 1
+        cmpi r12, 512
+        blt  bqloop
+        out  r15
+        halt
+; bqsec: r3 = ((c[0]*x + c[1]*x1 + c[2]*x2 + c[3]*y1 + c[4]*y2) >> 12)
+;        r1 = coeffs, r2 = state {x1,x2,y1,y2}; clobbers r4-r9
+bqsec:  ldw  r4, [r1, 0]
+        mul  r4, r4, r3
+        ldw  r5, [r1, 4]
+        ldw  r6, [r2, 0]        ; x1
+        mul  r5, r5, r6
+        add  r4, r4, r5
+        ldw  r5, [r1, 8]
+        ldw  r7, [r2, 4]        ; x2
+        mul  r5, r5, r7
+        add  r4, r4, r5
+        ldw  r5, [r1, 12]
+        ldw  r8, [r2, 8]        ; y1
+        mul  r5, r5, r8
+        add  r4, r4, r5
+        ldw  r5, [r1, 16]
+        ldw  r9, [r2, 12]       ; y2
+        mul  r5, r5, r9
+        add  r4, r4, r5
+        asri r4, r4, 12
+        stw  r6, [r2, 4]        ; x2 = x1
+        stw  r3, [r2, 0]        ; x1 = x
+        stw  r8, [r2, 12]       ; y2 = y1
+        stw  r4, [r2, 8]        ; y1 = y
+        mov  r3, r4
+        ret
+.data
+bqc1:   .word 1024, 2048, 1024, 1638, -819
+        .space 2048
+bqc2:   .word 512, 1024, 512, 1229, -410
+        .space 2048
+bqs1:   .word 0, 0, 0, 0
+        .space 1024
+bqs2:   .word 0, 0, 0, 0
+        .space 5120
+bqin:   .randsmooth 512, 177, 1048576
+        .space 3072
+bqout:  .space 2048
+)";
+
+const char* const kMatmulSource = R"(
+; matmul: C = A * B for 16x16 32-bit matrices
+        li   r1, mata
+        li   r2, matb
+        li   r3, matc
+        movi r4, 0              ; i
+mi:     movi r5, 0              ; j
+mj:     movi r6, 0              ; k
+        movi r7, 0              ; acc
+mk:     lsli r8, r4, 4
+        add  r8, r8, r6
+        lsli r8, r8, 2
+        ldwx r9, [r1, r8]       ; A[i][k]
+        lsli r8, r6, 4
+        add  r8, r8, r5
+        lsli r8, r8, 2
+        ldwx r10, [r2, r8]      ; B[k][j]
+        mul  r9, r9, r10
+        add  r7, r7, r9
+        addi r6, r6, 1
+        cmpi r6, 16
+        blt  mk
+        lsli r8, r4, 4
+        add  r8, r8, r5
+        lsli r8, r8, 2
+        stwx r7, [r3, r8]
+        addi r5, r5, 1
+        cmpi r5, 16
+        blt  mj
+        addi r4, r4, 1
+        cmpi r4, 16
+        blt  mi
+; checksum
+        movi r4, 0
+        movi r7, 0
+mc:     lsli r8, r4, 2
+        ldwx r9, [r3, r8]
+        add  r7, r7, r9
+        addi r4, r4, 1
+        cmpi r4, 256
+        blt  mc
+        out  r7
+        halt
+.data
+        .space 2048
+mata:   .rand 256, 201
+        .space 6144
+matb:   .rand 256, 202
+        .space 10240
+matc:   .space 1024
+)";
+
+const char* const kCrc32Source = R"(
+; crc32: build the CRC-32 table at runtime, then checksum a 4 KiB message
+        li   r1, crctab
+        li   r6, 0xEDB88320
+        movi r2, 0              ; i
+tgen:   mov  r3, r2             ; c = i
+        movi r4, 0              ; bit
+tbit:   andi r5, r3, 1
+        lsri r3, r3, 1
+        cmpi r5, 0
+        beq  tskip
+        eor  r3, r3, r6
+tskip:  addi r4, r4, 1
+        cmpi r4, 8
+        blt  tbit
+        lsli r5, r2, 2
+        stwx r3, [r1, r5]
+        addi r2, r2, 1
+        cmpi r2, 256
+        blt  tgen
+        li   r7, cmsg
+        movi r8, 4096
+        movi r9, 0              ; index
+        movi r10, 0
+        mvn  r10, r10           ; crc = 0xFFFFFFFF
+cloop:  ldbx r5, [r7, r9]
+        eor  r5, r10, r5
+        andi r5, r5, 255
+        lsli r5, r5, 2
+        ldwx r5, [r1, r5]
+        lsri r10, r10, 8
+        eor  r10, r10, r5
+        addi r9, r9, 1
+        cmp  r9, r8
+        blo  cloop
+        mvn  r10, r10
+        out  r10
+        halt
+.data
+        .space 2048
+crctab: .space 1024
+        .space 6144
+cmsg:   .randsmooth 1024, 195, 5000
+)";
+
+const char* const kQsortSource = R"(
+; qsort: iterative quicksort (Lomuto) of 256 random words, unsigned order
+        li   r1, qarr
+        mov  r12, sp            ; empty-stack sentinel
+        movi r2, 0              ; lo
+        movi r3, 255            ; hi
+        push r2
+        push r3
+qloop:  pop  r3
+        pop  r2
+        cmp  r2, r3
+        bge  qnext
+        lsli r4, r3, 2
+        ldwx r5, [r1, r4]       ; pivot = arr[hi]
+        mov  r6, r2             ; i
+        mov  r7, r2             ; j
+qpart:  cmp  r7, r3
+        bge  qpdone
+        lsli r8, r7, 2
+        ldwx r9, [r1, r8]
+        cmp  r9, r5
+        bhs  qpskip
+        lsli r10, r6, 2
+        ldwx r11, [r1, r10]
+        stwx r9, [r1, r10]
+        stwx r11, [r1, r8]
+        addi r6, r6, 1
+qpskip: addi r7, r7, 1
+        b    qpart
+qpdone: lsli r10, r6, 2
+        ldwx r11, [r1, r10]
+        lsli r8, r3, 2
+        ldwx r9, [r1, r8]
+        stwx r9, [r1, r10]
+        stwx r11, [r1, r8]
+        subi r8, r6, 1
+        push r2
+        push r8
+        addi r8, r6, 1
+        push r8
+        push r3
+qnext:  cmp  sp, r12
+        blo  qloop
+; order-sensitive checksum: sum arr[i]*(i+1)
+        movi r2, 0
+        movi r4, 0
+qcks:   lsli r5, r2, 2
+        ldwx r6, [r1, r5]
+        addi r7, r2, 1
+        mul  r6, r6, r7
+        add  r4, r4, r6
+        addi r2, r2, 1
+        cmpi r2, 256
+        blt  qcks
+        out  r4
+        halt
+.data
+        .space 1024
+qarr:   .rand 256, 333
+        .space 1024
+)";
+
+const char* const kHistogramSource = R"(
+; histogram: 256-bin byte histogram of 4 KiB of data
+        li   r1, hdat
+        li   r2, hbin
+        movi r3, 0
+hloop:  ldbx r4, [r1, r3]
+        lsli r4, r4, 2
+        ldwx r5, [r2, r4]
+        addi r5, r5, 1
+        stwx r5, [r2, r4]
+        addi r3, r3, 1
+        cmpi r3, 4096
+        blt  hloop
+; checksum: sum bins[i]*(i+1)
+        movi r3, 0
+        movi r6, 0
+hcks:   lsli r4, r3, 2
+        ldwx r5, [r2, r4]
+        addi r7, r3, 1
+        mul  r5, r5, r7
+        add  r6, r6, r5
+        addi r3, r3, 1
+        cmpi r3, 256
+        blt  hcks
+        out  r6
+        halt
+.data
+hdat:   .randsmooth 1024, 741, 100
+        .space 12288
+hbin:   .space 1024
+)";
+
+const char* const kStrsearchSource = R"(
+; strsearch: naive search of a 4-byte pattern in 2 KiB of alphabet-4 text
+        li   r1, ssrc
+        li   r2, stxt
+        movi r3, 0
+sbuild: ldbx r4, [r1, r3]
+        andi r4, r4, 3
+        stbx r4, [r2, r3]
+        addi r3, r3, 1
+        cmpi r3, 2048
+        blt  sbuild
+        li   r5, spat
+        movi r6, 0              ; match count
+        movi r3, 0              ; i
+sloop:  movi r7, 0              ; j
+smatch: add  r8, r3, r7
+        ldbx r9, [r2, r8]
+        ldbx r10, [r5, r7]
+        cmp  r9, r10
+        bne  snext
+        addi r7, r7, 1
+        cmpi r7, 4
+        blt  smatch
+        addi r6, r6, 1
+snext:  addi r3, r3, 1
+        cmpi r3, 2045
+        blt  sloop
+        out  r6
+        halt
+.data
+ssrc:   .rand 512, 911
+        .space 4096
+spat:   .byte 1, 2, 3, 0
+        .space 2044
+stxt:   .space 2048
+)";
+
+const char* const kRleSource = R"(
+; rle: run-length encode 4 KiB of alphabet-2 data into (count,value) pairs
+        li   r1, rraw
+        li   r2, rsrc
+        movi r3, 0
+rbuild: ldbx r4, [r1, r3]
+        andi r4, r4, 1
+        stbx r4, [r2, r3]
+        addi r3, r3, 1
+        cmpi r3, 4096
+        blt  rbuild
+        li   r5, rout
+        movi r6, 0              ; encoded length
+        movi r3, 0              ; i
+renc:   ldbx r4, [r2, r3]       ; run value
+        movi r7, 1              ; run length
+rrun:   add  r8, r3, r7
+        cmpi r8, 4096
+        bge  rstop
+        cmpi r7, 255
+        bge  rstop
+        ldbx r9, [r2, r8]
+        cmp  r9, r4
+        bne  rstop
+        addi r7, r7, 1
+        b    rrun
+rstop:  stbx r7, [r5, r6]
+        addi r6, r6, 1
+        stbx r4, [r5, r6]
+        addi r6, r6, 1
+        add  r3, r3, r7
+        cmpi r3, 4096
+        blt  renc
+        out  r6                 ; encoded length
+        movi r3, 0
+        movi r10, 0
+rcks:   ldbx r4, [r5, r3]
+        add  r10, r10, r4
+        addi r3, r3, 1
+        cmp  r3, r6
+        blo  rcks
+        out  r10                ; byte checksum of the encoding
+        halt
+.data
+rraw:   .rand 1024, 555
+        .space 8192
+rsrc:   .space 4096
+        .space 4096
+rout:   .space 8192
+)";
+
+const char* const kConv3x3Source = R"(
+; conv3x3: 3x3 Gaussian blur over a 32x32 image (valid region 30x30)
+        li   r1, craw
+        li   r2, cimg
+        movi r3, 0
+cpre:   lsli r4, r3, 2
+        ldwx r5, [r1, r4]
+        asri r5, r5, 20         ; scale pixels to [-2048, 2047]
+        stwx r5, [r2, r4]
+        addi r3, r3, 1
+        cmpi r3, 1024
+        blt  cpre
+        li   r6, ckern
+        li   r7, cout
+        movi r8, 0              ; y
+cy:     movi r9, 0              ; x
+cx:     movi r10, 0             ; acc
+        movi r11, 0             ; ky
+cky:    movi r12, 0             ; kx
+ckx:    add  r3, r8, r11
+        lsli r3, r3, 5
+        add  r4, r9, r12
+        add  r3, r3, r4
+        lsli r3, r3, 2
+        ldwx r4, [r2, r3]       ; img[y+ky][x+kx]
+        lsli r5, r11, 1
+        add  r5, r5, r11
+        add  r5, r5, r12
+        lsli r5, r5, 2
+        ldwx r15, [r6, r5]      ; kern[ky][kx]
+        mul  r4, r4, r15
+        add  r10, r10, r4
+        addi r12, r12, 1
+        cmpi r12, 3
+        blt  ckx
+        addi r11, r11, 1
+        cmpi r11, 3
+        blt  cky
+        lsli r3, r8, 5          ; y*30 = y*32 - y*2
+        lsli r4, r8, 1
+        sub  r3, r3, r4
+        add  r3, r3, r9
+        lsli r3, r3, 2
+        stwx r10, [r7, r3]
+        addi r9, r9, 1
+        cmpi r9, 30
+        blt  cx
+        addi r8, r8, 1
+        cmpi r8, 30
+        blt  cy
+; checksum
+        movi r8, 0
+        movi r10, 0
+ccks:   lsli r3, r8, 2
+        ldwx r4, [r7, r3]
+        add  r10, r10, r4
+        addi r8, r8, 1
+        cmpi r8, 900
+        blt  ccks
+        out  r10
+        halt
+.data
+ckern:  .word 1, 2, 1, 2, 4, 2, 1, 2, 1
+        .space 3036
+craw:   .randsmooth 1024, 808, 50000000
+        .space 4096
+cimg:   .space 4096
+        .space 2048
+cout:   .space 3600
+)";
+
+const char* const kListchaseSource = R"(
+; listchase: build a 1024-node LCG-permuted linked list, chase 8192 steps
+        li   r1, nodes
+        movi r2, 0              ; x
+        movi r3, 0              ; built count
+lbuild: lsli r4, r2, 2
+        add  r4, r4, r2         ; 5x
+        addi r4, r4, 1          ; y = (5x + 1) & 1023
+        movi r5, 1023
+        and  r4, r4, r5
+        lsli r6, r2, 4          ; node[x] offset (16-byte nodes)
+        lsli r7, r4, 4
+        add  r7, r1, r7         ; &node[y]
+        stwx r7, [r1, r6]       ; node[x].next
+        addi r6, r6, 4
+        stwx r2, [r1, r6]       ; node[x].val = x
+        mov  r2, r4
+        addi r3, r3, 1
+        cmpi r3, 1024
+        blt  lbuild
+        mov  r8, r1             ; p = &node[0]
+        movi r9, 0
+        movi r10, 0             ; sum
+lchase: ldw  r11, [r8, 4]
+        add  r10, r10, r11
+        ldw  r8, [r8, 0]
+        addi r9, r9, 1
+        cmpi r9, 8192
+        blt  lchase
+        out  r10
+        halt
+.data
+        .space 2048
+nodes:  .space 16384
+)";
+
+
+const char* const kFft16Source = R"(
+; fft16: 16-point radix-2 DIT integer FFT (Q12 twiddles), 32 iterations
+        li   r1, fftiter
+        movi r2, 0
+        stw  r2, [r1]
+fouter:
+; phase 1: bit-reversed copy with input scaling
+        li   r1, fftin
+        li   r2, fftbuf
+        li   r3, fftrev
+        movi r4, 0              ; i
+frev:   ldbx r5, [r3, r4]       ; rev[i]
+        lsli r6, r5, 3
+        add  r6, r1, r6
+        lsli r7, r4, 3
+        add  r7, r2, r7
+        ldw  r8, [r6, 0]
+        asri r8, r8, 20         ; scale re to ~12 bits
+        stw  r8, [r7, 0]
+        ldw  r8, [r6, 4]
+        asri r8, r8, 20         ; scale im
+        stw  r8, [r7, 4]
+        addi r4, r4, 1
+        cmpi r4, 16
+        blt  frev
+; phase 2: butterfly stages, m = 2, 4, 8, 16
+        movi r15, 8             ; twiddle stride = 16/m
+        movi r4, 2              ; m
+fstage: lsri r5, r4, 1          ; half = m/2
+        movi r6, 0              ; k
+fgroup: movi r7, 0              ; j
+fbfly:  mul  r8, r7, r15
+        lsli r8, r8, 2
+        li   r9, fftcos
+        ldwx r10, [r9, r8]      ; w_re = cos
+        li   r9, fftsin
+        ldwx r11, [r9, r8]      ; sin
+        add  r8, r6, r7
+        lsli r8, r8, 3
+        li   r9, fftbuf
+        add  r8, r9, r8         ; a = &buf[k+j]
+        lsli r9, r5, 3
+        add  r9, r8, r9         ; b = &buf[k+j+half]
+        ldw  r12, [r9, 0]       ; b_re
+        ldw  r13, [r9, 4]       ; b_im
+        mul  r14, r10, r12      ; t_re = (cos*b_re + sin*b_im) >> 12
+        mul  r0, r11, r13
+        add  r14, r14, r0
+        asri r14, r14, 12
+        mul  r0, r10, r13       ; t_im = (cos*b_im - sin*b_re) >> 12
+        mul  r13, r11, r12
+        sub  r0, r0, r13
+        asri r0, r0, 12
+        ldw  r12, [r8, 0]       ; u_re
+        ldw  r13, [r8, 4]       ; u_im
+        add  r10, r12, r14
+        stw  r10, [r8, 0]
+        add  r11, r13, r0
+        stw  r11, [r8, 4]
+        sub  r10, r12, r14
+        stw  r10, [r9, 0]
+        sub  r11, r13, r0
+        stw  r11, [r9, 4]
+        addi r7, r7, 1
+        cmp  r7, r5
+        blt  fbfly
+        add  r6, r6, r4
+        cmpi r6, 16
+        blt  fgroup
+        lsri r15, r15, 1
+        lsli r4, r4, 1
+        cmpi r4, 16
+        ble  fstage
+; accumulate spectrum into the running checksum buffer, next iteration
+        li   r1, fftacc
+        li   r2, fftbuf
+        movi r4, 0
+facc:   lsli r7, r4, 2
+        ldwx r8, [r2, r7]
+        ldwx r9, [r1, r7]
+        add  r9, r9, r8
+        stwx r9, [r1, r7]
+        addi r4, r4, 1
+        cmpi r4, 32
+        blt  facc
+        li   r1, fftiter
+        ldw  r2, [r1]
+        addi r2, r2, 1
+        stw  r2, [r1]
+        cmpi r2, 32
+        blt  fouter
+; checksum over the accumulated spectrum
+        li   r2, fftacc
+        movi r4, 0
+        movi r6, 0
+fcks:   lsli r7, r4, 2
+        ldwx r8, [r2, r7]
+        add  r6, r6, r8
+        addi r4, r4, 1
+        cmpi r4, 32
+        blt  fcks
+        out  r6
+        halt
+.data
+fftrev: .byte 0, 8, 4, 12, 2, 10, 6, 14, 1, 9, 5, 13, 3, 11, 7, 15
+        .space 1008
+fftcos: .word 4096, 3784, 2896, 1567, 0, -1567, -2896, -3784
+        .space 2016
+fftsin: .word 0, 1567, 2896, 3784, 4096, 3784, 2896, 1567
+        .space 4064
+fftin:  .randsmooth 32, 404, 80000000
+        .space 3968
+fftbuf: .space 128
+        .space 1920
+fftacc: .space 128
+fftiter: .word 0
+)";
+
+const char* const kDitherSource = R"(
+; dither: Floyd-Steinberg error diffusion of a 64x16 grayscale image
+;   v = img[y][x] + err[x]; out = v >= 128 ? 255 : 0; e = v - out
+;   err_next[x-1] += 3e/16; err_next[x] += 5e/16; err_next[x+1] += e/16;
+;   err[x+1] += 7e/16   (err rows are word arrays with 1 word of margin)
+        li   r1, dimg
+        li   r2, dout
+        li   r3, derra          ; current row error (66 words, margin 1)
+        li   r4, derrb          ; next row error
+        movi r5, 0              ; y
+dy:     movi r6, 0              ; x
+dx:     ; v = img[y*64+x] + err[x+1]
+        lsli r7, r5, 6
+        add  r7, r7, r6
+        ldbx r8, [r1, r7]       ; pixel
+        addi r9, r6, 1
+        lsli r9, r9, 2
+        ldwx r10, [r3, r9]      ; err[x]
+        add  r8, r8, r10
+        ; threshold
+        movi r10, 0
+        cmpi r8, 128
+        blt  dblack
+        movi r10, 255
+dblack: stbx r10, [r2, r7]      ; out pixel
+        sub  r8, r8, r10        ; e
+        ; distribute: 7/16 right (current row), 3/16, 5/16, 1/16 (next row)
+        movi r11, 7
+        mul  r11, r8, r11
+        asri r11, r11, 4
+        addi r12, r6, 2         ; err[x+1] slot = x+2 with margin
+        lsli r12, r12, 2
+        ldwx r13, [r3, r12]
+        add  r13, r13, r11
+        stwx r13, [r3, r12]
+        movi r11, 3
+        mul  r11, r8, r11
+        asri r11, r11, 4
+        lsli r12, r6, 2         ; err_next[x-1] slot = x with margin
+        ldwx r13, [r4, r12]
+        add  r13, r13, r11
+        stwx r13, [r4, r12]
+        movi r11, 5
+        mul  r11, r8, r11
+        asri r11, r11, 4
+        addi r12, r6, 1
+        lsli r12, r12, 2
+        ldwx r13, [r4, r12]
+        add  r13, r13, r11
+        stwx r13, [r4, r12]
+        asri r11, r8, 4
+        addi r12, r6, 2
+        lsli r12, r12, 2
+        ldwx r13, [r4, r12]
+        add  r13, r13, r11
+        stwx r13, [r4, r12]
+        addi r6, r6, 1
+        cmpi r6, 64
+        blt  dx
+        ; swap error rows; clear the new next row
+        mov  r7, r3
+        mov  r3, r4
+        mov  r4, r7
+        movi r6, 0
+dclr:   lsli r7, r6, 2
+        movi r8, 0
+        stwx r8, [r4, r7]
+        addi r6, r6, 1
+        cmpi r6, 66
+        blt  dclr
+        addi r5, r5, 1
+        cmpi r5, 16
+        blt  dy
+; checksum: sum of output pixels times position parity
+        li   r2, dout
+        movi r5, 0
+        movi r6, 0
+dcks:   ldbx r7, [r2, r5]
+        add  r6, r6, r7
+        addi r5, r5, 1
+        cmpi r5, 1024
+        blt  dcks
+        out  r6
+        halt
+.data
+dimg:   .randsmooth 256, 606, 3000
+        .space 7168
+derra:  .space 264
+        .space 760
+derrb:  .space 264
+        .space 760
+dout:   .space 1024
+)";
+
+std::vector<Kernel> make_suite() {
+    return {
+        {"fir", "32-tap FIR filter over 256 samples", kFirSource},
+        {"biquad", "two-section IIR biquad cascade over 512 samples", kBiquadSource},
+        {"matmul", "16x16 integer matrix multiply", kMatmulSource},
+        {"crc32", "table-driven CRC-32 of a 4 KiB message", kCrc32Source},
+        {"qsort", "iterative quicksort of 256 words", kQsortSource},
+        {"histogram", "256-bin byte histogram of 4 KiB", kHistogramSource},
+        {"strsearch", "naive 4-byte pattern search in 2 KiB text", kStrsearchSource},
+        {"rle", "run-length encoder over 4 KiB", kRleSource},
+        {"conv3x3", "3x3 convolution over a 32x32 image", kConv3x3Source},
+        {"listchase", "pointer chase over a 1024-node linked list", kListchaseSource},
+        {"fft16", "16-point radix-2 integer FFT, 32 frames", kFft16Source},
+        {"dither", "Floyd-Steinberg dithering of a 64x16 image", kDitherSource},
+    };
+}
+
+}  // namespace
+
+const std::vector<Kernel>& kernel_suite() {
+    static const std::vector<Kernel> suite = make_suite();
+    return suite;
+}
+
+const Kernel& kernel_by_name(const std::string& name) {
+    const auto& suite = kernel_suite();
+    const auto it = std::find_if(suite.begin(), suite.end(),
+                                 [&](const Kernel& k) { return k.name == name; });
+    require(it != suite.end(), "unknown kernel '" + name + "'");
+    return *it;
+}
+
+RunResult run_kernel(const Kernel& kernel, const CpuConfig& config) {
+    return Cpu(config).run(assemble(kernel.source));
+}
+
+}  // namespace memopt

@@ -1,0 +1,47 @@
+// Flat little-endian data memory for the AR32 simulator.
+//
+// AR32 is modeled as a Harvard machine: instructions execute out of the
+// assembled code image while loads/stores go to this data memory. That
+// mirrors the embedded SoCs targeted by the DATE'03 1B papers (on-chip
+// instruction ROM/flash plus on-chip data SRAM) and keeps the data-side
+// address profile — the input to partitioning and clustering — clean.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace memopt {
+
+/// Byte-addressed RAM with alignment-checked typed accessors.
+///
+/// All accessors throw memopt::Error on out-of-range or misaligned
+/// addresses: kernel bugs fail loudly instead of corrupting experiments.
+class Memory {
+public:
+    /// `size_bytes` must be a power of two, >= 4 KiB.
+    explicit Memory(std::uint64_t size_bytes);
+
+    std::uint64_t size() const { return bytes_.size(); }
+
+    std::uint8_t load8(std::uint64_t addr) const;
+    std::uint16_t load16(std::uint64_t addr) const;  // 2-byte aligned
+    std::uint32_t load32(std::uint64_t addr) const;  // 4-byte aligned
+
+    void store8(std::uint64_t addr, std::uint8_t value);
+    void store16(std::uint64_t addr, std::uint16_t value);
+    void store32(std::uint64_t addr, std::uint32_t value);
+
+    /// Bulk copy into memory (used by the program loader).
+    void write_block(std::uint64_t addr, std::span<const std::uint8_t> bytes);
+
+    /// Read-only view of the backing store (used by tests).
+    std::span<const std::uint8_t> bytes() const { return bytes_; }
+
+private:
+    void check(std::uint64_t addr, std::uint64_t size) const;
+
+    std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace memopt

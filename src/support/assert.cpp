@@ -1,0 +1,15 @@
+#include "support/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace memopt::detail {
+
+void assert_fail(const char* expr, const char* file, int line, const std::string& msg) {
+    std::fprintf(stderr, "memopt internal invariant violated: %s\n  at %s:%d\n", expr, file, line);
+    if (!msg.empty()) std::fprintf(stderr, "  note: %s\n", msg.c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+}  // namespace memopt::detail

@@ -1,0 +1,37 @@
+#include "support/csv.hpp"
+
+#include <ostream>
+
+#include "support/string_util.hpp"
+
+namespace memopt {
+
+std::string csv_escape(const std::string& field) {
+    const bool needs_quote = field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quote) return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"') out += "\"\"";
+        else out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        os_ << csv_escape(fields[i]);
+        if (i + 1 < fields.size()) os_ << ',';
+    }
+    os_ << '\n';
+}
+
+void CsvWriter::write_row_numeric(const std::string& label, const std::vector<double>& values) {
+    std::vector<std::string> fields;
+    fields.reserve(values.size() + 1);
+    fields.push_back(label);
+    for (double v : values) fields.push_back(format("%.6g", v));
+    write_row(fields);
+}
+
+}  // namespace memopt

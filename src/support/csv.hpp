@@ -1,0 +1,29 @@
+// Minimal CSV writing (RFC 4180 quoting) for exporting bench series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace memopt {
+
+/// Streams rows of comma-separated values with correct quoting.
+class CsvWriter {
+public:
+    /// Writes to an externally owned stream; the stream must outlive this object.
+    explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+    /// Write one row; fields containing commas/quotes/newlines are quoted.
+    void write_row(const std::vector<std::string>& fields);
+
+    /// Convenience: format doubles with six significant digits.
+    void write_row_numeric(const std::string& label, const std::vector<double>& values);
+
+private:
+    std::ostream& os_;
+};
+
+/// Quote one CSV field if needed (exposed for tests).
+std::string csv_escape(const std::string& field);
+
+}  // namespace memopt

@@ -1,0 +1,41 @@
+// String helpers shared by the assembler, table printer and report writers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace memopt {
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a delimiter character; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Split on runs of whitespace; empty fields are dropped.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+/// ASCII lower-casing.
+std::string to_lower(std::string_view s);
+
+/// Parse a signed 64-bit integer. Accepts decimal, 0x-hex and a leading '-'.
+/// Returns nullopt on any malformed input (including trailing junk).
+std::optional<std::int64_t> parse_int(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable byte size ("256 B", "4 KiB", "1 MiB").
+std::string format_bytes(std::uint64_t bytes);
+
+/// Fixed-precision double ("12.34").
+std::string format_fixed(double v, int decimals);
+
+/// Engineering formatting of an energy value expressed in picojoules
+/// ("853 pJ", "1.27 nJ", "3.5 uJ").
+std::string format_energy_pj(double pj);
+
+}  // namespace memopt

@@ -1,0 +1,79 @@
+#include "trace/affinity.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace memopt {
+
+AffinityMatrix::AffinityMatrix(std::size_t num_blocks) : n_(num_blocks) {
+    require(num_blocks > 0, "AffinityMatrix: num_blocks must be > 0");
+    tri_.assign(n_ * (n_ + 1) / 2, 0.0);
+}
+
+std::size_t AffinityMatrix::index(std::size_t a, std::size_t b) const {
+    MEMOPT_ASSERT(a < n_ && b < n_);
+    if (a > b) std::swap(a, b);
+    // Row-major upper triangle: row a starts at a*n - a*(a-1)/2 - a offsets.
+    return a * n_ - a * (a + 1) / 2 + b;
+}
+
+double AffinityMatrix::at(std::size_t a, std::size_t b) const {
+    require(a < n_ && b < n_, "AffinityMatrix::at out of range");
+    return tri_[index(a, b)];
+}
+
+void AffinityMatrix::add(std::size_t a, std::size_t b, double w) {
+    require(a < n_ && b < n_, "AffinityMatrix::add out of range");
+    tri_[index(a, b)] += w;
+}
+
+double AffinityMatrix::affinity_to_set(std::size_t a,
+                                       const std::vector<std::size_t>& members) const {
+    double sum = 0.0;
+    for (std::size_t m : members) sum += at(a, m);
+    return sum;
+}
+
+double AffinityMatrix::total() const {
+    double sum = 0.0;
+    for (double v : tri_) sum += v;
+    return sum;
+}
+
+AffinityMatrix transition_affinity(const MemTrace& trace, const BlockProfile& profile) {
+    AffinityMatrix m(profile.num_blocks());
+    bool have_prev = false;
+    std::size_t prev = 0;
+    for (const MemAccess& a : trace.accesses()) {
+        const std::size_t block = profile.block_of(a.addr);
+        if (have_prev && block != prev) m.add(prev, block, 1.0);
+        prev = block;
+        have_prev = true;
+    }
+    return m;
+}
+
+AffinityMatrix windowed_affinity(const MemTrace& trace, const BlockProfile& profile,
+                                 std::size_t window) {
+    require(window >= 2, "windowed_affinity: window must be >= 2");
+    AffinityMatrix m(profile.num_blocks());
+    std::vector<std::size_t> ring;  // blocks of the last `window-1` accesses
+    ring.reserve(window);
+    std::size_t head = 0;
+    for (const MemAccess& a : trace.accesses()) {
+        const std::size_t block = profile.block_of(a.addr);
+        for (std::size_t b : ring) {
+            if (b != block) m.add(b, block, 1.0);
+        }
+        if (ring.size() < window - 1) {
+            ring.push_back(block);
+        } else if (window > 1) {
+            ring[head] = block;
+            head = (head + 1) % (window - 1);
+        }
+    }
+    return m;
+}
+
+}  // namespace memopt

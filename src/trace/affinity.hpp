@@ -1,0 +1,61 @@
+// Temporal affinity between profile blocks.
+//
+// Affinity clustering (DATE'03 1B-1 flavour) needs to know which blocks are
+// accessed close together in time: placing such blocks in the same bank lets
+// the other banks stay idle for long stretches. This module computes
+//  * a transition matrix (consecutive-access block adjacency), and
+//  * a windowed co-access affinity matrix.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/profile.hpp"
+#include "trace/trace.hpp"
+
+namespace memopt {
+
+/// Symmetric block-affinity matrix with dense storage (upper triangle).
+///
+/// Suitable for the block counts used in practice (<= a few thousand).
+class AffinityMatrix {
+public:
+    /// Zero matrix over `num_blocks` blocks.
+    explicit AffinityMatrix(std::size_t num_blocks);
+
+    std::size_t num_blocks() const { return n_; }
+
+    /// Affinity between blocks a and b (symmetric; diagonal allowed).
+    double at(std::size_t a, std::size_t b) const;
+
+    /// Add `w` to the affinity between a and b.
+    void add(std::size_t a, std::size_t b, double w);
+
+    /// Sum of affinities from `a` to every block in `members`.
+    double affinity_to_set(std::size_t a, const std::vector<std::size_t>& members) const;
+
+    /// Total affinity mass (sum over unordered pairs, diagonal included once).
+    double total() const;
+
+private:
+    std::size_t index(std::size_t a, std::size_t b) const;
+
+    std::size_t n_;
+    std::vector<double> tri_;  // upper-triangular storage, row-major
+};
+
+/// Build a transition affinity: affinity(a,b) += 1 whenever an access to
+/// block b immediately follows an access to block a (a != b), using the
+/// block geometry of `profile`. Accesses outside the profile span are
+/// rejected (Error).
+AffinityMatrix transition_affinity(const MemTrace& trace, const BlockProfile& profile);
+
+/// Build a windowed co-access affinity: for a sliding window of `window`
+/// consecutive accesses, every unordered pair of distinct blocks that
+/// co-occurs in the window gains affinity 1 (counted once per window
+/// position where the pair is formed with the newest access). `window >= 2`.
+AffinityMatrix windowed_affinity(const MemTrace& trace, const BlockProfile& profile,
+                                 std::size_t window);
+
+}  // namespace memopt

@@ -1,0 +1,164 @@
+#include "trace/io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "support/string_util.hpp"
+
+namespace memopt {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'T', 'R', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+    char bytes[4];
+    for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+    os.write(bytes, 4);
+}
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+    char bytes[8];
+    for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+    os.write(bytes, 8);
+}
+
+std::uint32_t read_u32(std::istream& is) {
+    char bytes[4];
+    is.read(bytes, 4);
+    require(is.gcount() == 4, "trace: truncated binary stream");
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<std::uint8_t>(bytes[i]);
+    return v;
+}
+
+std::uint64_t read_u64(std::istream& is) {
+    char bytes[8];
+    is.read(bytes, 8);
+    require(is.gcount() == 8, "trace: truncated binary stream");
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<std::uint8_t>(bytes[i]);
+    return v;
+}
+
+}  // namespace
+
+void write_trace_text(std::ostream& os, const MemTrace& trace) {
+    os << "# memopt trace v1: kind addr size cycle value\n";
+    for (const MemAccess& a : trace.accesses()) {
+        os << (a.kind == AccessKind::Read ? 'R' : 'W') << " 0x" << std::hex << a.addr << std::dec
+           << ' ' << static_cast<unsigned>(a.size) << ' ' << a.cycle << " 0x" << std::hex
+           << a.value << std::dec << '\n';
+    }
+}
+
+MemTrace read_trace_text(std::istream& is) {
+    MemTrace trace;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        std::string_view text = trim(line);
+        if (const auto hash = text.find('#'); hash != std::string_view::npos)
+            text = trim(text.substr(0, hash));
+        if (text.empty()) continue;
+        const auto fields = split_ws(text);
+        require(fields.size() >= 2 && fields.size() <= 5,
+                format("trace text line %d: expected 2..5 fields", line_no));
+        MemAccess access;
+        const std::string kind = to_lower(fields[0]);
+        if (kind == "r") {
+            access.kind = AccessKind::Read;
+        } else if (kind == "w") {
+            access.kind = AccessKind::Write;
+        } else {
+            throw Error(format("trace text line %d: kind must be R or W", line_no));
+        }
+        const auto addr = parse_int(fields[1]);
+        require(addr.has_value() && *addr >= 0, format("trace text line %d: bad address", line_no));
+        access.addr = static_cast<std::uint64_t>(*addr);
+        if (fields.size() >= 3) {
+            const auto size = parse_int(fields[2]);
+            require(size && (*size == 1 || *size == 2 || *size == 4 || *size == 8),
+                    format("trace text line %d: bad size", line_no));
+            access.size = static_cast<std::uint8_t>(*size);
+        }
+        if (fields.size() >= 4) {
+            const auto cycle = parse_int(fields[3]);
+            require(cycle && *cycle >= 0, format("trace text line %d: bad cycle", line_no));
+            access.cycle = static_cast<std::uint64_t>(*cycle);
+        }
+        if (fields.size() >= 5) {
+            const auto value = parse_int(fields[4]);
+            require(value.has_value(), format("trace text line %d: bad value", line_no));
+            access.value = static_cast<std::uint32_t>(*value);
+        }
+        trace.add(access);
+    }
+    return trace;
+}
+
+void write_trace_binary(std::ostream& os, const MemTrace& trace) {
+    os.write(kMagic, 4);
+    write_u32(os, kVersion);
+    write_u64(os, trace.size());
+    for (const MemAccess& a : trace.accesses()) {
+        write_u64(os, a.addr);
+        write_u64(os, a.cycle);
+        write_u32(os, a.value);
+        const std::uint32_t meta =
+            static_cast<std::uint32_t>(a.size) |
+            (a.kind == AccessKind::Write ? 0x100u : 0u);
+        write_u32(os, meta);
+    }
+}
+
+MemTrace read_trace_binary(std::istream& is) {
+    char magic[4];
+    is.read(magic, 4);
+    require(is.gcount() == 4 && std::equal(magic, magic + 4, kMagic),
+            "trace: bad binary magic");
+    const std::uint32_t version = read_u32(is);
+    require(version == kVersion, "trace: unsupported binary version");
+    const std::uint64_t count = read_u64(is);
+    MemTrace trace;
+    trace.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        MemAccess a;
+        a.addr = read_u64(is);
+        a.cycle = read_u64(is);
+        a.value = read_u32(is);
+        const std::uint32_t meta = read_u32(is);
+        a.size = static_cast<std::uint8_t>(meta & 0xFF);
+        a.kind = (meta & 0x100u) ? AccessKind::Write : AccessKind::Read;
+        trace.add(a);
+    }
+    return trace;
+}
+
+namespace {
+bool is_binary_path(const std::string& path) {
+    return path.size() >= 5 && path.compare(path.size() - 5, 5, ".mtrc") == 0;
+}
+}  // namespace
+
+void save_trace(const std::string& path, const MemTrace& trace) {
+    std::ofstream os(path, is_binary_path(path) ? std::ios::binary : std::ios::out);
+    require(os.is_open(), "save_trace: cannot open '" + path + "'");
+    if (is_binary_path(path)) {
+        write_trace_binary(os, trace);
+    } else {
+        write_trace_text(os, trace);
+    }
+    require(os.good(), "save_trace: write failed for '" + path + "'");
+}
+
+MemTrace load_trace(const std::string& path) {
+    std::ifstream is(path, is_binary_path(path) ? std::ios::binary : std::ios::in);
+    require(is.is_open(), "load_trace: cannot open '" + path + "'");
+    return is_binary_path(path) ? read_trace_binary(is) : read_trace_text(is);
+}
+
+}  // namespace memopt

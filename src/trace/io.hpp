@@ -1,0 +1,40 @@
+// Trace (de)serialization.
+//
+// Lets external simulators feed traces into memopt and lets long traces be
+// captured once and replayed across experiments. Two formats:
+//
+//  * text  — one access per line: "R|W <hex addr> <size> <cycle> <hex value>".
+//            Human-readable/diffable; columns after addr are optional on
+//            input (defaults: size 4, cycle 0, value 0). '#' starts a
+//            comment.
+//  * binary — "MTRC" magic, u32 version, u64 count, then packed records.
+//             Compact and fast; fixed little-endian layout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace memopt {
+
+/// Write `trace` in the text format.
+void write_trace_text(std::ostream& os, const MemTrace& trace);
+
+/// Parse the text format. Throws memopt::Error with a line number on any
+/// malformed record.
+MemTrace read_trace_text(std::istream& is);
+
+/// Write `trace` in the binary format.
+void write_trace_binary(std::ostream& os, const MemTrace& trace);
+
+/// Read the binary format. Throws memopt::Error on bad magic/version or a
+/// truncated stream.
+MemTrace read_trace_binary(std::istream& is);
+
+/// Convenience file wrappers (throw memopt::Error if the file cannot be
+/// opened). The format is chosen by extension: ".mtrc" binary, else text.
+void save_trace(const std::string& path, const MemTrace& trace);
+MemTrace load_trace(const std::string& path);
+
+}  // namespace memopt

@@ -1,0 +1,145 @@
+#include "trace/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace memopt {
+
+BlockProfile::BlockProfile(std::uint64_t block_size, std::size_t num_blocks)
+    : block_size_(block_size) {
+    require(is_pow2(block_size), "BlockProfile: block_size must be a power of two");
+    require(num_blocks > 0, "BlockProfile: num_blocks must be > 0");
+    counts_.assign(num_blocks, BlockCounts{});
+}
+
+BlockProfile BlockProfile::from_trace(const MemTrace& trace, std::uint64_t block_size) {
+    require(is_pow2(block_size), "from_trace: block_size must be a power of two");
+    require(!trace.empty(), "from_trace: empty trace");
+    const std::uint64_t span = std::max<std::uint64_t>(trace.address_span_pow2(), block_size);
+    BlockProfile profile(block_size, span / block_size);
+    for (const MemAccess& a : trace.accesses()) profile.record(a.addr, a.kind);
+    return profile;
+}
+
+std::size_t BlockProfile::block_of(std::uint64_t addr) const {
+    const std::size_t block = static_cast<std::size_t>(addr / block_size_);
+    require(block < counts_.size(), "block_of: address outside profile span");
+    return block;
+}
+
+const BlockCounts& BlockProfile::counts(std::size_t block) const {
+    require(block < counts_.size(), "counts: block out of range");
+    return counts_[block];
+}
+
+void BlockProfile::record(std::uint64_t addr, AccessKind kind) {
+    BlockCounts& c = counts_[block_of(addr)];
+    if (kind == AccessKind::Read) {
+        ++c.reads;
+        ++total_reads_;
+    } else {
+        ++c.writes;
+        ++total_writes_;
+    }
+}
+
+void BlockProfile::add_counts(std::size_t block, std::uint64_t reads, std::uint64_t writes) {
+    require(block < counts_.size(), "add_counts: block out of range");
+    counts_[block].reads += reads;
+    counts_[block].writes += writes;
+    total_reads_ += reads;
+    total_writes_ += writes;
+}
+
+std::vector<std::size_t> BlockProfile::blocks_by_access_desc() const {
+    std::vector<std::size_t> order(counts_.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return counts_[a].total() > counts_[b].total();
+    });
+    return order;
+}
+
+double BlockProfile::hot_fraction(std::size_t k) const {
+    require(total_accesses() > 0, "hot_fraction on empty profile");
+    if (k >= counts_.size()) return 1.0;
+    const auto order = blocks_by_access_desc();
+    std::uint64_t hot = 0;
+    for (std::size_t i = 0; i < k; ++i) hot += counts_[order[i]].total();
+    return static_cast<double>(hot) / static_cast<double>(total_accesses());
+}
+
+double BlockProfile::spatial_locality() const {
+    // Measure how compact the access mass is: compute, for the minimum
+    // number of blocks k90 that hold >= 90% of all accesses when free to
+    // choose any blocks, the smallest contiguous window that actually holds
+    // 90% of accesses. locality = k90 / window_size. A profile whose hot
+    // blocks are contiguous scores ~1; scattered hot blocks score << 1.
+    require(total_accesses() > 0, "spatial_locality on empty profile");
+    const double target = 0.9 * static_cast<double>(total_accesses());
+
+    // k90: minimal #blocks (unordered) reaching the target.
+    const auto order = blocks_by_access_desc();
+    std::uint64_t acc = 0;
+    std::size_t k90 = 0;
+    for (std::size_t i = 0; i < order.size() && static_cast<double>(acc) < target; ++i) {
+        acc += counts_[order[i]].total();
+        ++k90;
+    }
+
+    // Smallest contiguous window reaching the target (two-pointer sweep).
+    std::size_t best_window = counts_.size();
+    std::uint64_t window_sum = 0;
+    std::size_t left = 0;
+    for (std::size_t right = 0; right < counts_.size(); ++right) {
+        window_sum += counts_[right].total();
+        while (static_cast<double>(window_sum) >= target) {
+            best_window = std::min(best_window, right - left + 1);
+            window_sum -= counts_[left].total();
+            ++left;
+        }
+    }
+    MEMOPT_ASSERT(best_window >= k90);
+    return static_cast<double>(k90) / static_cast<double>(best_window);
+}
+
+BlockProfile BlockProfile::merge(std::span<const BlockProfile> profiles,
+                                 std::span<const double> weights) {
+    require(!profiles.empty(), "merge: no profiles");
+    require(weights.empty() || weights.size() == profiles.size(),
+            "merge: weight count must match profile count");
+    const std::uint64_t block_size = profiles.front().block_size();
+    std::size_t num_blocks = 0;
+    for (const BlockProfile& p : profiles) {
+        require(p.block_size() == block_size, "merge: block size mismatch");
+        num_blocks = std::max(num_blocks, p.num_blocks());
+    }
+    BlockProfile out(block_size, num_blocks);
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        const double w = weights.empty() ? 1.0 : weights[i];
+        require(w >= 0.0, "merge: negative weight");
+        for (std::size_t b = 0; b < profiles[i].num_blocks(); ++b) {
+            const BlockCounts& c = profiles[i].counts(b);
+            out.add_counts(b, static_cast<std::uint64_t>(static_cast<double>(c.reads) * w + 0.5),
+                           static_cast<std::uint64_t>(static_cast<double>(c.writes) * w + 0.5));
+        }
+    }
+    return out;
+}
+
+BlockProfile BlockProfile::permuted(std::span<const std::size_t> perm) const {
+    require(perm.size() == counts_.size(), "permuted: permutation size mismatch");
+    BlockProfile out(block_size_, counts_.size());
+    std::vector<bool> seen(counts_.size(), false);
+    for (std::size_t old_block = 0; old_block < perm.size(); ++old_block) {
+        const std::size_t new_block = perm[old_block];
+        require(new_block < counts_.size(), "permuted: target block out of range");
+        require(!seen[new_block], "permuted: permutation is not a bijection");
+        seen[new_block] = true;
+        out.add_counts(new_block, counts_[old_block].reads, counts_[old_block].writes);
+    }
+    return out;
+}
+
+}  // namespace memopt

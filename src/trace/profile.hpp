@@ -1,0 +1,98 @@
+// Block-granularity access profiles.
+//
+// The partitioning and clustering engines operate on an address profile:
+// the address space is divided into equal, power-of-two sized blocks, and
+// the profile records the number of reads and writes falling into each
+// block. This mirrors the "memory access profile" of DATE'03 1B-1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace memopt {
+
+/// Per-block access counters.
+struct BlockCounts {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+
+    std::uint64_t total() const { return reads + writes; }
+};
+
+/// An address profile at block granularity.
+///
+/// Invariants: block_size is a power of two; the profile covers the address
+/// range [0, num_blocks * block_size).
+class BlockProfile {
+public:
+    /// Construct an empty profile covering `num_blocks` blocks of
+    /// `block_size` bytes each. block_size must be a power of two,
+    /// num_blocks > 0.
+    BlockProfile(std::uint64_t block_size, std::size_t num_blocks);
+
+    /// Build a profile from a trace. The covered span is the smallest
+    /// power-of-two multiple of block_size that contains every access.
+    /// block_size must be a power of two.
+    static BlockProfile from_trace(const MemTrace& trace, std::uint64_t block_size);
+
+    std::uint64_t block_size() const { return block_size_; }
+    std::size_t num_blocks() const { return counts_.size(); }
+    std::uint64_t span_bytes() const { return block_size_ * counts_.size(); }
+
+    /// Block index containing byte address `addr`. Must lie in the span.
+    std::size_t block_of(std::uint64_t addr) const;
+
+    const BlockCounts& counts(std::size_t block) const;
+    std::span<const BlockCounts> all_counts() const { return counts_; }
+
+    /// Record one access of `kind` into the block containing `addr`.
+    void record(std::uint64_t addr, AccessKind kind);
+
+    /// Directly add counts to a block (used by synthetic profile builders).
+    void add_counts(std::size_t block, std::uint64_t reads, std::uint64_t writes);
+
+    std::uint64_t total_reads() const { return total_reads_; }
+    std::uint64_t total_writes() const { return total_writes_; }
+    std::uint64_t total_accesses() const { return total_reads_ + total_writes_; }
+
+    /// Blocks ordered by descending total access count (stable for ties).
+    std::vector<std::size_t> blocks_by_access_desc() const;
+
+    /// Fraction of all accesses that fall into the `k` hottest blocks.
+    /// Returns 1.0 for k >= num_blocks; requires at least one access.
+    double hot_fraction(std::size_t k) const;
+
+    /// Spatial-locality score in [0,1]: 1 when all accesses are packed into
+    /// the smallest possible prefix of contiguous blocks, lower when the hot
+    /// blocks are scattered. Defined as the ratio between the actual
+    /// "profile concentration" and the best achievable one:
+    ///   concentration(P) = sum_i a_i * a_i  over contiguous-window sums —
+    /// here approximated by comparing the energy-weighted span of the
+    /// hottest blocks against their count (see implementation notes).
+    double spatial_locality() const;
+
+    /// Returns a copy of this profile with blocks permuted by `perm`,
+    /// where perm[old_block] = new_block. `perm` must be a bijection on
+    /// [0, num_blocks).
+    BlockProfile permuted(std::span<const std::size_t> perm) const;
+
+    /// Merge several profiles into one (multi-application memory synthesis:
+    /// the bank architecture is shared, so the combined profile is the
+    /// weighted sum of the per-application profiles). All inputs must share
+    /// the block size; the result spans the largest input. `weights` scales
+    /// each profile's counts (rounded to the nearest integer); pass an empty
+    /// span for all-ones.
+    static BlockProfile merge(std::span<const BlockProfile> profiles,
+                              std::span<const double> weights = {});
+
+private:
+    std::uint64_t block_size_;
+    std::vector<BlockCounts> counts_;
+    std::uint64_t total_reads_ = 0;
+    std::uint64_t total_writes_ = 0;
+};
+
+}  // namespace memopt

@@ -1,0 +1,55 @@
+#include "trace/symbolize.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace memopt {
+
+std::vector<SymbolTraffic> symbolize_trace(const AssembledProgram& program,
+                                           const MemTrace& trace) {
+    // Data symbols sorted by address; each region runs to the next symbol
+    // or the end of the data image.
+    std::map<std::uint64_t, std::string> data_symbols;
+    for (const auto& [name, addr] : program.symbols) {
+        if (addr >= program.data_base) data_symbols.emplace(addr, name);
+    }
+
+    std::vector<SymbolTraffic> regions;
+    const std::uint64_t image_end = program.data_base + program.data.size();
+    for (auto it = data_symbols.begin(); it != data_symbols.end(); ++it) {
+        const auto next = std::next(it);
+        const std::uint64_t end = next != data_symbols.end() ? next->first : image_end;
+        regions.push_back(SymbolTraffic{it->second, it->first,
+                                        end > it->first ? end - it->first : 0, 0, 0});
+    }
+    SymbolTraffic anonymous{"<stack/anon>", 0, 0, 0, 0};
+
+    for (const MemAccess& access : trace.accesses()) {
+        SymbolTraffic* hit = &anonymous;
+        // Regions are ordered: binary search for the last base <= addr.
+        if (!regions.empty() && access.addr >= regions.front().base) {
+            const auto it = std::upper_bound(
+                regions.begin(), regions.end(), access.addr,
+                [](std::uint64_t addr, const SymbolTraffic& r) { return addr < r.base; });
+            SymbolTraffic& candidate = *std::prev(it);
+            if (access.addr < candidate.base + candidate.bytes) hit = &candidate;
+        }
+        if (access.kind == AccessKind::Read) {
+            ++hit->reads;
+        } else {
+            ++hit->writes;
+        }
+    }
+
+    std::vector<SymbolTraffic> out;
+    for (SymbolTraffic& region : regions) {
+        if (region.total() > 0) out.push_back(std::move(region));
+    }
+    if (anonymous.total() > 0) out.push_back(std::move(anonymous));
+    std::stable_sort(out.begin(), out.end(), [](const SymbolTraffic& a, const SymbolTraffic& b) {
+        return a.total() > b.total();
+    });
+    return out;
+}
+
+}  // namespace memopt

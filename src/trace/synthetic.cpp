@@ -1,0 +1,133 @@
+#include "trace/synthetic.hpp"
+
+#include <algorithm>
+
+namespace memopt {
+
+namespace {
+void validate(const SyntheticParams& p) {
+    require(is_pow2(p.span_bytes), "synthetic: span_bytes must be a power of two");
+    require(p.span_bytes >= 64, "synthetic: span too small");
+    require(p.num_accesses > 0, "synthetic: num_accesses must be > 0");
+    require(p.write_fraction >= 0.0 && p.write_fraction <= 1.0,
+            "synthetic: write_fraction must be in [0,1]");
+}
+
+AccessKind pick_kind(Rng& rng, double write_fraction) {
+    return rng.next_bool(write_fraction) ? AccessKind::Write : AccessKind::Read;
+}
+
+// Word-aligned address within [base, base+len).
+std::uint64_t pick_addr(Rng& rng, std::uint64_t base, std::uint64_t len) {
+    const std::uint64_t words = len / 4;
+    return base + rng.next_below(words) * 4;
+}
+}  // namespace
+
+MemTrace uniform_trace(const SyntheticParams& p) {
+    validate(p);
+    Rng rng(p.seed);
+    MemTrace t;
+    t.reserve(p.num_accesses);
+    for (std::size_t i = 0; i < p.num_accesses; ++i) {
+        t.add(MemAccess{.addr = pick_addr(rng, 0, p.span_bytes), .cycle = i,
+                        .size = 4, .kind = pick_kind(rng, p.write_fraction)});
+    }
+    return t;
+}
+
+MemTrace scattered_hotspot_trace(const HotspotParams& p) {
+    validate(p.base);
+    require(p.num_hotspots > 0, "scattered_hotspot_trace: need at least one hotspot");
+    require(p.hotspot_bytes >= 16, "scattered_hotspot_trace: hotspot too small");
+    require(p.hot_fraction >= 0.0 && p.hot_fraction <= 1.0,
+            "scattered_hotspot_trace: hot_fraction must be in [0,1]");
+    require(p.num_hotspots * p.hotspot_bytes <= p.base.span_bytes / 2,
+            "scattered_hotspot_trace: hotspots must cover at most half of the span");
+
+    Rng rng(p.base.seed);
+
+    // Spread hotspot bases across the span: divide the span into num_hotspots
+    // slices and place one hotspot at a random offset inside each slice. This
+    // guarantees the hot data is maximally non-contiguous.
+    const std::uint64_t slice = p.base.span_bytes / p.num_hotspots;
+    std::vector<std::uint64_t> bases;
+    bases.reserve(p.num_hotspots);
+    for (std::size_t h = 0; h < p.num_hotspots; ++h) {
+        const std::uint64_t max_off = slice - std::min<std::uint64_t>(slice, p.hotspot_bytes);
+        const std::uint64_t off = max_off == 0 ? 0 : rng.next_below(max_off + 1) & ~std::uint64_t{3};
+        bases.push_back(static_cast<std::uint64_t>(h) * slice + off);
+    }
+
+    MemTrace t;
+    t.reserve(p.base.num_accesses);
+    for (std::size_t i = 0; i < p.base.num_accesses; ++i) {
+        std::uint64_t addr = 0;
+        if (rng.next_bool(p.hot_fraction)) {
+            // Skewed choice across hotspots (hotspot 0 hottest).
+            const std::uint64_t h = rng.next_zipf_like(p.num_hotspots, 0.35);
+            addr = pick_addr(rng, bases[h], p.hotspot_bytes);
+        } else {
+            addr = pick_addr(rng, 0, p.base.span_bytes);
+        }
+        t.add(MemAccess{.addr = addr, .cycle = i, .size = 4,
+                        .kind = pick_kind(rng, p.base.write_fraction)});
+    }
+    return t;
+}
+
+MemTrace strided_trace(const StrideParams& p) {
+    validate(p.base);
+    require(p.stride >= 4 && p.stride % 4 == 0, "strided_trace: stride must be a multiple of 4");
+    Rng rng(p.base.seed);
+    MemTrace t;
+    t.reserve(p.base.num_accesses);
+    std::uint64_t addr = 0;
+    for (std::size_t i = 0; i < p.base.num_accesses; ++i) {
+        t.add(MemAccess{.addr = addr, .cycle = i, .size = 4,
+                        .kind = pick_kind(rng, p.base.write_fraction)});
+        addr += p.stride;
+        if (addr >= p.base.span_bytes) addr = 0;
+    }
+    return t;
+}
+
+MemTrace two_phase_trace(const SyntheticParams& p) {
+    validate(p);
+    Rng rng(p.seed);
+    MemTrace t;
+    t.reserve(p.num_accesses);
+    const std::uint64_t half = p.span_bytes / 2;
+    for (std::size_t i = 0; i < p.num_accesses; ++i) {
+        const bool phase2 = i >= p.num_accesses / 2;
+        const std::uint64_t base = phase2 ? half : 0;
+        t.add(MemAccess{.addr = pick_addr(rng, base, half), .cycle = i, .size = 4,
+                        .kind = pick_kind(rng, p.write_fraction)});
+    }
+    return t;
+}
+
+std::vector<std::uint32_t> smooth_word_stream(std::size_t n, double smooth_prob,
+                                              std::uint32_t max_delta, std::uint64_t seed) {
+    require(smooth_prob >= 0.0 && smooth_prob <= 1.0,
+            "smooth_word_stream: smooth_prob must be in [0,1]");
+    Rng rng(seed);
+    std::vector<std::uint32_t> out;
+    out.reserve(n);
+    std::uint32_t prev = static_cast<std::uint32_t>(rng.next_u64());
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t v = 0;
+        if (i > 0 && rng.next_bool(smooth_prob)) {
+            const auto delta = static_cast<std::int64_t>(rng.next_in(
+                -static_cast<std::int64_t>(max_delta), static_cast<std::int64_t>(max_delta)));
+            v = static_cast<std::uint32_t>(static_cast<std::int64_t>(prev) + delta);
+        } else {
+            v = static_cast<std::uint32_t>(rng.next_u64());
+        }
+        out.push_back(v);
+        prev = v;
+    }
+    return out;
+}
+
+}  // namespace memopt

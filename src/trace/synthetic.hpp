@@ -1,0 +1,61 @@
+// Synthetic trace generators.
+//
+// These produce address traces with controlled locality properties. They are
+// used by unit tests (known ground truth) and by benches that sweep profile
+// shapes beyond what the bundled AR32 kernels produce.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "trace/trace.hpp"
+
+namespace memopt {
+
+/// Parameters shared by the synthetic generators.
+struct SyntheticParams {
+    std::uint64_t span_bytes = 64 * 1024;  ///< covered address space (power of two)
+    std::size_t num_accesses = 100000;     ///< trace length
+    double write_fraction = 0.3;           ///< probability an access is a write
+    std::uint64_t seed = 1;                ///< RNG seed (deterministic output)
+};
+
+/// Uniform random addresses over the span. The least informative profile:
+/// partitioning gains little, clustering gains nothing.
+MemTrace uniform_trace(const SyntheticParams& p);
+
+/// "Scattered hotspots": `num_hotspots` regions of `hotspot_bytes` each are
+/// placed at random (spread-out) positions; `hot_fraction` of accesses hit a
+/// hotspot (chosen with a skewed distribution across hotspots), the rest are
+/// uniform background. This is the profile class that motivates address
+/// clustering: hot data exists but is NOT contiguous, so plain partitioning
+/// cannot isolate it into a small bank.
+struct HotspotParams {
+    SyntheticParams base;
+    std::size_t num_hotspots = 8;
+    std::uint64_t hotspot_bytes = 1024;
+    double hot_fraction = 0.9;
+};
+MemTrace scattered_hotspot_trace(const HotspotParams& p);
+
+/// Sequential strided sweep: repeatedly walks the span with a given stride
+/// (array streaming). High spatial locality by construction.
+struct StrideParams {
+    SyntheticParams base;
+    std::uint64_t stride = 4;
+};
+MemTrace strided_trace(const StrideParams& p);
+
+/// Two-phase trace: phase 1 works in region A, phase 2 in region B; models
+/// program phases with disjoint working sets (favourable to partitioning
+/// even without clustering).
+MemTrace two_phase_trace(const SyntheticParams& p);
+
+/// Values stream with controlled smoothness, used by compression tests:
+/// generates `n` 32-bit words where consecutive words differ by a bounded
+/// random delta with probability `smooth_prob`, and are random otherwise.
+std::vector<std::uint32_t> smooth_word_stream(std::size_t n, double smooth_prob,
+                                              std::uint32_t max_delta, std::uint64_t seed);
+
+}  // namespace memopt

@@ -1,0 +1,64 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace memopt {
+
+void MemTrace::add(const MemAccess& a) {
+    MEMOPT_ASSERT_MSG(a.size == 1 || a.size == 2 || a.size == 4 || a.size == 8,
+                      "access size must be 1/2/4/8 bytes");
+    if (accesses_.empty()) {
+        min_addr_ = a.addr;
+        max_addr_ = a.addr + a.size - 1;
+    } else {
+        min_addr_ = std::min(min_addr_, a.addr);
+        max_addr_ = std::max(max_addr_, a.addr + a.size - 1);
+    }
+    if (a.kind == AccessKind::Read) ++reads_;
+    else ++writes_;
+    accesses_.push_back(a);
+}
+
+void MemTrace::add_read(std::uint64_t addr, std::uint8_t size, std::uint64_t cycle) {
+    add(MemAccess{.addr = addr, .cycle = cycle, .size = size, .kind = AccessKind::Read});
+}
+
+void MemTrace::add_write(std::uint64_t addr, std::uint8_t size, std::uint64_t cycle) {
+    add(MemAccess{.addr = addr, .cycle = cycle, .size = size, .kind = AccessKind::Write});
+}
+
+std::uint64_t MemTrace::min_addr() const {
+    require(!accesses_.empty(), "min_addr on empty trace");
+    return min_addr_;
+}
+
+std::uint64_t MemTrace::max_addr() const {
+    require(!accesses_.empty(), "max_addr on empty trace");
+    return max_addr_;
+}
+
+std::uint64_t MemTrace::address_span_pow2() const {
+    require(!accesses_.empty(), "address_span_pow2 on empty trace");
+    return ceil_pow2(max_addr_ + 1);
+}
+
+void MemTrace::clear() {
+    accesses_.clear();
+    reads_ = writes_ = 0;
+    min_addr_ = max_addr_ = 0;
+}
+
+std::uint64_t ceil_pow2(std::uint64_t v) {
+    if (v <= 1) return 1;
+    return std::bit_ceil(v);
+}
+
+bool is_pow2(std::uint64_t v) { return v != 0 && std::has_single_bit(v); }
+
+unsigned log2_exact(std::uint64_t v) {
+    MEMOPT_ASSERT(is_pow2(v));
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+}  // namespace memopt

@@ -1,0 +1,86 @@
+// Memory-access traces: the common currency of the toolkit.
+//
+// Every optimization in this library (partitioning, clustering, compression,
+// encoding) is profile-driven: it consumes a trace of memory accesses
+// produced either by the AR32 instruction-set simulator (src/sim) or by the
+// synthetic generators (trace/synthetic.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace memopt {
+
+/// Direction of a memory access.
+enum class AccessKind : std::uint8_t { Read, Write };
+
+/// One memory access. `size` is the access width in bytes (1, 2 or 4 for
+/// AR32). `cycle` is the issue cycle, used by windowed affinity analysis;
+/// synthetic traces may simply use the access index. `value` is the data
+/// read or written (low `size` bytes significant); it lets the compressed-
+/// memory simulation reconstruct exact line contents from a trace.
+struct MemAccess {
+    std::uint64_t addr = 0;
+    std::uint64_t cycle = 0;
+    std::uint32_t value = 0;
+    std::uint8_t size = 4;
+    AccessKind kind = AccessKind::Read;
+};
+
+/// An ordered sequence of memory accesses plus cheap summary statistics.
+///
+/// Invariant: summary counters always match the stored sequence.
+class MemTrace {
+public:
+    MemTrace() = default;
+
+    /// Append one access. O(1).
+    void add(const MemAccess& a);
+
+    /// Append a read/write of `size` bytes at `addr` (convenience).
+    void add_read(std::uint64_t addr, std::uint8_t size = 4, std::uint64_t cycle = 0);
+    void add_write(std::uint64_t addr, std::uint8_t size = 4, std::uint64_t cycle = 0);
+
+    /// All accesses in program order.
+    std::span<const MemAccess> accesses() const { return accesses_; }
+
+    std::size_t size() const { return accesses_.size(); }
+    bool empty() const { return accesses_.empty(); }
+    std::uint64_t read_count() const { return reads_; }
+    std::uint64_t write_count() const { return writes_; }
+
+    /// Lowest / highest byte address touched. Requires a non-empty trace.
+    std::uint64_t min_addr() const;
+    std::uint64_t max_addr() const;
+
+    /// Smallest power-of-two span (in bytes) that covers all touched
+    /// addresses starting from address zero. Requires a non-empty trace.
+    std::uint64_t address_span_pow2() const;
+
+    /// Remove all accesses.
+    void clear();
+
+    /// Reserve storage for `n` accesses.
+    void reserve(std::size_t n) { accesses_.reserve(n); }
+
+private:
+    std::vector<MemAccess> accesses_;
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+    std::uint64_t min_addr_ = 0;
+    std::uint64_t max_addr_ = 0;
+};
+
+/// Round `v` up to the next power of two (v=0 -> 1).
+std::uint64_t ceil_pow2(std::uint64_t v);
+
+/// True if `v` is a power of two (v > 0).
+bool is_pow2(std::uint64_t v);
+
+/// Integer log2 of a power of two.
+unsigned log2_exact(std::uint64_t v);
+
+}  // namespace memopt

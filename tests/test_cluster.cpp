@@ -1,0 +1,304 @@
+// Unit and property tests for address clustering: maps, policies, remap
+// cost, and the end-to-end clustering-beats-plain-partitioning property on
+// scattered-hotspot profiles.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cluster/address_map.hpp"
+#include "cluster/affinity_cluster.hpp"
+#include "cluster/frequency.hpp"
+#include "cluster/remap_cost.hpp"
+#include "core/flow.hpp"
+#include "partition/solver.hpp"
+#include "support/assert.hpp"
+#include "trace/synthetic.hpp"
+
+namespace memopt {
+namespace {
+
+// ----------------------------------------------------------- AddressMap ----
+
+TEST(AddressMap, IdentityMapsAddressesUnchanged) {
+    const auto map = AddressMap::identity(256, 8);
+    EXPECT_TRUE(map.is_identity());
+    EXPECT_EQ(map.map_addr(0x123), 0x123u);
+    EXPECT_EQ(map.map_block(5), 5u);
+    EXPECT_EQ(map.unmap_block(5), 5u);
+}
+
+TEST(AddressMap, MapPreservesOffsetWithinBlock) {
+    const AddressMap map(256, {1, 0});
+    EXPECT_EQ(map.map_addr(0x10), 0x110u);
+    EXPECT_EQ(map.map_addr(0x1FC), 0xFCu);
+}
+
+TEST(AddressMap, InverseIsConsistent) {
+    const AddressMap map(256, {2, 0, 3, 1});
+    for (std::size_t b = 0; b < 4; ++b) EXPECT_EQ(map.unmap_block(map.map_block(b)), b);
+}
+
+TEST(AddressMap, RejectsNonBijections) {
+    EXPECT_THROW(AddressMap(256, {0, 0}), Error);
+    EXPECT_THROW(AddressMap(256, {0, 2}), Error);
+    EXPECT_THROW(AddressMap(256, {}), Error);
+    EXPECT_THROW(AddressMap(100, {0}), Error);  // block size not pow2
+}
+
+TEST(AddressMap, MapAddrRejectsOutsideSpan) {
+    const AddressMap map(256, {1, 0});
+    EXPECT_THROW(map.map_addr(512), Error);
+}
+
+TEST(AddressMap, ProfileAndTraceApplicationsAgree) {
+    // profile(map(trace)) == map(profile(trace)) — the remap stage commutes
+    // with profiling.
+    const MemTrace trace = uniform_trace({.span_bytes = 4096, .num_accesses = 3000,
+                                          .write_fraction = 0.25, .seed = 5});
+    const BlockProfile profile = BlockProfile::from_trace(trace, 256);
+    Rng rng(7);
+    std::vector<std::size_t> perm(profile.num_blocks());
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    rng.shuffle(perm);
+    const AddressMap map(256, perm);
+
+    const BlockProfile direct = map.apply(profile);
+    const BlockProfile via_trace = BlockProfile::from_trace(map.apply(trace), 256);
+    ASSERT_EQ(direct.num_blocks(), via_trace.num_blocks());
+    for (std::size_t b = 0; b < direct.num_blocks(); ++b) {
+        EXPECT_EQ(direct.counts(b).reads, via_trace.counts(b).reads) << b;
+        EXPECT_EQ(direct.counts(b).writes, via_trace.counts(b).writes) << b;
+    }
+}
+
+// ------------------------------------------------------------ policies ----
+
+TEST(FrequencyClustering, HotBlocksMoveToFront) {
+    BlockProfile p(256, 8);
+    p.add_counts(6, 100, 0);
+    p.add_counts(2, 50, 0);
+    p.add_counts(4, 10, 0);
+    const AddressMap map = frequency_clustering(p);
+    EXPECT_EQ(map.map_block(6), 0u);
+    EXPECT_EQ(map.map_block(2), 1u);
+    EXPECT_EQ(map.map_block(4), 2u);
+    // The permuted profile is hot-first and monotone non-increasing.
+    const BlockProfile q = map.apply(p);
+    for (std::size_t b = 1; b < q.num_blocks(); ++b)
+        EXPECT_LE(q.counts(b).total(), q.counts(b - 1).total());
+}
+
+TEST(FrequencyClustering, IsAlwaysABijection) {
+    const MemTrace trace = scattered_hotspot_trace({
+        .base = {.span_bytes = 32768, .num_accesses = 10000, .write_fraction = 0.3, .seed = 3},
+        .num_hotspots = 5,
+        .hotspot_bytes = 512,
+        .hot_fraction = 0.9,
+    });
+    const BlockProfile p = BlockProfile::from_trace(trace, 256);
+    const AddressMap map = frequency_clustering(p);  // ctor validates bijection
+    EXPECT_EQ(map.num_blocks(), p.num_blocks());
+}
+
+TEST(AffinityClustering, ProducesValidMapAndKeepsHotSeedFirst) {
+    const MemTrace trace = two_phase_trace({.span_bytes = 8192, .num_accesses = 4000,
+                                            .write_fraction = 0.3, .seed = 11});
+    const BlockProfile p = BlockProfile::from_trace(trace, 256);
+    const AffinityMatrix aff = windowed_affinity(trace, p, 16);
+    const AddressMap map = affinity_clustering(p, aff);
+    EXPECT_EQ(map.num_blocks(), p.num_blocks());
+    // The seed (hottest block) lands at physical position 0.
+    const auto order = p.blocks_by_access_desc();
+    EXPECT_EQ(map.map_block(order[0]), 0u);
+}
+
+TEST(AffinityClustering, ColdBlocksLandAtTheTail) {
+    BlockProfile p(256, 6);
+    p.add_counts(1, 10, 0);
+    p.add_counts(3, 20, 0);
+    AffinityMatrix aff(6);
+    aff.add(1, 3, 5.0);
+    const AddressMap map = affinity_clustering(p, aff);
+    EXPECT_LT(map.map_block(1), 2u);
+    EXPECT_LT(map.map_block(3), 2u);
+    EXPECT_GE(map.map_block(0), 2u);
+    EXPECT_GE(map.map_block(5), 2u);
+}
+
+TEST(AffinityClustering, GroupsCoAccessedBlocks) {
+    // Blocks 0 and 9 are always accessed together; 5 is equally hot but
+    // never co-accessed: 0 and 9 must be physical neighbours.
+    BlockProfile p(256, 10);
+    p.add_counts(0, 100, 0);
+    p.add_counts(9, 100, 0);
+    p.add_counts(5, 100, 0);
+    AffinityMatrix aff(10);
+    aff.add(0, 9, 100.0);
+    const AddressMap map = affinity_clustering(p, aff);
+    const auto pos0 = map.map_block(0);
+    const auto pos9 = map.map_block(9);
+    const auto pos5 = map.map_block(5);
+    EXPECT_EQ(std::max(pos0, pos9) - std::min(pos0, pos9), 1u);
+    EXPECT_GT(pos5, std::max(pos0, pos9));
+}
+
+TEST(AffinityClustering, ValidatesInputs) {
+    BlockProfile p(256, 4);
+    p.add_counts(0, 1, 0);
+    AffinityMatrix wrong(5);
+    EXPECT_THROW(affinity_clustering(p, wrong), Error);
+    AffinityMatrix ok(4);
+    EXPECT_THROW(affinity_clustering(p, ok, {.tail_window = 0}), Error);
+}
+
+// ----------------------------------------------------------- remap cost ----
+
+TEST(RemapTable, SingleBlockIsFree) {
+    EXPECT_DOUBLE_EQ(RemapTableModel(1).lookup_energy(), 0.0);
+}
+
+TEST(RemapTable, EnergyAndBitsGrowWithBlocks) {
+    double prev_energy = 0.0;
+    std::uint64_t prev_bits = 0;
+    for (std::size_t blocks = 2; blocks <= 4096; blocks *= 4) {
+        const RemapTableModel model(blocks);
+        EXPECT_GT(model.lookup_energy(), prev_energy);
+        EXPECT_GT(model.table_bits(), prev_bits);
+        prev_energy = model.lookup_energy();
+        prev_bits = model.table_bits();
+    }
+}
+
+TEST(RemapTable, IndexBitsCeilLog2) {
+    EXPECT_EQ(RemapTableModel(1024).index_bits(), 10u);
+    EXPECT_EQ(RemapTableModel(1000).index_bits(), 10u);
+    EXPECT_EQ(RemapTableModel(2).index_bits(), 1u);
+}
+
+TEST(RemapTable, LookupStaysSmallRelativeToBankAccess) {
+    // The remap stage must stay an order of magnitude below a bank access,
+    // or clustering could never win; this guards the technology defaults.
+    const RemapTableModel remap(1024);
+    const SramEnergyModel bank(8 * 1024);
+    EXPECT_LT(remap.lookup_energy() * 5, bank.read_energy());
+}
+
+// ------------------------------------------------------------ E2E flow ----
+
+class ClusteringWins : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClusteringWins, BeatsPlainPartitioningOnScatteredHotspots) {
+    const MemTrace trace = scattered_hotspot_trace({
+        .base = {.span_bytes = 128 * 1024, .num_accesses = 40000, .write_fraction = 0.3,
+                 .seed = GetParam()},
+        .num_hotspots = 8,
+        .hotspot_bytes = 1024,
+        .hot_fraction = 0.9,
+    });
+    FlowParams fp;
+    fp.block_size = 256;
+    fp.constraints.max_banks = 4;
+    const MemoryOptimizationFlow flow(fp);
+    const FlowComparison cmp = flow.compare(trace, ClusterMethod::Frequency);
+    EXPECT_GT(cmp.partitioning_savings_pct(), 0.0);
+    EXPECT_GT(cmp.clustering_savings_pct(), 5.0)
+        << "clustering must clearly beat plain partitioning on scattered profiles";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusteringWins, ::testing::Values(21, 22, 23, 24, 25));
+
+class FrequencyOptimality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FrequencyOptimality, NoPermutationBeatsFrequencyPlusExactDp) {
+    // Theorem (exchange argument, documented in EXPERIMENTS.md E1): with
+    // capacities that depend only on the number of blocks per bank,
+    // hot-first ordering followed by the exact DP minimizes energy over ALL
+    // block permutations. Check it empirically against random permutations.
+    const MemTrace trace = scattered_hotspot_trace({
+        .base = {.span_bytes = 16384, .num_accesses = 20000, .write_fraction = 0.3,
+                 .seed = GetParam()},
+        .num_hotspots = 4,
+        .hotspot_bytes = 512,
+        .hot_fraction = 0.85,
+    });
+    const BlockProfile profile = BlockProfile::from_trace(trace, 256);
+    const PartitionConstraints constraints{4};
+    const PartitionEnergyParams params;  // no remap term: pure permutation comparison
+
+    const BlockProfile freq_physical = frequency_clustering(profile).apply(profile);
+    const double best = solve_partition_optimal(freq_physical, constraints, params)
+                            .energy.total();
+
+    Rng rng(GetParam() + 5000);
+    std::vector<std::size_t> perm(profile.num_blocks());
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    for (int trial = 0; trial < 10; ++trial) {
+        rng.shuffle(perm);
+        const BlockProfile shuffled = AddressMap(256, perm).apply(profile);
+        const double other =
+            solve_partition_optimal(shuffled, constraints, params).energy.total();
+        EXPECT_GE(other, best * (1 - 1e-12)) << "trial " << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrequencyOptimality, ::testing::Values(41, 42, 43));
+
+TEST(Flow, ComparisonFieldsAreConsistent) {
+    const MemTrace trace = scattered_hotspot_trace({
+        .base = {.span_bytes = 32768, .num_accesses = 20000, .write_fraction = 0.3, .seed = 31},
+        .num_hotspots = 6,
+        .hotspot_bytes = 512,
+        .hot_fraction = 0.85,
+    });
+    FlowParams fp;
+    fp.constraints.max_banks = 4;
+    const MemoryOptimizationFlow flow(fp);
+    const FlowComparison cmp = flow.compare(trace, ClusterMethod::Affinity);
+    EXPECT_EQ(cmp.partitioned.method, ClusterMethod::None);
+    EXPECT_EQ(cmp.clustered.method, ClusterMethod::Affinity);
+    EXPECT_TRUE(cmp.partitioned.map.is_identity());
+    EXPECT_FALSE(cmp.clustered.map.is_identity());
+    // Partitioning never loses to the monolithic baseline (k=1 is in the
+    // DP's search space).
+    EXPECT_LE(cmp.partitioned.energy.total(), cmp.monolithic.total() * (1 + 1e-12));
+    // The clustered flow pays for its remap table.
+    EXPECT_GT(cmp.clustered.energy.component("remap"), 0.0);
+    EXPECT_DOUBLE_EQ(cmp.partitioned.energy.component("remap"), 0.0);
+}
+
+TEST(Flow, AffinityNeedsTrace) {
+    BlockProfile p(256, 8);
+    p.add_counts(0, 10, 5);
+    const MemoryOptimizationFlow flow(FlowParams{});
+    EXPECT_THROW(flow.run(p, ClusterMethod::Affinity, nullptr), Error);
+    EXPECT_NO_THROW(flow.run(p, ClusterMethod::Frequency, nullptr));
+}
+
+TEST(Flow, AutoGreedyFallbackOnHugeProfiles) {
+    // 2 MiB span at 256 B blocks = 8192 blocks: above the auto-greedy
+    // threshold, the flow must still complete quickly and return a valid
+    // architecture.
+    const MemTrace trace = scattered_hotspot_trace({
+        .base = {.span_bytes = 2 * 1024 * 1024, .num_accesses = 30000,
+                 .write_fraction = 0.3, .seed = 77},
+        .num_hotspots = 10,
+        .hotspot_bytes = 2048,
+        .hot_fraction = 0.9,
+    });
+    FlowParams fp;
+    fp.block_size = 256;
+    fp.constraints.max_banks = 4;
+    const MemoryOptimizationFlow flow(fp);
+    const FlowResult result = flow.run(trace, ClusterMethod::Frequency);
+    EXPECT_EQ(result.solution.arch.num_blocks(), 8192u);
+    EXPECT_LE(result.solution.arch.num_banks(), 4u);
+}
+
+TEST(Flow, MethodNames) {
+    EXPECT_EQ(cluster_method_name(ClusterMethod::None), "none");
+    EXPECT_EQ(cluster_method_name(ClusterMethod::Frequency), "frequency");
+    EXPECT_EQ(cluster_method_name(ClusterMethod::Affinity), "affinity");
+}
+
+}  // namespace
+}  // namespace memopt

@@ -1,0 +1,153 @@
+// Unit tests for the energy models (SRAM, DRAM, bus) and EnergyBreakdown.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "energy/bus_model.hpp"
+#include "energy/dram_model.hpp"
+#include "energy/report.hpp"
+#include "energy/sram_model.hpp"
+#include "support/assert.hpp"
+
+namespace memopt {
+namespace {
+
+// ----------------------------------------------------------------- SRAM ----
+
+TEST(SramModel, EnergyGrowsWithCapacity) {
+    double prev = 0.0;
+    for (std::uint64_t size = 256; size <= 1 << 20; size *= 2) {
+        const SramEnergyModel model(size);
+        EXPECT_GT(model.read_energy(), prev);
+        prev = model.read_energy();
+    }
+}
+
+TEST(SramModel, GrowthIsSuperLogarithmic) {
+    // Quadrupling the capacity should roughly double the array term
+    // (sqrt scaling), i.e. clearly more than an additive decoder bump.
+    const SramEnergyModel small(1024);
+    const SramEnergyModel big(16 * 1024);
+    EXPECT_GT(big.read_energy(), 2.0 * small.read_energy());
+}
+
+TEST(SramModel, WriteCostsMoreThanRead) {
+    const SramEnergyModel model(4096);
+    EXPECT_GT(model.write_energy(), model.read_energy());
+    EXPECT_NEAR(model.write_energy() / model.read_energy(),
+                model.technology().write_factor, 1e-12);
+}
+
+TEST(SramModel, WiderWordsCostMore) {
+    const SramEnergyModel narrow(4096, 16);
+    const SramEnergyModel wide(4096, 64);
+    EXPECT_GT(wide.read_energy(), narrow.read_energy());
+}
+
+TEST(SramModel, LeakageScalesWithSizeAndTime) {
+    const SramEnergyModel model(8192);
+    EXPECT_DOUBLE_EQ(model.leakage_pw(), 1.5 * 8192);
+    const double e1 = model.leakage_energy(1000, 10.0);
+    const double e2 = model.leakage_energy(2000, 10.0);
+    EXPECT_NEAR(e2, 2.0 * e1, 1e-12);
+    EXPECT_DOUBLE_EQ(model.leakage_energy(0, 10.0), 0.0);
+}
+
+TEST(SramModel, RejectsBadGeometry) {
+    EXPECT_THROW(SramEnergyModel(1000), Error);      // not pow2
+    EXPECT_THROW(SramEnergyModel(8), Error);         // too small
+    EXPECT_THROW(SramEnergyModel(1024, 24), Error);  // odd width
+}
+
+TEST(SramModel, CalibrationAnchors) {
+    // Documented anchors of the default technology: ~12 pJ at 1 KiB,
+    // ~79 pJ at 64 KiB (0.18um-class embedded SRAM).
+    EXPECT_NEAR(SramEnergyModel(1024).read_energy(), 12.0, 2.0);
+    EXPECT_NEAR(SramEnergyModel(64 * 1024).read_energy(), 79.0, 8.0);
+}
+
+TEST(BankSelect, ZeroForMonolithicAndMonotone) {
+    EXPECT_DOUBLE_EQ(bank_select_energy(1), 0.0);
+    double prev = 0.0;
+    for (std::size_t banks = 2; banks <= 64; banks *= 2) {
+        const double e = bank_select_energy(banks);
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+}
+
+// ----------------------------------------------------------------- DRAM ----
+
+TEST(DramModel, BurstEnergyAffineInBytes) {
+    const DramEnergyModel model;
+    EXPECT_DOUBLE_EQ(model.burst_energy(0), 0.0);
+    const double e16 = model.burst_energy(16);
+    const double e32 = model.burst_energy(32);
+    EXPECT_GT(e16, model.technology().activate_pj);
+    EXPECT_NEAR(e32 - e16, 16 * model.technology().per_byte_pj, 1e-9);
+}
+
+TEST(DramModel, SmallerBurstsCostLess) {
+    const DramEnergyModel model;
+    EXPECT_LT(model.burst_energy(8), model.burst_energy(32));
+}
+
+// ------------------------------------------------------------------ bus ----
+
+TEST(Bus, Hamming32) {
+    EXPECT_EQ(hamming32(0, 0), 0u);
+    EXPECT_EQ(hamming32(0xFFFFFFFF, 0), 32u);
+    EXPECT_EQ(hamming32(0b1010, 0b0101), 4u);
+}
+
+TEST(Bus, CountTransitionsOverStream) {
+    const std::vector<std::uint32_t> words{0x1, 0x3, 0x3, 0x0};
+    // 0->1: 1, 1->3: 1, 3->3: 0, 3->0: 2
+    EXPECT_EQ(count_transitions(words, 0), 4u);
+}
+
+TEST(Bus, StreamEnergyMatchesTransitionCount) {
+    const std::vector<std::uint32_t> words{0xFF, 0x00, 0xFF};
+    const BusEnergyModel model;
+    EXPECT_DOUBLE_EQ(model.stream_energy(words, 0),
+                     model.transition_energy(count_transitions(words, 0)));
+}
+
+// ------------------------------------------------------------ breakdown ----
+
+TEST(EnergyBreakdown, AddAccumulatesByName) {
+    EnergyBreakdown b;
+    b.add("x", 10.0);
+    b.add("y", 5.0);
+    b.add("x", 2.5);
+    EXPECT_DOUBLE_EQ(b.component("x"), 12.5);
+    EXPECT_DOUBLE_EQ(b.component("y"), 5.0);
+    EXPECT_DOUBLE_EQ(b.component("absent"), 0.0);
+    EXPECT_DOUBLE_EQ(b.total(), 17.5);
+}
+
+TEST(EnergyBreakdown, MergeAndScale) {
+    EnergyBreakdown a;
+    a.add("x", 1.0);
+    EnergyBreakdown b;
+    b.add("x", 2.0);
+    b.add("y", 3.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.component("x"), 3.0);
+    a.scale(2.0);
+    EXPECT_DOUBLE_EQ(a.total(), 12.0);
+}
+
+TEST(EnergyBreakdown, PreservesInsertionOrderInPrint) {
+    EnergyBreakdown b;
+    b.add("zeta", 1.0);
+    b.add("alpha", 1.0);
+    std::ostringstream oss;
+    b.print(oss, "title");
+    const std::string s = oss.str();
+    EXPECT_LT(s.find("zeta"), s.find("alpha"));
+    EXPECT_NE(s.find("total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace memopt

@@ -1,0 +1,293 @@
+// Unit and property tests for the reconfigurable-architecture data
+// scheduler: model validation, evaluation semantics, and solver ordering
+// (optimal <= greedy, optimal <= naive).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "sched/scheduler.hpp"
+#include "support/assert.hpp"
+
+namespace memopt {
+namespace {
+
+Application tiny_app() {
+    Application app;
+    app.name = "tiny";
+    app.num_contexts = 2;
+    app.datasets = {{"a", 1024}, {"b", 4096}};
+    app.phases = {
+        {"p0", 0, {{0, 10000}, {1, 500}}},
+        {"p1", 1, {{0, 8000}}},
+    };
+    return app;
+}
+
+// ---------------------------------------------------------------- model ----
+
+TEST(Model, ValidationCatchesBadInputs) {
+    Application app = tiny_app();
+    app.phases[0].uses[0].dataset = 9;
+    EXPECT_THROW(app.validate(), Error);
+
+    app = tiny_app();
+    app.phases[1].context = 5;
+    EXPECT_THROW(app.validate(), Error);
+
+    app = tiny_app();
+    app.datasets[0].bytes = 6;  // not a multiple of 4
+    EXPECT_THROW(app.validate(), Error);
+
+    app = tiny_app();
+    app.phases[0].uses[0].accesses = 0;
+    EXPECT_THROW(app.validate(), Error);
+
+    EXPECT_NO_THROW(tiny_app().validate());
+}
+
+TEST(Model, ArchCostsAreOrdered) {
+    const ReconfArch arch;
+    EXPECT_LT(arch.access_pj(MemLevel::L1), arch.access_pj(MemLevel::L2));
+    EXPECT_LT(arch.access_pj(MemLevel::L2), arch.access_pj(MemLevel::Ext));
+}
+
+TEST(Model, MoveCostSymmetricAndZeroForStay) {
+    const ReconfArch arch;
+    EXPECT_DOUBLE_EQ(arch.move_pj(MemLevel::L1, MemLevel::L1, 1024), 0.0);
+    EXPECT_DOUBLE_EQ(arch.move_pj(MemLevel::Ext, MemLevel::L1, 1024),
+                     arch.move_pj(MemLevel::L1, MemLevel::Ext, 1024));
+    EXPECT_GT(arch.move_pj(MemLevel::Ext, MemLevel::L1, 1024), 0.0);
+}
+
+TEST(Model, GeneratorIsDeterministicAndValid) {
+    AppGenParams params;
+    params.seed = 5;
+    const Application a = generate_application(params);
+    const Application b = generate_application(params);
+    EXPECT_EQ(a.datasets.size(), b.datasets.size());
+    EXPECT_EQ(a.phases.size(), b.phases.size());
+    for (std::size_t p = 0; p < a.phases.size(); ++p)
+        EXPECT_EQ(a.phases[p].context, b.phases[p].context);
+    EXPECT_NO_THROW(a.validate());
+}
+
+// ------------------------------------------------------------- evaluate ----
+
+TEST(Evaluate, AllExtScheduleCostsAccessOnly) {
+    const Application app = tiny_app();
+    const ReconfArch arch;
+    DataSchedule schedule;
+    schedule.assignment.assign(2, std::vector<MemLevel>(2, MemLevel::Ext));
+    const auto e = evaluate_schedule(app, arch, schedule);
+    const double expected_access = (10000 + 500 + 8000) * arch.ext_access_pj;
+    EXPECT_DOUBLE_EQ(e.component("data_access"), expected_access);
+    EXPECT_DOUBLE_EQ(e.component("data_movement"), 0.0);
+    EXPECT_GT(e.component("context_load"), 0.0);
+}
+
+TEST(Evaluate, MovementChargedOnLevelChange) {
+    const Application app = tiny_app();
+    const ReconfArch arch;
+    DataSchedule schedule;
+    schedule.assignment = {
+        {MemLevel::L1, MemLevel::Ext},  // a moves Ext->L1
+        {MemLevel::L2, MemLevel::Ext},  // a moves L1->L2
+    };
+    const auto e = evaluate_schedule(app, arch, schedule);
+    const double expected_move = arch.move_pj(MemLevel::Ext, MemLevel::L1, 1024) +
+                                 arch.move_pj(MemLevel::L1, MemLevel::L2, 1024);
+    EXPECT_DOUBLE_EQ(e.component("data_movement"), expected_move);
+}
+
+TEST(Evaluate, RejectsCapacityViolation) {
+    Application app = tiny_app();
+    app.datasets[0].bytes = 4096;  // a no longer fits L1 (2 KiB)
+    const ReconfArch arch;
+    DataSchedule schedule;
+    schedule.assignment.assign(2, std::vector<MemLevel>(2, MemLevel::Ext));
+    schedule.assignment[0][0] = MemLevel::L1;
+    EXPECT_THROW(evaluate_schedule(app, arch, schedule), Error);
+}
+
+TEST(Evaluate, RejectsShapeMismatch) {
+    const Application app = tiny_app();
+    const ReconfArch arch;
+    DataSchedule schedule;
+    schedule.assignment.assign(1, std::vector<MemLevel>(2, MemLevel::Ext));
+    EXPECT_THROW(evaluate_schedule(app, arch, schedule), Error);
+}
+
+TEST(Evaluate, ContextReloadsCostEnergy) {
+    // Two contexts ping-ponging with a single slot reload every phase;
+    // with two slots they load once each.
+    Application app;
+    app.name = "pingpong";
+    app.num_contexts = 2;
+    app.datasets = {{"d", 256}};
+    for (int i = 0; i < 8; ++i)
+        app.phases.push_back({"p", static_cast<std::size_t>(i % 2), {{0, 100}}});
+
+    DataSchedule schedule;
+    schedule.assignment.assign(8, std::vector<MemLevel>(1, MemLevel::Ext));
+
+    ReconfArch one_slot;
+    one_slot.context_slots = 1;
+    ReconfArch two_slots;
+    two_slots.context_slots = 2;
+    const double e1 = evaluate_schedule(app, one_slot, schedule).component("context_load");
+    const double e2 = evaluate_schedule(app, two_slots, schedule).component("context_load");
+    EXPECT_DOUBLE_EQ(e1, 8 * 2048 * one_slot.context_byte_pj);
+    EXPECT_DOUBLE_EQ(e2, 2 * 2048 * two_slots.context_byte_pj);
+}
+
+TEST(Evaluate, ContextPrefetchHelpsThrashingSequences) {
+    Application app;
+    app.name = "thrash";
+    app.num_contexts = 3;
+    app.datasets = {{"d", 256}};
+    for (int i = 0; i < 12; ++i)
+        app.phases.push_back({"p", static_cast<std::size_t>(i % 3), {{0, 100}}});
+    const ReconfArch arch;  // 2 slots, 3 contexts -> thrash
+
+    DataSchedule plain;
+    plain.assignment.assign(12, std::vector<MemLevel>(1, MemLevel::Ext));
+    DataSchedule prefetch = plain;
+    prefetch.prefetch_contexts = true;
+
+    EXPECT_LT(evaluate_schedule(app, arch, prefetch).component("context_load"),
+              evaluate_schedule(app, arch, plain).component("context_load"));
+}
+
+// -------------------------------------------------------------- solvers ----
+
+TEST(Solvers, NaiveIsFeasibleAndStatic) {
+    const Application app = tiny_app();
+    const ReconfArch arch;
+    const DataSchedule s = naive_schedule(app, arch);
+    EXPECT_NO_THROW(evaluate_schedule(app, arch, s));
+    for (std::size_t p = 1; p < s.assignment.size(); ++p)
+        EXPECT_EQ(s.assignment[p], s.assignment[0]);
+}
+
+class SolverOrdering : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverOrdering, OptimalBeatsGreedyBeatsNothing) {
+    AppGenParams params;
+    params.seed = GetParam();
+    params.num_datasets = 5;
+    params.num_phases = 8;
+    const Application app = generate_application(params);
+    const ReconfArch arch;
+    const double naive = evaluate_schedule(app, arch, naive_schedule(app, arch)).total();
+    const double greedy = evaluate_schedule(app, arch, greedy_schedule(app, arch)).total();
+    const double optimal = evaluate_schedule(app, arch, optimal_schedule(app, arch)).total();
+    EXPECT_LE(optimal, greedy * (1 + 1e-12));
+    EXPECT_LE(optimal, naive * (1 + 1e-12));
+    // The headline claim: scheduling reduces application energy.
+    EXPECT_LT(optimal, naive);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverOrdering,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+namespace brute {
+
+/// Exhaustive schedule enumeration for tiny instances: every sequence of
+/// feasible per-phase assignments. Used to certify the Viterbi DP.
+double best_total(const Application& app, const ReconfArch& arch, bool prefetch) {
+    const std::size_t d = app.datasets.size();
+    std::size_t states_per_phase = 1;
+    for (std::size_t i = 0; i < d; ++i) states_per_phase *= kNumLevels;
+
+    auto decode_state = [&](std::size_t code) {
+        std::vector<MemLevel> assign(d);
+        for (std::size_t i = 0; i < d; ++i) {
+            assign[i] = static_cast<MemLevel>(code % kNumLevels);
+            code /= kNumLevels;
+        }
+        return assign;
+    };
+
+    double best = std::numeric_limits<double>::infinity();
+    std::vector<std::size_t> choice(app.phases.size(), 0);
+    for (;;) {
+        DataSchedule schedule;
+        schedule.prefetch_contexts = prefetch;
+        for (std::size_t p = 0; p < app.phases.size(); ++p)
+            schedule.assignment.push_back(decode_state(choice[p]));
+        try {
+            best = std::min(best, evaluate_schedule(app, arch, schedule).total());
+        } catch (const Error&) {
+            // capacity violation: skip
+        }
+        // Increment the mixed-radix counter.
+        std::size_t p = 0;
+        while (p < choice.size()) {
+            if (++choice[p] < states_per_phase) break;
+            choice[p] = 0;
+            ++p;
+        }
+        if (p == choice.size()) break;
+    }
+    return best;
+}
+
+}  // namespace brute
+
+class ViterbiCertification : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ViterbiCertification, ExactDpMatchesBruteForceEnumeration) {
+    AppGenParams params;
+    params.seed = GetParam();
+    params.num_datasets = 2;
+    params.num_phases = 3;
+    params.num_contexts = 2;
+    const Application app = generate_application(params);
+    const ReconfArch arch;
+    const double dp = evaluate_schedule(app, arch, optimal_schedule(app, arch)).total();
+    const double brute_best = std::min(brute::best_total(app, arch, false),
+                                       brute::best_total(app, arch, true));
+    EXPECT_NEAR(dp, brute_best, 1e-6 * brute_best);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViterbiCertification,
+                         ::testing::Values(101, 102, 103, 104, 105, 106));
+
+TEST(Solvers, GreedyFeasibleOnLargerInstances) {
+    AppGenParams params;
+    params.seed = 42;
+    params.num_datasets = 12;
+    params.num_phases = 24;
+    const Application app = generate_application(params);
+    const ReconfArch arch;
+    EXPECT_NO_THROW(evaluate_schedule(app, arch, greedy_schedule(app, arch)));
+}
+
+TEST(Solvers, OptimalRejectsHugeInstances) {
+    AppGenParams params;
+    params.num_datasets = 9;
+    const Application app = generate_application(params);
+    EXPECT_THROW(optimal_schedule(app, ReconfArch{}), Error);
+}
+
+TEST(Solvers, HotSmallDataEndsUpInL1) {
+    Application app;
+    app.name = "hot";
+    app.num_contexts = 1;
+    app.datasets = {{"hot", 512}, {"cold", 16 * 1024}};
+    app.phases = {{"p0", 0, {{0, 100000}, {1, 100}}}};
+    const ReconfArch arch;
+    const DataSchedule s = optimal_schedule(app, arch);
+    EXPECT_EQ(s.assignment[0][0], MemLevel::L1);
+    EXPECT_EQ(s.assignment[0][1], MemLevel::Ext);  // cold and too big for L2? it fits... 16K > 8K L2
+}
+
+TEST(Solvers, MemLevelNames) {
+    EXPECT_EQ(mem_level_name(MemLevel::L1), "L1");
+    EXPECT_EQ(mem_level_name(MemLevel::L2), "L2");
+    EXPECT_EQ(mem_level_name(MemLevel::Ext), "ext");
+}
+
+}  // namespace
+}  // namespace memopt

@@ -1,0 +1,429 @@
+// Unit tests for traces, block profiles, affinity analysis and synthetic
+// trace generators.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/assert.hpp"
+#include "trace/affinity.hpp"
+#include "trace/profile.hpp"
+#include "trace/synthetic.hpp"
+#include "sim/kernels.hpp"
+#include "trace/io.hpp"
+#include "trace/symbolize.hpp"
+#include "trace/trace.hpp"
+
+namespace memopt {
+namespace {
+
+// ----------------------------------------------------------- MemTrace ----
+
+TEST(MemTrace, CountersTrackAdds) {
+    MemTrace t;
+    t.add_read(0x100);
+    t.add_write(0x200, 1);
+    t.add_read(0x104, 2);
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_EQ(t.read_count(), 2u);
+    EXPECT_EQ(t.write_count(), 1u);
+    EXPECT_EQ(t.min_addr(), 0x100u);
+    EXPECT_EQ(t.max_addr(), 0x200u);
+}
+
+TEST(MemTrace, SpanIsPow2CoveringMaxByte) {
+    MemTrace t;
+    t.add_read(1000, 4);  // touches bytes 1000..1003
+    EXPECT_EQ(t.address_span_pow2(), 1024u);
+    t.add_read(1024, 4);
+    EXPECT_EQ(t.address_span_pow2(), 2048u);
+}
+
+TEST(MemTrace, EmptyTraceQueriesThrow) {
+    MemTrace t;
+    EXPECT_THROW(t.min_addr(), Error);
+    EXPECT_THROW(t.max_addr(), Error);
+    EXPECT_THROW(t.address_span_pow2(), Error);
+}
+
+TEST(MemTrace, ClearResets) {
+    MemTrace t;
+    t.add_write(4);
+    t.clear();
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.read_count() + t.write_count(), 0u);
+}
+
+TEST(Pow2Helpers, CeilPow2) {
+    EXPECT_EQ(ceil_pow2(0), 1u);
+    EXPECT_EQ(ceil_pow2(1), 1u);
+    EXPECT_EQ(ceil_pow2(2), 2u);
+    EXPECT_EQ(ceil_pow2(3), 4u);
+    EXPECT_EQ(ceil_pow2(1024), 1024u);
+    EXPECT_EQ(ceil_pow2(1025), 2048u);
+}
+
+TEST(Pow2Helpers, IsPow2AndLog2) {
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(4096));
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_FALSE(is_pow2(12));
+    EXPECT_EQ(log2_exact(1), 0u);
+    EXPECT_EQ(log2_exact(4096), 12u);
+}
+
+// ------------------------------------------------------- BlockProfile ----
+
+TEST(BlockProfile, FromTraceCountsPerBlock) {
+    MemTrace t;
+    t.add_read(0);        // block 0
+    t.add_read(255);      // block 0  (byte access at end of block)
+    t.add_write(256);     // block 1
+    t.add_read(1020);     // block 3
+    const BlockProfile p = BlockProfile::from_trace(t, 256);
+    EXPECT_EQ(p.num_blocks(), 4u);
+    EXPECT_EQ(p.counts(0).reads, 2u);  // accesses at 0 and 255 both start in block 0
+    EXPECT_EQ(p.counts(1).writes, 1u);
+    EXPECT_EQ(p.counts(3).reads, 1u);
+    EXPECT_EQ(p.total_accesses(), 4u);
+}
+
+TEST(BlockProfile, BlockOfRejectsOutsideSpan) {
+    BlockProfile p(256, 4);
+    EXPECT_EQ(p.block_of(1023), 3u);
+    EXPECT_THROW(p.block_of(1024), Error);
+}
+
+TEST(BlockProfile, RejectsBadGeometry) {
+    EXPECT_THROW(BlockProfile(100, 4), Error);  // not pow2
+    EXPECT_THROW(BlockProfile(256, 0), Error);
+}
+
+TEST(BlockProfile, HotFraction) {
+    BlockProfile p(256, 4);
+    p.add_counts(0, 90, 0);
+    p.add_counts(2, 10, 0);
+    EXPECT_DOUBLE_EQ(p.hot_fraction(1), 0.9);
+    EXPECT_DOUBLE_EQ(p.hot_fraction(2), 1.0);
+    EXPECT_DOUBLE_EQ(p.hot_fraction(99), 1.0);
+}
+
+TEST(BlockProfile, BlocksByAccessDescStable) {
+    BlockProfile p(256, 4);
+    p.add_counts(1, 5, 0);
+    p.add_counts(3, 5, 0);
+    p.add_counts(2, 9, 0);
+    const auto order = p.blocks_by_access_desc();
+    EXPECT_EQ(order[0], 2u);
+    EXPECT_EQ(order[1], 1u);  // tie broken by original order
+    EXPECT_EQ(order[2], 3u);
+}
+
+TEST(BlockProfile, SpatialLocalityHighForContiguous) {
+    BlockProfile p(256, 16);
+    p.add_counts(4, 100, 0);
+    p.add_counts(5, 100, 0);
+    p.add_counts(6, 100, 0);
+    EXPECT_NEAR(p.spatial_locality(), 1.0, 1e-9);
+}
+
+TEST(BlockProfile, SpatialLocalityLowForScattered) {
+    BlockProfile p(256, 16);
+    p.add_counts(0, 100, 0);
+    p.add_counts(7, 100, 0);
+    p.add_counts(15, 100, 0);
+    EXPECT_LT(p.spatial_locality(), 0.5);
+}
+
+TEST(BlockProfile, PermutedMovesCounts) {
+    BlockProfile p(256, 3);
+    p.add_counts(0, 1, 2);
+    p.add_counts(2, 5, 0);
+    const std::vector<std::size_t> perm{2, 0, 1};
+    const BlockProfile q = p.permuted(perm);
+    EXPECT_EQ(q.counts(2).reads, 1u);
+    EXPECT_EQ(q.counts(2).writes, 2u);
+    EXPECT_EQ(q.counts(1).reads, 5u);
+    EXPECT_EQ(q.total_accesses(), p.total_accesses());
+}
+
+TEST(BlockProfile, PermutedRejectsNonBijection) {
+    BlockProfile p(256, 3);
+    const std::vector<std::size_t> bad{0, 0, 1};
+    EXPECT_THROW(p.permuted(bad), Error);
+    const std::vector<std::size_t> out_of_range{0, 1, 3};
+    EXPECT_THROW(p.permuted(out_of_range), Error);
+}
+
+// ----------------------------------------------------------- affinity ----
+
+TEST(Affinity, TransitionCountsAdjacentBlocks) {
+    MemTrace t;
+    t.add_read(0);     // block 0
+    t.add_read(256);   // block 1 -> edge 0-1
+    t.add_read(0);     // block 0 -> edge 0-1 (symmetric)
+    t.add_read(0);     // same block, no edge
+    const BlockProfile p = BlockProfile::from_trace(t, 256);
+    const AffinityMatrix m = transition_affinity(t, p);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 0), 2.0);
+    EXPECT_DOUBLE_EQ(m.total(), 2.0);
+}
+
+TEST(Affinity, WindowedSeesNonAdjacentPairs) {
+    MemTrace t;
+    t.add_read(0);      // block 0
+    t.add_read(256);    // block 1
+    t.add_read(512);    // block 2
+    const BlockProfile p = BlockProfile::from_trace(t, 256);
+    const AffinityMatrix m3 = windowed_affinity(t, p, 3);
+    EXPECT_DOUBLE_EQ(m3.at(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(m3.at(1, 2), 1.0);
+    EXPECT_DOUBLE_EQ(m3.at(0, 2), 1.0);  // within window of 3
+    const AffinityMatrix m2 = windowed_affinity(t, p, 2);
+    EXPECT_DOUBLE_EQ(m2.at(0, 2), 0.0);  // not adjacent
+}
+
+TEST(Affinity, WindowValidation) {
+    MemTrace t;
+    t.add_read(0);
+    const BlockProfile p = BlockProfile::from_trace(t, 256);
+    EXPECT_THROW(windowed_affinity(t, p, 1), Error);
+}
+
+TEST(Affinity, SetQueryAndSymmetry) {
+    AffinityMatrix m(4);
+    m.add(1, 3, 2.5);
+    m.add(3, 1, 0.5);
+    EXPECT_DOUBLE_EQ(m.at(1, 3), 3.0);
+    EXPECT_DOUBLE_EQ(m.affinity_to_set(1, {0, 3}), 3.0);
+    EXPECT_THROW(m.at(4, 0), Error);
+}
+
+// ---------------------------------------------------------- synthetic ----
+
+TEST(Synthetic, DeterministicBySeed) {
+    SyntheticParams p;
+    p.num_accesses = 500;
+    const MemTrace a = uniform_trace(p);
+    const MemTrace b = uniform_trace(p);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a.accesses()[i].addr, b.accesses()[i].addr);
+}
+
+TEST(Synthetic, UniformStaysInSpan) {
+    SyntheticParams p;
+    p.span_bytes = 4096;
+    p.num_accesses = 2000;
+    const MemTrace t = uniform_trace(p);
+    EXPECT_LT(t.max_addr(), 4096u);
+}
+
+TEST(Synthetic, HotspotTraceIsSkewedAndScattered) {
+    HotspotParams hp;
+    hp.base.span_bytes = 64 * 1024;
+    hp.base.num_accesses = 20000;
+    hp.num_hotspots = 8;
+    hp.hotspot_bytes = 1024;
+    hp.hot_fraction = 0.9;
+    const MemTrace t = scattered_hotspot_trace(hp);
+    const BlockProfile p = BlockProfile::from_trace(t, 256);
+    // 8 hotspots of 4 blocks each: ~32 hot blocks should hold ~90%.
+    EXPECT_GT(p.hot_fraction(40), 0.85);
+    // And they must be scattered, not contiguous.
+    EXPECT_LT(p.spatial_locality(), 0.6);
+}
+
+TEST(Synthetic, HotspotValidation) {
+    HotspotParams hp;
+    hp.num_hotspots = 0;
+    EXPECT_THROW(scattered_hotspot_trace(hp), Error);
+}
+
+TEST(Synthetic, StridedWrapsAround) {
+    StrideParams sp;
+    sp.base.span_bytes = 1024;
+    sp.base.num_accesses = 600;
+    sp.stride = 4;
+    const MemTrace t = strided_trace(sp);
+    EXPECT_EQ(t.accesses()[0].addr, 0u);
+    EXPECT_EQ(t.accesses()[255].addr, 1020u);
+    EXPECT_EQ(t.accesses()[256].addr, 0u);  // wrapped
+}
+
+TEST(Synthetic, TwoPhaseUsesDisjointHalves) {
+    SyntheticParams p;
+    p.span_bytes = 8192;
+    p.num_accesses = 1000;
+    const MemTrace t = two_phase_trace(p);
+    for (std::size_t i = 0; i < 500; ++i) EXPECT_LT(t.accesses()[i].addr, 4096u);
+    for (std::size_t i = 500; i < 1000; ++i) EXPECT_GE(t.accesses()[i].addr, 4096u);
+}
+
+TEST(Synthetic, SmoothWordStreamHasBoundedDeltas) {
+    const auto words = smooth_word_stream(1000, 1.0, 100, 9);
+    for (std::size_t i = 1; i < words.size(); ++i) {
+        const auto delta = static_cast<std::int32_t>(words[i] - words[i - 1]);
+        EXPECT_LE(std::abs(delta), 100);
+    }
+}
+
+
+// ------------------------------------------------------------ trace IO ----
+
+MemTrace sample_trace() {
+    MemTrace t;
+    t.add(MemAccess{.addr = 0x1000, .cycle = 5, .value = 0xDEADBEEF, .size = 4,
+                    .kind = AccessKind::Write});
+    t.add(MemAccess{.addr = 0x1004, .cycle = 9, .value = 0x7F, .size = 1,
+                    .kind = AccessKind::Read});
+    t.add(MemAccess{.addr = 0xFFFF0, .cycle = 12, .value = 0xABCD, .size = 2,
+                    .kind = AccessKind::Read});
+    return t;
+}
+
+void expect_traces_equal(const MemTrace& a, const MemTrace& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.accesses()[i].addr, b.accesses()[i].addr) << i;
+        EXPECT_EQ(a.accesses()[i].cycle, b.accesses()[i].cycle) << i;
+        EXPECT_EQ(a.accesses()[i].value, b.accesses()[i].value) << i;
+        EXPECT_EQ(a.accesses()[i].size, b.accesses()[i].size) << i;
+        EXPECT_EQ(a.accesses()[i].kind, b.accesses()[i].kind) << i;
+    }
+}
+
+TEST(TraceIo, TextRoundTrip) {
+    const MemTrace t = sample_trace();
+    std::stringstream ss;
+    write_trace_text(ss, t);
+    expect_traces_equal(t, read_trace_text(ss));
+}
+
+TEST(TraceIo, BinaryRoundTrip) {
+    const MemTrace t = sample_trace();
+    std::stringstream ss;
+    write_trace_binary(ss, t);
+    expect_traces_equal(t, read_trace_binary(ss));
+}
+
+TEST(TraceIo, BinaryRoundTripLargeRandom) {
+    const MemTrace t = uniform_trace({.span_bytes = 65536, .num_accesses = 5000,
+                                      .write_fraction = 0.4, .seed = 77});
+    std::stringstream ss;
+    write_trace_binary(ss, t);
+    expect_traces_equal(t, read_trace_binary(ss));
+}
+
+TEST(TraceIo, TextAcceptsShortRecordsAndComments) {
+    std::stringstream ss("# header\nR 0x100\nW 0x104 2\nR 0x108 4 99  # inline\n");
+    const MemTrace t = read_trace_text(ss);
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_EQ(t.accesses()[0].size, 4u);
+    EXPECT_EQ(t.accesses()[1].size, 2u);
+    EXPECT_EQ(t.accesses()[2].cycle, 99u);
+}
+
+TEST(TraceIo, TextRejectsMalformedRecords) {
+    std::stringstream bad_kind("X 0x100\n");
+    EXPECT_THROW(read_trace_text(bad_kind), Error);
+    std::stringstream bad_addr("R zzz\n");
+    EXPECT_THROW(read_trace_text(bad_addr), Error);
+    std::stringstream bad_size("R 0x100 3\n");
+    EXPECT_THROW(read_trace_text(bad_size), Error);
+}
+
+TEST(TraceIo, BinaryRejectsBadMagicAndTruncation) {
+    std::stringstream bad("NOPE");
+    EXPECT_THROW(read_trace_binary(bad), Error);
+    std::stringstream ss;
+    write_trace_binary(ss, sample_trace());
+    const std::string full = ss.str();
+    std::stringstream truncated(full.substr(0, full.size() - 3));
+    EXPECT_THROW(read_trace_binary(truncated), Error);
+}
+
+TEST(TraceIo, FileSaveLoadBothFormats) {
+    const MemTrace t = sample_trace();
+    const std::string text_path = ::testing::TempDir() + "memopt_trace_test.txt";
+    const std::string bin_path = ::testing::TempDir() + "memopt_trace_test.mtrc";
+    save_trace(text_path, t);
+    save_trace(bin_path, t);
+    expect_traces_equal(t, load_trace(text_path));
+    expect_traces_equal(t, load_trace(bin_path));
+    std::remove(text_path.c_str());
+    std::remove(bin_path.c_str());
+}
+
+TEST(TraceIo, LoadMissingFileThrows) {
+    EXPECT_THROW(load_trace("/nonexistent/path/trace.mtrc"), Error);
+}
+
+
+// ----------------------------------------------------------- symbolize ----
+
+TEST(Symbolize, AttributesAccessesToSymbols) {
+    const auto prog = assemble(R"(
+        halt
+.data
+hot:    .word 0, 0, 0, 0
+cold:   .space 64
+)");
+    MemTrace trace;
+    const std::uint64_t hot = prog.symbol("hot");
+    const std::uint64_t cold = prog.symbol("cold");
+    trace.add_read(hot);
+    trace.add_read(hot + 12);
+    trace.add_write(cold + 8);
+    trace.add_read(0x30000);  // outside the data image -> stack/anon
+
+    const auto traffic = symbolize_trace(prog, trace);
+    ASSERT_EQ(traffic.size(), 3u);
+    EXPECT_EQ(traffic[0].name, "hot");
+    EXPECT_EQ(traffic[0].reads, 2u);
+    EXPECT_EQ(traffic[0].bytes, 16u);
+    bool saw_cold = false;
+    bool saw_anon = false;
+    for (const SymbolTraffic& t : traffic) {
+        if (t.name == "cold") {
+            saw_cold = true;
+            EXPECT_EQ(t.writes, 1u);
+        }
+        if (t.name == "<stack/anon>") {
+            saw_anon = true;
+            EXPECT_EQ(t.reads, 1u);
+        }
+    }
+    EXPECT_TRUE(saw_cold);
+    EXPECT_TRUE(saw_anon);
+}
+
+TEST(Symbolize, SortedByTrafficAndOmitsColdSymbols) {
+    const auto prog = assemble(R"(
+        halt
+.data
+a:      .word 0
+b:      .word 0
+c:      .word 0
+)");
+    MemTrace trace;
+    for (int i = 0; i < 3; ++i) trace.add_read(prog.symbol("b"));
+    trace.add_read(prog.symbol("a"));
+    const auto traffic = symbolize_trace(prog, trace);
+    ASSERT_EQ(traffic.size(), 2u);  // c has no traffic
+    EXPECT_EQ(traffic[0].name, "b");
+    EXPECT_EQ(traffic[1].name, "a");
+}
+
+TEST(Symbolize, AccountsEveryAccessExactlyOnce) {
+    const auto prog = assemble(kernel_by_name("histogram").source);
+    const RunResult run = Cpu(CpuConfig{}).run(prog);
+    const auto traffic = symbolize_trace(prog, run.data_trace);
+    std::uint64_t total = 0;
+    for (const SymbolTraffic& t : traffic) total += t.total();
+    EXPECT_EQ(total, run.data_trace.size());
+}
+
+}  // namespace
+}  // namespace memopt
