@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e0_workload_table"
+  "../bench/e0_workload_table.pdb"
+  "CMakeFiles/e0_workload_table.dir/e0_workload_table.cpp.o"
+  "CMakeFiles/e0_workload_table.dir/e0_workload_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e0_workload_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e10_sleep_ablation"
+  "../bench/e10_sleep_ablation.pdb"
+  "CMakeFiles/e10_sleep_ablation.dir/e10_sleep_ablation.cpp.o"
+  "CMakeFiles/e10_sleep_ablation.dir/e10_sleep_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_sleep_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

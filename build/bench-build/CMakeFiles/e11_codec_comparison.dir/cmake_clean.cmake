@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e11_codec_comparison"
+  "../bench/e11_codec_comparison.pdb"
+  "CMakeFiles/e11_codec_comparison.dir/e11_codec_comparison.cpp.o"
+  "CMakeFiles/e11_codec_comparison.dir/e11_codec_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e11_codec_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e1_clustering_table"
+  "../bench/e1_clustering_table.pdb"
+  "CMakeFiles/e1_clustering_table.dir/e1_clustering_table.cpp.o"
+  "CMakeFiles/e1_clustering_table.dir/e1_clustering_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_clustering_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

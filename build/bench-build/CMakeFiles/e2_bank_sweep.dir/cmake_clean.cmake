@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e2_bank_sweep"
+  "../bench/e2_bank_sweep.pdb"
+  "CMakeFiles/e2_bank_sweep.dir/e2_bank_sweep.cpp.o"
+  "CMakeFiles/e2_bank_sweep.dir/e2_bank_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_bank_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

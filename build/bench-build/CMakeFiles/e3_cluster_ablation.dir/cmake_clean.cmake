@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e3_cluster_ablation"
+  "../bench/e3_cluster_ablation.pdb"
+  "CMakeFiles/e3_cluster_ablation.dir/e3_cluster_ablation.cpp.o"
+  "CMakeFiles/e3_cluster_ablation.dir/e3_cluster_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_cluster_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

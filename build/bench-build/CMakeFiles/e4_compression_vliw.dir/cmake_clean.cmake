@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e4_compression_vliw"
+  "../bench/e4_compression_vliw.pdb"
+  "CMakeFiles/e4_compression_vliw.dir/e4_compression_vliw.cpp.o"
+  "CMakeFiles/e4_compression_vliw.dir/e4_compression_vliw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_compression_vliw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e4_compression_vliw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e5_compression_risc"
+  "../bench/e5_compression_risc.pdb"
+  "CMakeFiles/e5_compression_risc.dir/e5_compression_risc.cpp.o"
+  "CMakeFiles/e5_compression_risc.dir/e5_compression_risc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_compression_risc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e6_compression_sweep"
+  "../bench/e6_compression_sweep.pdb"
+  "CMakeFiles/e6_compression_sweep.dir/e6_compression_sweep.cpp.o"
+  "CMakeFiles/e6_compression_sweep.dir/e6_compression_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_compression_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e7_encoding_table"
+  "../bench/e7_encoding_table.pdb"
+  "CMakeFiles/e7_encoding_table.dir/e7_encoding_table.cpp.o"
+  "CMakeFiles/e7_encoding_table.dir/e7_encoding_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_encoding_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e8_encoding_ablation"
+  "../bench/e8_encoding_ablation.pdb"
+  "CMakeFiles/e8_encoding_ablation.dir/e8_encoding_ablation.cpp.o"
+  "CMakeFiles/e8_encoding_ablation.dir/e8_encoding_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_encoding_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

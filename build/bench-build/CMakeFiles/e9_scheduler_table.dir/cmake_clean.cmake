@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e9_scheduler_table"
+  "../bench/e9_scheduler_table.pdb"
+  "CMakeFiles/e9_scheduler_table.dir/e9_scheduler_table.cpp.o"
+  "CMakeFiles/e9_scheduler_table.dir/e9_scheduler_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_scheduler_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

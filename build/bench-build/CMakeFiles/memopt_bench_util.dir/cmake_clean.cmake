@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memopt_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/memopt_bench_util.dir/bench_util.cpp.o.d"
+  "CMakeFiles/memopt_bench_util.dir/compression_table.cpp.o"
+  "CMakeFiles/memopt_bench_util.dir/compression_table.cpp.o.d"
+  "libmemopt_bench_util.a"
+  "libmemopt_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memopt_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

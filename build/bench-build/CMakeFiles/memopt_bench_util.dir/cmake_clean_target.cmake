@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmemopt_bench_util.a"
+)

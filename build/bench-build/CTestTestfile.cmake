@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench-build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(shape_e0_workload_table "/root/repo/build/bench/e0_workload_table")
+set_tests_properties(shape_e0_workload_table PROPERTIES  FAIL_REGULAR_EXPRESSION "SHAPE WARN" LABELS "shape" PASS_REGULAR_EXPRESSION "SHAPE ok" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(shape_e1_clustering_table "/root/repo/build/bench/e1_clustering_table")
+set_tests_properties(shape_e1_clustering_table PROPERTIES  FAIL_REGULAR_EXPRESSION "SHAPE WARN" LABELS "shape" PASS_REGULAR_EXPRESSION "SHAPE ok" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(shape_e2_bank_sweep "/root/repo/build/bench/e2_bank_sweep")
+set_tests_properties(shape_e2_bank_sweep PROPERTIES  FAIL_REGULAR_EXPRESSION "SHAPE WARN" LABELS "shape" PASS_REGULAR_EXPRESSION "SHAPE ok" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(shape_e3_cluster_ablation "/root/repo/build/bench/e3_cluster_ablation")
+set_tests_properties(shape_e3_cluster_ablation PROPERTIES  FAIL_REGULAR_EXPRESSION "SHAPE WARN" LABELS "shape" PASS_REGULAR_EXPRESSION "SHAPE ok" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(shape_e4_compression_vliw "/root/repo/build/bench/e4_compression_vliw")
+set_tests_properties(shape_e4_compression_vliw PROPERTIES  FAIL_REGULAR_EXPRESSION "SHAPE WARN" LABELS "shape" PASS_REGULAR_EXPRESSION "SHAPE ok" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(shape_e5_compression_risc "/root/repo/build/bench/e5_compression_risc")
+set_tests_properties(shape_e5_compression_risc PROPERTIES  FAIL_REGULAR_EXPRESSION "SHAPE WARN" LABELS "shape" PASS_REGULAR_EXPRESSION "SHAPE ok" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(shape_e6_compression_sweep "/root/repo/build/bench/e6_compression_sweep")
+set_tests_properties(shape_e6_compression_sweep PROPERTIES  FAIL_REGULAR_EXPRESSION "SHAPE WARN" LABELS "shape" PASS_REGULAR_EXPRESSION "SHAPE ok" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(shape_e7_encoding_table "/root/repo/build/bench/e7_encoding_table")
+set_tests_properties(shape_e7_encoding_table PROPERTIES  FAIL_REGULAR_EXPRESSION "SHAPE WARN" LABELS "shape" PASS_REGULAR_EXPRESSION "SHAPE ok" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(shape_e8_encoding_ablation "/root/repo/build/bench/e8_encoding_ablation")
+set_tests_properties(shape_e8_encoding_ablation PROPERTIES  FAIL_REGULAR_EXPRESSION "SHAPE WARN" LABELS "shape" PASS_REGULAR_EXPRESSION "SHAPE ok" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(shape_e9_scheduler_table "/root/repo/build/bench/e9_scheduler_table")
+set_tests_properties(shape_e9_scheduler_table PROPERTIES  FAIL_REGULAR_EXPRESSION "SHAPE WARN" LABELS "shape" PASS_REGULAR_EXPRESSION "SHAPE ok" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(shape_e10_sleep_ablation "/root/repo/build/bench/e10_sleep_ablation")
+set_tests_properties(shape_e10_sleep_ablation PROPERTIES  FAIL_REGULAR_EXPRESSION "SHAPE WARN" LABELS "shape" PASS_REGULAR_EXPRESSION "SHAPE ok" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(shape_e11_codec_comparison "/root/repo/build/bench/e11_codec_comparison")
+set_tests_properties(shape_e11_codec_comparison PROPERTIES  FAIL_REGULAR_EXPRESSION "SHAPE WARN" LABELS "shape" PASS_REGULAR_EXPRESSION "SHAPE ok" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")

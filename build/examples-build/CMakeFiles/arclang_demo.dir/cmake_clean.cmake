@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/arclang_demo"
+  "../examples/arclang_demo.pdb"
+  "CMakeFiles/arclang_demo.dir/arclang_demo.cpp.o"
+  "CMakeFiles/arclang_demo.dir/arclang_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arclang_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

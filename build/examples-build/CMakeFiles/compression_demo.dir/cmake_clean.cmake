@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/compression_demo"
+  "../examples/compression_demo.pdb"
+  "CMakeFiles/compression_demo.dir/compression_demo.cpp.o"
+  "CMakeFiles/compression_demo.dir/compression_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

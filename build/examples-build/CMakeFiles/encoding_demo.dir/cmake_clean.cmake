@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/encoding_demo"
+  "../examples/encoding_demo.pdb"
+  "CMakeFiles/encoding_demo.dir/encoding_demo.cpp.o"
+  "CMakeFiles/encoding_demo.dir/encoding_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoding_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/memopt_cli"
+  "../examples/memopt_cli.pdb"
+  "CMakeFiles/memopt_cli.dir/memopt_cli.cpp.o"
+  "CMakeFiles/memopt_cli.dir/memopt_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memopt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/multi_app"
+  "../examples/multi_app.pdb"
+  "CMakeFiles/multi_app.dir/multi_app.cpp.o"
+  "CMakeFiles/multi_app.dir/multi_app.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

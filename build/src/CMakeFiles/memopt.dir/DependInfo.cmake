@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cpp" "src/CMakeFiles/memopt.dir/cache/cache.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/cache/cache.cpp.o.d"
+  "/root/repo/src/cache/hierarchy.cpp" "src/CMakeFiles/memopt.dir/cache/hierarchy.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/cache/hierarchy.cpp.o.d"
+  "/root/repo/src/cluster/address_map.cpp" "src/CMakeFiles/memopt.dir/cluster/address_map.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/cluster/address_map.cpp.o.d"
+  "/root/repo/src/cluster/affinity_cluster.cpp" "src/CMakeFiles/memopt.dir/cluster/affinity_cluster.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/cluster/affinity_cluster.cpp.o.d"
+  "/root/repo/src/cluster/frequency.cpp" "src/CMakeFiles/memopt.dir/cluster/frequency.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/cluster/frequency.cpp.o.d"
+  "/root/repo/src/cluster/remap_cost.cpp" "src/CMakeFiles/memopt.dir/cluster/remap_cost.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/cluster/remap_cost.cpp.o.d"
+  "/root/repo/src/compress/bdi_codec.cpp" "src/CMakeFiles/memopt.dir/compress/bdi_codec.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/compress/bdi_codec.cpp.o.d"
+  "/root/repo/src/compress/codec.cpp" "src/CMakeFiles/memopt.dir/compress/codec.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/compress/codec.cpp.o.d"
+  "/root/repo/src/compress/dictionary_codec.cpp" "src/CMakeFiles/memopt.dir/compress/dictionary_codec.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/compress/dictionary_codec.cpp.o.d"
+  "/root/repo/src/compress/diff_codec.cpp" "src/CMakeFiles/memopt.dir/compress/diff_codec.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/compress/diff_codec.cpp.o.d"
+  "/root/repo/src/compress/memsys.cpp" "src/CMakeFiles/memopt.dir/compress/memsys.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/compress/memsys.cpp.o.d"
+  "/root/repo/src/compress/platform.cpp" "src/CMakeFiles/memopt.dir/compress/platform.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/compress/platform.cpp.o.d"
+  "/root/repo/src/compress/zero_run.cpp" "src/CMakeFiles/memopt.dir/compress/zero_run.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/compress/zero_run.cpp.o.d"
+  "/root/repo/src/core/app_builder.cpp" "src/CMakeFiles/memopt.dir/core/app_builder.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/core/app_builder.cpp.o.d"
+  "/root/repo/src/core/flow.cpp" "src/CMakeFiles/memopt.dir/core/flow.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/core/flow.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/memopt.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/study.cpp" "src/CMakeFiles/memopt.dir/core/study.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/core/study.cpp.o.d"
+  "/root/repo/src/encoding/baselines.cpp" "src/CMakeFiles/memopt.dir/encoding/baselines.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/encoding/baselines.cpp.o.d"
+  "/root/repo/src/encoding/decoder_cost.cpp" "src/CMakeFiles/memopt.dir/encoding/decoder_cost.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/encoding/decoder_cost.cpp.o.d"
+  "/root/repo/src/encoding/search.cpp" "src/CMakeFiles/memopt.dir/encoding/search.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/encoding/search.cpp.o.d"
+  "/root/repo/src/encoding/transform.cpp" "src/CMakeFiles/memopt.dir/encoding/transform.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/encoding/transform.cpp.o.d"
+  "/root/repo/src/energy/bus_model.cpp" "src/CMakeFiles/memopt.dir/energy/bus_model.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/energy/bus_model.cpp.o.d"
+  "/root/repo/src/energy/dram_model.cpp" "src/CMakeFiles/memopt.dir/energy/dram_model.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/energy/dram_model.cpp.o.d"
+  "/root/repo/src/energy/report.cpp" "src/CMakeFiles/memopt.dir/energy/report.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/energy/report.cpp.o.d"
+  "/root/repo/src/energy/sram_model.cpp" "src/CMakeFiles/memopt.dir/energy/sram_model.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/energy/sram_model.cpp.o.d"
+  "/root/repo/src/isa/assembler.cpp" "src/CMakeFiles/memopt.dir/isa/assembler.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/isa/assembler.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "src/CMakeFiles/memopt.dir/isa/disasm.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/isa/disasm.cpp.o.d"
+  "/root/repo/src/isa/encode.cpp" "src/CMakeFiles/memopt.dir/isa/encode.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/isa/encode.cpp.o.d"
+  "/root/repo/src/isa/isa.cpp" "src/CMakeFiles/memopt.dir/isa/isa.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/isa/isa.cpp.o.d"
+  "/root/repo/src/lang/codegen.cpp" "src/CMakeFiles/memopt.dir/lang/codegen.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/lang/codegen.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "src/CMakeFiles/memopt.dir/lang/lexer.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/lang/lexer.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/CMakeFiles/memopt.dir/lang/parser.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/lang/parser.cpp.o.d"
+  "/root/repo/src/partition/bank.cpp" "src/CMakeFiles/memopt.dir/partition/bank.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/partition/bank.cpp.o.d"
+  "/root/repo/src/partition/evaluate.cpp" "src/CMakeFiles/memopt.dir/partition/evaluate.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/partition/evaluate.cpp.o.d"
+  "/root/repo/src/partition/sleep.cpp" "src/CMakeFiles/memopt.dir/partition/sleep.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/partition/sleep.cpp.o.d"
+  "/root/repo/src/partition/solver.cpp" "src/CMakeFiles/memopt.dir/partition/solver.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/partition/solver.cpp.o.d"
+  "/root/repo/src/sched/model.cpp" "src/CMakeFiles/memopt.dir/sched/model.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/sched/model.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/CMakeFiles/memopt.dir/sched/scheduler.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/sched/scheduler.cpp.o.d"
+  "/root/repo/src/sim/cpu.cpp" "src/CMakeFiles/memopt.dir/sim/cpu.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/sim/cpu.cpp.o.d"
+  "/root/repo/src/sim/kernels.cpp" "src/CMakeFiles/memopt.dir/sim/kernels.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/sim/kernels.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/CMakeFiles/memopt.dir/sim/memory.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/sim/memory.cpp.o.d"
+  "/root/repo/src/support/assert.cpp" "src/CMakeFiles/memopt.dir/support/assert.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/support/assert.cpp.o.d"
+  "/root/repo/src/support/csv.cpp" "src/CMakeFiles/memopt.dir/support/csv.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/support/csv.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/memopt.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/memopt.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/support/stats.cpp.o.d"
+  "/root/repo/src/support/string_util.cpp" "src/CMakeFiles/memopt.dir/support/string_util.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/support/string_util.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/memopt.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/support/table.cpp.o.d"
+  "/root/repo/src/trace/affinity.cpp" "src/CMakeFiles/memopt.dir/trace/affinity.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/trace/affinity.cpp.o.d"
+  "/root/repo/src/trace/io.cpp" "src/CMakeFiles/memopt.dir/trace/io.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/trace/io.cpp.o.d"
+  "/root/repo/src/trace/profile.cpp" "src/CMakeFiles/memopt.dir/trace/profile.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/trace/profile.cpp.o.d"
+  "/root/repo/src/trace/symbolize.cpp" "src/CMakeFiles/memopt.dir/trace/symbolize.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/trace/symbolize.cpp.o.d"
+  "/root/repo/src/trace/synthetic.cpp" "src/CMakeFiles/memopt.dir/trace/synthetic.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/trace/synthetic.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/memopt.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/memopt.dir/trace/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

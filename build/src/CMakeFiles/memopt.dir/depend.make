@@ -1,0 +1,2 @@
+# Empty dependencies file for memopt.
+# This may be replaced when dependencies are built.
