@@ -7,18 +7,29 @@
 
 namespace memopt::bench {
 
-std::vector<KernelRun> run_suite(bool fetch) {
-    std::vector<KernelRun> runs;
-    CpuConfig config;
-    config.record_fetch_stream = fetch;
-    for (const Kernel& kernel : kernel_suite()) {
-        KernelRun run;
-        run.name = kernel.name;
-        run.program = assemble(kernel.source);
-        run.result = Cpu(config).run(run.program);
-        runs.push_back(std::move(run));
-    }
-    return runs;
+namespace {
+
+std::optional<std::string> dir_path(const char* env_var, const std::string& name,
+                                    const std::string& extension) {
+    const char* dir = std::getenv(env_var);
+    if (dir == nullptr || *dir == '\0') return std::nullopt;
+    return std::string(dir) + "/" + name + "." + extension;
+}
+
+std::optional<std::ofstream> dir_sink(const char* env_var, const std::string& name,
+                                      const std::string& extension) {
+    const auto path = dir_path(env_var, name, extension);
+    if (!path) return std::nullopt;
+    std::ofstream os(*path);
+    require(os.is_open(), std::string(env_var) + " sink: cannot create '" + *path + "'");
+    std::printf("(figure data -> %s)\n", path->c_str());
+    return os;
+}
+
+}  // namespace
+
+std::vector<KernelRunPtr> run_suite(bool fetch) {
+    return WorkloadRepository::instance().suite(fetch);
 }
 
 void print_header(const std::string& experiment, const std::string& paper_claim,
@@ -35,13 +46,15 @@ void print_shape(bool ok, const std::string& message) {
 }
 
 std::optional<std::ofstream> csv_sink(const std::string& name) {
-    const char* dir = std::getenv("MEMOPT_CSV_DIR");
-    if (dir == nullptr || *dir == '\0') return std::nullopt;
-    const std::string path = std::string(dir) + "/" + name + ".csv";
-    std::ofstream os(path);
-    require(os.is_open(), "csv_sink: cannot create '" + path + "'");
-    std::printf("(figure data -> %s)\n", path.c_str());
-    return os;
+    return dir_sink("MEMOPT_CSV_DIR", name, "csv");
+}
+
+std::optional<std::ofstream> json_sink(const std::string& name) {
+    return dir_sink("MEMOPT_JSON_DIR", name, "json");
+}
+
+std::optional<std::string> json_path(const std::string& name) {
+    return dir_path("MEMOPT_JSON_DIR", name, "json");
 }
 
 }  // namespace memopt::bench

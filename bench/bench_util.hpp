@@ -6,22 +6,22 @@
 #include <string>
 #include <vector>
 
-#include "isa/assembler.hpp"
-#include "sim/cpu.hpp"
-#include "sim/kernels.hpp"
+#include "core/workload.hpp"
 
 namespace memopt::bench {
 
-/// A kernel together with its simulation artifacts, computed once per bench.
-struct KernelRun {
-    std::string name;
-    AssembledProgram program;
-    RunResult result;
-};
+// The per-bench KernelRun copies moved to the process-wide
+// WorkloadRepository (core/workload.hpp); the aliases keep the historical
+// bench-local names working.
+using memopt::KernelRun;
+using memopt::KernelRunPtr;
 
-/// Run the whole kernel suite (data traces always recorded; fetch streams
-/// when `fetch` is set).
-std::vector<KernelRun> run_suite(bool fetch = false);
+/// The whole kernel suite with its simulation artifacts (fetch streams
+/// when `fetch` is set), served from the shared WorkloadRepository: the
+/// suite is simulated at most once per bench process, concurrently on
+/// first touch (MEMOPT_JOBS threads), and every call shares the same
+/// immutable artifacts.
+std::vector<KernelRunPtr> run_suite(bool fetch = false);
 
 /// Print the standard bench header: experiment id, paper claim, setup.
 void print_header(const std::string& experiment, const std::string& paper_claim,
@@ -35,5 +35,15 @@ void print_shape(bool ok, const std::string& message);
 /// file cannot be created); otherwise nullopt. Lets plots be regenerated
 /// from the exact series a bench printed.
 std::optional<std::ofstream> csv_sink(const std::string& name);
+
+/// Machine-readable export: like csv_sink, but on <dir>/<name>.json with
+/// the directory taken from MEMOPT_JSON_DIR.
+std::optional<std::ofstream> json_sink(const std::string& name);
+
+/// The path json_sink would write to, without opening it — for tools like
+/// google-benchmark that insist on creating the output file themselves.
+/// Used by perf_micro to emit BENCH_perf.json so the perf trajectory can
+/// be tracked across PRs.
+std::optional<std::string> json_path(const std::string& name);
 
 }  // namespace memopt::bench

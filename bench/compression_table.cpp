@@ -39,7 +39,8 @@ bool run_compression_table(const PlatformModel& platform, const std::string& exp
                         "total savings [%]"});
     std::vector<double> media_savings;
 
-    for (const auto& run : run_suite()) {
+    for (const auto& run_ptr : run_suite()) {
+        const KernelRun& run = *run_ptr;
         const auto base = CompressedMemorySim(platform.config, nullptr)
                               .run(run.result.data_trace, run.program.data, run.program.data_base);
         const auto comp = CompressedMemorySim(platform.config, &diff)

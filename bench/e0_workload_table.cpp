@@ -46,7 +46,8 @@ int main() {
     std::size_t rows = 0;
     bool sane = true;
 
-    for (const auto& run : bench::run_suite()) {
+    for (const auto& run_ptr : bench::run_suite()) {
+        const bench::KernelRun& run = *run_ptr;
         const auto& trace = run.result.data_trace;
         const BlockProfile profile = BlockProfile::from_trace(trace, 256);
         std::uint64_t touched_blocks = 0;

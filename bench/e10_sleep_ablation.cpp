@@ -14,6 +14,7 @@
 #include "bench_util.hpp"
 #include "core/flow.hpp"
 #include "partition/sleep.hpp"
+#include "support/parallel.hpp"
 #include "support/stats.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
@@ -62,32 +63,41 @@ int main() {
     std::uint64_t total_aff_wakeups = 0;
     bool clustered_beats_none = true;
 
-    for (const auto& run : bench::run_suite()) {
+    // Each kernel's three synthesis+replay evaluations are independent;
+    // run them concurrently (MEMOPT_JOBS) and reduce the ordered rows
+    // serially so every aggregate stays bit-identical at any job count.
+    struct Row {
+        std::string name;
+        SleepyResult none, freq, aff;
+    };
+    const auto rows = parallel_map(bench::run_suite(), [&](const bench::KernelRunPtr& run) {
         // Let the partitioner see leakage over the real run length.
         FlowParams kernel_fp = fp;
-        kernel_fp.energy.runtime_cycles = run.result.cycles;
+        kernel_fp.energy.runtime_cycles = run->result.cycles;
         const MemoryOptimizationFlow flow(kernel_fp);
-        const MemTrace& trace = run.result.data_trace;
+        const MemTrace& trace = run->result.data_trace;
 
         const FlowResult none = flow.run(trace, ClusterMethod::None);
         const FlowResult freq = flow.run(trace, ClusterMethod::Frequency);
         const FlowResult aff = flow.run(trace, ClusterMethod::Affinity);
 
-        const SleepyResult r_none = run_sleepy(none, trace, kernel_fp.energy, sleep);
-        const SleepyResult r_freq = run_sleepy(freq, trace, kernel_fp.energy, sleep);
-        const SleepyResult r_aff = run_sleepy(aff, trace, kernel_fp.energy, sleep);
+        return Row{run->name, run_sleepy(none, trace, kernel_fp.energy, sleep),
+                   run_sleepy(freq, trace, kernel_fp.energy, sleep),
+                   run_sleepy(aff, trace, kernel_fp.energy, sleep)};
+    });
 
-        total_freq_wakeups += r_freq.wakeups;
-        total_aff_wakeups += r_aff.wakeups;
+    for (const Row& row : rows) {
+        total_freq_wakeups += row.freq.wakeups;
+        total_aff_wakeups += row.aff.wakeups;
         clustered_beats_none =
-            clustered_beats_none && r_freq.energy_pj < r_none.energy_pj;
-        const double aff_vs_freq = percent_savings(r_freq.energy_pj, r_aff.energy_pj);
+            clustered_beats_none && row.freq.energy_pj < row.none.energy_pj;
+        const double aff_vs_freq = percent_savings(row.freq.energy_pj, row.aff.energy_pj);
         gain.add(aff_vs_freq);
-        table.add_row({run.name, format_fixed(r_none.energy_pj / 1e3, 1),
-                       format_fixed(r_freq.energy_pj / 1e3, 1),
-                       format_fixed(r_aff.energy_pj / 1e3, 1),
-                       format("%llu", (unsigned long long)r_freq.wakeups),
-                       format("%llu", (unsigned long long)r_aff.wakeups),
+        table.add_row({row.name, format_fixed(row.none.energy_pj / 1e3, 1),
+                       format_fixed(row.freq.energy_pj / 1e3, 1),
+                       format_fixed(row.aff.energy_pj / 1e3, 1),
+                       format("%llu", (unsigned long long)row.freq.wakeups),
+                       format("%llu", (unsigned long long)row.aff.wakeups),
                        format_fixed(aff_vs_freq, 2)});
     }
     table.print(std::cout);

@@ -5,10 +5,12 @@
 // Metric: compression ratio on the actual write-back line population of
 // each kernel (collected from the compressed-memory simulation geometry),
 // plus the resulting memory-path energy on the VLIW platform.
+#include <array>
 #include <cstdio>
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "support/parallel.hpp"
 #include "compress/bdi_codec.hpp"
 #include "compress/dictionary_codec.hpp"
 #include "compress/diff_codec.hpp"
@@ -40,33 +42,40 @@ int main() {
     Accumulator bdi_acc;
     Accumulator dict_acc;
 
-    for (const auto& run : bench::run_suite()) {
-        const DictionaryCodec dict = DictionaryCodec::train(run.result.data_trace, 16);
-        struct Entry {
-            const char* label;
-            const LineCodec* codec;
-            double ratio;
-        };
-        std::vector<Entry> entries = {{"diff", &diff, 0.0},
-                                      {"zero-run", &zero_run, 0.0},
-                                      {"bdi", &bdi, 0.0},
-                                      {"dict", &dict, 0.0}};
-        for (Entry& e : entries) {
+    // Candidate evaluation — dictionary training plus four compressed-
+    // memory simulations per kernel — is independent across kernels; fan it
+    // out over the parallel runtime (MEMOPT_JOBS) and fold the ordered rows
+    // into the table and accumulators serially.
+    struct Row {
+        std::string name;
+        std::array<double, 4> ratios;  // diff, zero-run, bdi, dict
+    };
+    const auto rows = parallel_map(bench::run_suite(), [&](const bench::KernelRunPtr& run) {
+        const DictionaryCodec dict = DictionaryCodec::train(run->result.data_trace, 16);
+        const std::array<const LineCodec*, 4> codecs = {&diff, &zero_run, &bdi, &dict};
+        Row row;
+        row.name = run->name;
+        for (std::size_t c = 0; c < codecs.size(); ++c) {
             const auto report =
-                CompressedMemorySim(platform.config, e.codec)
-                    .run(run.result.data_trace, run.program.data, run.program.data_base);
-            e.ratio = report.traffic_ratio();
+                CompressedMemorySim(platform.config, codecs[c])
+                    .run(run->result.data_trace, run->program.data, run->program.data_base);
+            row.ratios[c] = report.traffic_ratio();
         }
-        diff_acc.add(entries[0].ratio);
-        zr_acc.add(entries[1].ratio);
-        bdi_acc.add(entries[2].ratio);
-        dict_acc.add(entries[3].ratio);
-        const Entry* best = &entries[0];
-        for (const Entry& e : entries)
-            if (e.ratio < best->ratio) best = &e;
-        table.add_row({run.name, format_fixed(entries[0].ratio, 3),
-                       format_fixed(entries[1].ratio, 3), format_fixed(entries[2].ratio, 3),
-                       format_fixed(entries[3].ratio, 3), best->label});
+        return row;
+    });
+
+    static constexpr std::array<const char*, 4> kLabels = {"diff", "zero-run", "bdi", "dict"};
+    for (const Row& row : rows) {
+        diff_acc.add(row.ratios[0]);
+        zr_acc.add(row.ratios[1]);
+        bdi_acc.add(row.ratios[2]);
+        dict_acc.add(row.ratios[3]);
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < row.ratios.size(); ++c)
+            if (row.ratios[c] < row.ratios[best]) best = c;
+        table.add_row({row.name, format_fixed(row.ratios[0], 3),
+                       format_fixed(row.ratios[1], 3), format_fixed(row.ratios[2], 3),
+                       format_fixed(row.ratios[3], 3), kLabels[best]});
     }
     table.add_separator();
     table.add_row({"average", format_fixed(diff_acc.mean(), 3), format_fixed(zr_acc.mean(), 3),

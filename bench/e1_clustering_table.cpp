@@ -32,12 +32,22 @@ int main() {
     std::vector<double> freq_savings;
     std::vector<double> aff_savings;
 
-    for (const auto& run : bench::run_suite()) {
-        const FlowComparison freq = flow.compare(run.result.data_trace, ClusterMethod::Frequency);
-        const FlowComparison aff = flow.compare(run.result.data_trace, ClusterMethod::Affinity);
+    // The (kernel x method) configurations are independent; evaluate each
+    // method's batch concurrently (MEMOPT_JOBS) and assemble the table
+    // serially from the order-preserving results.
+    const auto runs = bench::run_suite();
+    std::vector<const MemTrace*> traces;
+    traces.reserve(runs.size());
+    for (const auto& run : runs) traces.push_back(&run->result.data_trace);
+    const auto freq_cmp = flow.compare_all(traces, ClusterMethod::Frequency);
+    const auto aff_cmp = flow.compare_all(traces, ClusterMethod::Affinity);
+
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const FlowComparison& freq = freq_cmp[i];
+        const FlowComparison& aff = aff_cmp[i];
         freq_savings.push_back(freq.clustering_savings_pct());
         aff_savings.push_back(aff.clustering_savings_pct());
-        table.add_row({run.name, format_fixed(freq.monolithic.total() / 1e3, 1),
+        table.add_row({runs[i]->name, format_fixed(freq.monolithic.total() / 1e3, 1),
                        format_fixed(freq.partitioned.energy.total() / 1e3, 1),
                        format_fixed(freq.clustered.energy.total() / 1e3, 1),
                        format_fixed(aff.clustered.energy.total() / 1e3, 1),

@@ -25,6 +25,9 @@ int main() {
         "AR32 kernel suite; 256 B blocks; bank budget swept 1..16");
 
     const auto runs = bench::run_suite();
+    std::vector<const MemTrace*> traces;
+    traces.reserve(runs.size());
+    for (const auto& run : runs) traces.push_back(&run->result.data_trace);
     TablePrinter table({"max banks", "partitioned avg [nJ]", "clustered avg [nJ]",
                         "clustering savings [%]"});
     std::vector<double> gains;
@@ -42,9 +45,7 @@ int main() {
         const MemoryOptimizationFlow flow(fp);
         Accumulator part;
         Accumulator clus;
-        for (const auto& run : runs) {
-            const FlowComparison cmp = flow.compare(run.result.data_trace,
-                                                    ClusterMethod::Frequency);
+        for (const FlowComparison& cmp : flow.compare_all(traces, ClusterMethod::Frequency)) {
             part.add(cmp.partitioned.energy.total());
             clus.add(cmp.clustered.energy.total());
         }

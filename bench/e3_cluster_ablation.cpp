@@ -22,6 +22,9 @@ int main() {
         "AR32 kernel suite; <=4 banks; frequency clustering");
 
     const auto runs = bench::run_suite();
+    std::vector<const MemTrace*> traces;
+    traces.reserve(runs.size());
+    for (const auto& run : runs) traces.push_back(&run->result.data_trace);
 
     std::puts("\n-- (a) block-size sweep ----------------------------------------");
     TablePrinter block_table({"block size", "remap table [bits]", "avg clustering savings [%]",
@@ -34,9 +37,7 @@ int main() {
         const MemoryOptimizationFlow flow(fp);
         Accumulator acc;
         std::uint64_t table_bits = 0;
-        for (const auto& run : runs) {
-            const FlowComparison cmp =
-                flow.compare(run.result.data_trace, ClusterMethod::Frequency);
+        for (const FlowComparison& cmp : flow.compare_all(traces, ClusterMethod::Frequency)) {
             acc.add(cmp.clustering_savings_pct());
             table_bits = RemapTableModel(cmp.clustered.map.num_blocks()).table_bits();
         }
@@ -59,9 +60,8 @@ int main() {
         fp.remap.per_entry_bit_pj *= mult;
         const MemoryOptimizationFlow flow(fp);
         Accumulator acc;
-        for (const auto& run : runs)
-            acc.add(flow.compare(run.result.data_trace, ClusterMethod::Frequency)
-                        .clustering_savings_pct());
+        for (const FlowComparison& cmp : flow.compare_all(traces, ClusterMethod::Frequency))
+            acc.add(cmp.clustering_savings_pct());
         avg_by_cost.push_back(acc.mean());
         remap_table.add_row({format_fixed(mult, 1), format_fixed(acc.mean(), 1)});
     }

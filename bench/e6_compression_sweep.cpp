@@ -10,6 +10,7 @@
 #include "support/csv.hpp"
 #include "compress/diff_codec.hpp"
 #include "compress/platform.hpp"
+#include "support/parallel.hpp"
 #include "support/stats.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
@@ -18,20 +19,26 @@ using namespace memopt;
 
 namespace {
 
-/// Suite-average memory-path savings for one configuration.
+/// Suite-average memory-path savings for one configuration. The per-kernel
+/// simulations are independent; they run concurrently (MEMOPT_JOBS) and the
+/// accumulator consumes the order-preserving results serially, so the mean
+/// is bit-identical at any job count.
 double avg_path_savings(const CompressedMemConfig& config,
-                        const std::vector<bench::KernelRun>& runs) {
+                        const std::vector<bench::KernelRunPtr>& runs) {
     const DiffCodec codec;
-    Accumulator acc;
-    for (const auto& run : runs) {
+    const std::vector<double> savings = parallel_map(runs, [&](const bench::KernelRunPtr& run) {
         const auto base = CompressedMemorySim(config, nullptr)
-                              .run(run.result.data_trace, run.program.data, run.program.data_base);
+                              .run(run->result.data_trace, run->program.data,
+                                   run->program.data_base);
         const auto comp = CompressedMemorySim(config, &codec)
-                              .run(run.result.data_trace, run.program.data, run.program.data_base);
+                              .run(run->result.data_trace, run->program.data,
+                                   run->program.data_base);
         const double b = base.energy.component("main_memory");
         const double c = comp.energy.component("main_memory") + comp.energy.component("codec");
-        acc.add(percent_savings(b, c));
-    }
+        return percent_savings(b, c);
+    });
+    Accumulator acc;
+    for (double s : savings) acc.add(s);
     return acc.mean();
 }
 

@@ -13,6 +13,7 @@
 #include "energy/bus_model.hpp"
 #include "energy/sram_model.hpp"
 #include "trace/trace.hpp"
+#include "support/parallel.hpp"
 #include "support/stats.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
@@ -31,33 +32,48 @@ int main() {
     std::vector<double> reductions;
     const BusEnergyModel bus;
 
-    for (const auto& run : bench::run_suite(/*fetch=*/true)) {
-        const auto& stream = run.result.fetch_stream;
-        const std::uint64_t raw = count_transitions(stream);
-        const std::uint64_t bi = bus_invert_transitions(stream);
-        const std::uint64_t gray = gray_code_transitions(stream);
-        const TransformSearchResult xf = search_transform(stream, {.max_gates = 16});
-        reductions.push_back(100.0 * xf.reduction());
+    // Per-kernel gate searches are the heaviest loop of the bench suite and
+    // fully independent; evaluate them concurrently (MEMOPT_JOBS) and build
+    // the table serially from the order-preserving rows.
+    struct Row {
+        std::string name;
+        std::uint64_t raw, bi, gray;
+        TransformSearchResult xf;
+        double path_saved_pct;
+    };
+    const auto rows = parallel_map(
+        bench::run_suite(/*fetch=*/true), [&](const bench::KernelRunPtr& run) {
+            const auto& stream = run->result.fetch_stream;
+            Row row;
+            row.name = run->name;
+            row.raw = count_transitions(stream);
+            row.bi = bus_invert_transitions(stream);
+            row.gray = gray_code_transitions(stream);
+            row.xf = search_transform(stream, {.max_gates = 16});
 
-        // Whole fetch path: I-memory array reads + bus + decoder. The
-        // transform only shrinks the bus term, so path savings are the
-        // honest (diluted) number a designer would quote.
-        const SramEnergyModel imem(
-            ceil_pow2(run.program.code.size() * 4), 32);
-        const double imem_pj =
-            imem.read_energy() * static_cast<double>(stream.size());
-        const double raw_path =
-            imem_pj + bus.transition_energy(raw);
-        const EnergyBreakdown enc = encoded_energy(
-            xf.transform, stream, bus.technology().energy_per_transition_pj);
-        const double enc_path = imem_pj + enc.total();
+            // Whole fetch path: I-memory array reads + bus + decoder. The
+            // transform only shrinks the bus term, so path savings are the
+            // honest (diluted) number a designer would quote.
+            const SramEnergyModel imem(ceil_pow2(run->program.code.size() * 4), 32);
+            const double imem_pj =
+                imem.read_energy() * static_cast<double>(stream.size());
+            const double raw_path = imem_pj + bus.transition_energy(row.raw);
+            const EnergyBreakdown enc = encoded_energy(
+                row.xf.transform, stream, bus.technology().energy_per_transition_pj);
+            const double enc_path = imem_pj + enc.total();
+            row.path_saved_pct = 100.0 * (raw_path - enc_path) / raw_path;
+            return row;
+        });
 
+    for (const Row& row : rows) {
+        reductions.push_back(100.0 * row.xf.reduction());
         table.add_row(
-            {run.name, format("%llu", (unsigned long long)raw),
-             format_fixed(100.0 * (1.0 - double(bi) / double(raw)), 1),
-             format_fixed(100.0 * (1.0 - double(gray) / double(raw)), 1),
-             format_fixed(100.0 * xf.reduction(), 1), format("%zu", xf.transform.gate_count()),
-             format_fixed(100.0 * (raw_path - enc_path) / raw_path, 1)});
+            {row.name, format("%llu", (unsigned long long)row.raw),
+             format_fixed(100.0 * (1.0 - double(row.bi) / double(row.raw)), 1),
+             format_fixed(100.0 * (1.0 - double(row.gray) / double(row.raw)), 1),
+             format_fixed(100.0 * row.xf.reduction(), 1),
+             format("%zu", row.xf.transform.gate_count()),
+             format_fixed(row.path_saved_pct, 1)});
     }
     table.print(std::cout);
 

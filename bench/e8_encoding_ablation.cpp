@@ -8,6 +8,7 @@
 #include "bench_util.hpp"
 #include "support/csv.hpp"
 #include "encoding/search.hpp"
+#include "support/parallel.hpp"
 #include "support/stats.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
@@ -32,11 +33,14 @@ int main() {
         csv_writer->write_row({"gates", "avg_reduction_pct", "min_pct", "max_pct"});
     }
     for (std::size_t gates : budgets) {
+        // Independent per-kernel searches run concurrently (MEMOPT_JOBS);
+        // the accumulator consumes the ordered results serially.
+        const auto pcts = parallel_map(runs, [&](const bench::KernelRunPtr& run) {
+            return 100.0 * search_transform(run->result.fetch_stream,
+                                            {.max_gates = gates}).reduction();
+        });
         Accumulator acc;
-        for (const auto& run : runs) {
-            const auto r = search_transform(run.result.fetch_stream, {.max_gates = gates});
-            acc.add(100.0 * r.reduction());
-        }
+        for (double pct : pcts) acc.add(pct);
         avg_curve.push_back(acc.mean());
         table.add_row({format("%zu", gates), format_fixed(acc.mean(), 1),
                        format_fixed(acc.min(), 1), format_fixed(acc.max(), 1)});

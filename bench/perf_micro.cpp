@@ -1,8 +1,13 @@
-// E10 — throughput microbenchmarks (google-benchmark) for the core
+// E12 — throughput microbenchmarks (google-benchmark) for the core
 // algorithms: ISS simulation rate, partitioning DP, clustering, the line
-// codec, the gate search, and the cache model. These guard the engineering
-// claim that the whole evaluation runs at interactive speed on one core.
+// codec, the gate search, the cache model, and the parallel E1 sweep.
+// These guard the engineering claim that the whole evaluation runs at
+// interactive speed on one core — and scales with MEMOPT_JOBS beyond it.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "cache/cache.hpp"
@@ -132,4 +137,55 @@ void BM_FullFlow(benchmark::State& state) {
 }
 BENCHMARK(BM_FullFlow);
 
+// The E1 clustering sweep (both methods over the whole suite) at 1 and N
+// jobs: the wall-clock ratio between the two arg rows is the speedup the
+// parallel execution layer delivers on this machine. Workloads come from
+// the shared repository, so the suite is simulated once per process no
+// matter how many benchmark repetitions run.
+void BM_E1ClusteringSweep(benchmark::State& state) {
+    const auto runs = memopt::bench::run_suite();
+    std::vector<const MemTrace*> traces;
+    traces.reserve(runs.size());
+    for (const auto& run : runs) traces.push_back(&run->result.data_trace);
+    FlowParams fp;
+    fp.block_size = 256;
+    fp.constraints.max_banks = 4;
+    const MemoryOptimizationFlow flow(fp);
+    const auto jobs = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        const auto freq = flow.compare_all(traces, ClusterMethod::Frequency, jobs);
+        const auto aff = flow.compare_all(traces, ClusterMethod::Affinity, jobs);
+        benchmark::DoNotOptimize(freq.data());
+        benchmark::DoNotOptimize(aff.data());
+    }
+    state.counters["jobs"] = static_cast<double>(jobs);
+}
+BENCHMARK(BM_E1ClusteringSweep)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
+
+// Custom entry point (instead of benchmark_main) so the run can also emit
+// machine-readable results: with MEMOPT_JSON_DIR set, the full report is
+// written to <dir>/BENCH_perf.json for cross-PR perf tracking. The path is
+// injected as --benchmark_out right after argv[0], so flags given on the
+// command line still win.
+int main(int argc, char** argv) {
+    std::vector<char*> args(argv, argv + argc);
+    std::string out_flag, format_flag;
+    if (const auto path = memopt::bench::json_path("BENCH_perf")) {
+        out_flag = "--benchmark_out=" + *path;
+        format_flag = "--benchmark_out_format=json";
+        args.insert(args.begin() + 1, {out_flag.data(), format_flag.data()});
+        std::printf("(figure data -> %s)\n", path->c_str());
+    }
+    int num_args = static_cast<int>(args.size());
+    benchmark::Initialize(&num_args, args.data());
+    if (benchmark::ReportUnrecognizedArguments(num_args, args.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

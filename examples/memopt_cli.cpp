@@ -13,7 +13,11 @@
 //                        [--codec diff|zero-run|bdi|dictionary]
 //   memopt_cli encode <kernel> [--gates N]
 //   memopt_cli schedule [--seed N]
-//   memopt_cli study <kernel>
+//   memopt_cli study <kernel>|all
+//
+// Every command accepts a global `--jobs N` option bounding the worker
+// threads of the parallel runtime (equivalent to MEMOPT_JOBS=N; jobs=1 is
+// fully serial). Results are bit-identical at any job count.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -29,6 +33,7 @@
 #include "core/flow.hpp"
 #include "core/report.hpp"
 #include "core/study.hpp"
+#include "core/workload.hpp"
 #include "encoding/baselines.hpp"
 #include "isa/disasm.hpp"
 #include "lang/codegen.hpp"
@@ -37,7 +42,9 @@
 #include "energy/bus_model.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/kernels.hpp"
+#include "support/parallel.hpp"
 #include "support/string_util.hpp"
+#include "support/table.hpp"
 #include "trace/io.hpp"
 #include "trace/symbolize.hpp"
 
@@ -91,7 +98,11 @@ int usage() {
               "            [--codec diff|zero-run|bdi|dictionary]\n"
               "  encode <kernel> [--gates N]\n"
               "  schedule [--seed N]\n"
-              "  study <kernel>                         all optimizations, one report");
+              "  study <kernel>                         all optimizations, one report\n"
+              "  study all                              whole-suite study, in parallel\n"
+              "global options:\n"
+              "  --jobs N                               worker threads (default: MEMOPT_JOBS\n"
+              "                                         or hardware; 1 = fully serial)");
     return 2;
 }
 
@@ -99,7 +110,7 @@ MemTrace trace_of(const std::string& source) {
     // A kernel name, or a trace file path for anything containing a dot/slash.
     if (source.find('.') != std::string::npos || source.find('/') != std::string::npos)
         return load_trace(source);
-    return run_kernel(kernel_by_name(source)).data_trace;
+    return WorkloadRepository::instance().run(source)->result.data_trace;
 }
 
 int cmd_kernels() {
@@ -110,10 +121,10 @@ int cmd_kernels() {
 
 int cmd_run(const Args& args) {
     require(!args.positional.empty(), "run: missing kernel name");
-    CpuConfig config;
-    config.record_fetch_stream = true;
-    const AssembledProgram program = assemble(kernel_by_name(args.positional[0]).source);
-    const RunResult r = Cpu(config).run(program);
+    const KernelRunPtr artifact =
+        WorkloadRepository::instance().run(args.positional[0], /*fetch=*/true);
+    const AssembledProgram& program = artifact->program;
+    const RunResult& r = artifact->result;
     std::printf("instructions : %llu\n", (unsigned long long)r.instructions);
     std::printf("cycles       : %llu\n", (unsigned long long)r.cycles);
     std::printf("data accesses: %zu (%llu R / %llu W)\n", r.data_trace.size(),
@@ -162,7 +173,8 @@ int cmd_cc(const Args& args) {
 
 int cmd_trace(const Args& args) {
     require(args.positional.size() >= 2, "trace: need <kernel> <file>");
-    const MemTrace trace = run_kernel(kernel_by_name(args.positional[0])).data_trace;
+    const MemTrace& trace =
+        WorkloadRepository::instance().run(args.positional[0])->result.data_trace;
     save_trace(args.positional[1], trace);
     std::printf("wrote %zu accesses to %s\n", trace.size(), args.positional[1].c_str());
     return 0;
@@ -207,8 +219,9 @@ int cmd_partition(const Args& args) {
 
 int cmd_compress(const Args& args) {
     require(!args.positional.empty(), "compress: missing kernel name");
-    const auto program = assemble(kernel_by_name(args.positional[0]).source);
-    const RunResult run = Cpu(CpuConfig{}).run(program);
+    const KernelRunPtr artifact = WorkloadRepository::instance().run(args.positional[0]);
+    const AssembledProgram& program = artifact->program;
+    const RunResult& run = artifact->result;
 
     const std::string platform_name = args.get("platform", "vliw");
     const PlatformModel platform =
@@ -241,10 +254,8 @@ int cmd_compress(const Args& args) {
 
 int cmd_encode(const Args& args) {
     require(!args.positional.empty(), "encode: missing kernel name");
-    CpuConfig config;
-    config.record_data_trace = false;
-    config.record_fetch_stream = true;
-    const RunResult run = run_kernel(kernel_by_name(args.positional[0]), config);
+    const RunResult& run =
+        WorkloadRepository::instance().run(args.positional[0], /*fetch=*/true)->result;
 
     TransformSearchParams params;
     params.max_gates = static_cast<std::size_t>(args.get_int("gates", 16));
@@ -279,9 +290,26 @@ int cmd_schedule(const Args& args) {
 }
 
 int cmd_study(const Args& args) {
-    require(!args.positional.empty(), "study: missing kernel name");
+    require(!args.positional.empty(), "study: missing kernel name (or 'all')");
     StudyParams params;
     params.flow.constraints.max_banks = 4;
+
+    if (args.positional[0] == "all") {
+        // Whole-suite batch study: every (kernel x optimization) evaluated
+        // concurrently on the parallel runtime.
+        const std::vector<StudyReport> reports = study_suite(kernel_suite(), params);
+        TablePrinter table({"kernel", "1B-1 clustering [%]", "1B-2 compression [%]",
+                            "1B-3 encoding [%]"});
+        for (const StudyReport& report : reports)
+            table.add_row({report.name, format_fixed(report.clustering_savings_pct(), 1),
+                           format_fixed(report.compression_savings_pct(), 1),
+                           format_fixed(report.encoding_reduction_pct(), 1)});
+        table.print(std::cout);
+        std::printf("\n(%zu kernels studied with %zu jobs)\n", reports.size(),
+                    default_jobs());
+        return 0;
+    }
+
     const StudyReport report = study_kernel(kernel_by_name(args.positional[0]), params);
     std::printf("study for %s\n", report.name.c_str());
     std::printf("  1B-1 clustering savings vs partitioning : %6.1f %%\n",
@@ -299,8 +327,12 @@ int cmd_study(const Args& args) {
 int main(int argc, char** argv) {
     if (argc < 2) return usage();
     const std::string command = argv[1];
-    const Args args = Args::parse(argc, argv, 2);
     try {
+        const Args args = Args::parse(argc, argv, 2);
+        // Global knob: bound the parallel runtime before any command runs.
+        const std::int64_t jobs = args.get_int("jobs", 0);
+        require(jobs >= 0, "--jobs expects a positive integer");
+        if (jobs > 0) set_default_jobs(static_cast<std::size_t>(jobs));
         if (command == "kernels") return cmd_kernels();
         if (command == "run") return cmd_run(args);
         if (command == "disasm") return cmd_disasm(args);

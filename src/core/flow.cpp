@@ -2,6 +2,7 @@
 
 #include "cluster/frequency.hpp"
 #include "support/assert.hpp"
+#include "support/parallel.hpp"
 #include "support/stats.hpp"
 
 namespace memopt {
@@ -77,6 +78,24 @@ FlowComparison MemoryOptimizationFlow::compare(const MemTrace& trace,
         run(profile, method, &trace),
     };
     return cmp;
+}
+
+std::vector<FlowComparison> MemoryOptimizationFlow::compare_all(
+    std::span<const MemTrace* const> traces, ClusterMethod method,
+    std::size_t jobs) const {
+    for (const MemTrace* trace : traces)
+        require(trace != nullptr, "compare_all: null trace");
+    // Each configuration is an independent pure evaluation; the parallel
+    // runtime preserves input order, so the batch is bit-identical to the
+    // serial loop at every job count.
+    return parallel_map(
+        traces, [&](const MemTrace* trace) { return compare(*trace, method); }, jobs);
+}
+
+std::vector<FlowComparison> MemoryOptimizationFlow::compare_all(
+    std::span<const MemTrace> traces, ClusterMethod method, std::size_t jobs) const {
+    return parallel_map(
+        traces, [&](const MemTrace& trace) { return compare(trace, method); }, jobs);
 }
 
 double FlowComparison::clustering_savings_pct() const {

@@ -9,7 +9,10 @@
 // by the E1/E2/E3 reproduction benches.
 #pragma once
 
+#include <cstddef>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "cluster/address_map.hpp"
 #include "cluster/affinity_cluster.hpp"
@@ -83,6 +86,19 @@ public:
     /// Monolithic / partitioned / clustered comparison on one trace.
     FlowComparison compare(const MemTrace& trace,
                            ClusterMethod method = ClusterMethod::Frequency) const;
+
+    /// Batch compare(): evaluate many traces concurrently on the parallel
+    /// runtime (support/parallel.hpp). Results preserve input order and are
+    /// bit-identical to a serial loop of compare() calls at any job count.
+    /// `jobs == 0` means default_jobs() (the MEMOPT_JOBS knob).
+    std::vector<FlowComparison> compare_all(
+        std::span<const MemTrace* const> traces,
+        ClusterMethod method = ClusterMethod::Frequency, std::size_t jobs = 0) const;
+
+    /// Convenience overload over owned traces.
+    std::vector<FlowComparison> compare_all(
+        std::span<const MemTrace> traces,
+        ClusterMethod method = ClusterMethod::Frequency, std::size_t jobs = 0) const;
 
 private:
     FlowParams params_;

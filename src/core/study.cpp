@@ -1,6 +1,7 @@
 #include "core/study.hpp"
 
 #include "support/assert.hpp"
+#include "support/parallel.hpp"
 #include "support/stats.hpp"
 
 namespace memopt {
@@ -42,6 +43,13 @@ StudyReport study_kernel(const Kernel& kernel, const StudyParams& params) {
     const RunResult run = Cpu(config).run(program);
     return study_trace(kernel.name, run.data_trace, program.data, program.data_base,
                        run.fetch_stream, params);
+}
+
+std::vector<StudyReport> study_suite(std::span<const Kernel> kernels,
+                                     const StudyParams& params, std::size_t jobs) {
+    return parallel_map(
+        kernels, [&](const Kernel& kernel) { return study_kernel(kernel, params); },
+        jobs);
 }
 
 }  // namespace memopt

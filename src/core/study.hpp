@@ -8,8 +8,11 @@
 // numbers.
 #pragma once
 
+#include <cstddef>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "compress/diff_codec.hpp"
 #include "compress/memsys.hpp"
@@ -63,5 +66,13 @@ StudyReport study_trace(const std::string& name, const MemTrace& data_trace,
                         std::span<const std::uint8_t> image, std::uint64_t image_base,
                         std::span<const std::uint32_t> fetch_stream,
                         const StudyParams& params = StudyParams{});
+
+/// Batch study_kernel(): study many kernels concurrently on the parallel
+/// runtime (support/parallel.hpp). Reports preserve input order and are
+/// bit-identical to a serial loop of study_kernel() calls at any job count.
+/// `jobs == 0` means default_jobs() (the MEMOPT_JOBS knob).
+std::vector<StudyReport> study_suite(std::span<const Kernel> kernels,
+                                     const StudyParams& params = StudyParams{},
+                                     std::size_t jobs = 0);
 
 }  // namespace memopt

@@ -1,0 +1,66 @@
+#include "core/workload.hpp"
+
+#include "sim/kernels.hpp"
+#include "support/parallel.hpp"
+
+namespace memopt {
+
+WorkloadRepository& WorkloadRepository::instance() {
+    static WorkloadRepository repository;
+    return repository;
+}
+
+KernelRunPtr WorkloadRepository::run(const std::string& kernel_name, bool fetch) {
+    const Kernel& kernel = kernel_by_name(kernel_name);  // validate before caching
+
+    std::promise<KernelRunPtr> promise;
+    std::shared_future<KernelRunPtr> future;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!fetch) {
+            // A with-fetch artifact is a strict superset; reuse it.
+            const auto superset = cache_.find(Key{kernel_name, true});
+            if (superset != cache_.end()) future = superset->second;
+        }
+        if (!future.valid()) {
+            const auto [it, inserted] = cache_.try_emplace(Key{kernel_name, fetch});
+            if (inserted) {
+                it->second = promise.get_future().share();
+                builder = true;
+            }
+            future = it->second;
+        }
+    }
+
+    if (builder) {
+        // Simulate outside the lock; waiters block on the future, not the
+        // cache, so other kernels stay buildable concurrently.
+        try {
+            auto artifact = std::make_shared<KernelRun>();
+            artifact->name = kernel.name;
+            artifact->program = assemble(kernel.source);
+            CpuConfig config;
+            config.record_fetch_stream = fetch;
+            artifact->result = Cpu(config).run(artifact->program);
+            simulations_.fetch_add(1, std::memory_order_relaxed);
+            promise.set_value(std::move(artifact));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+std::vector<KernelRunPtr> WorkloadRepository::suite(bool fetch, std::size_t jobs) {
+    return parallel_map(
+        kernel_suite(), [&](const Kernel& kernel) { return run(kernel.name, fetch); },
+        jobs);
+}
+
+void WorkloadRepository::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+}
+
+}  // namespace memopt

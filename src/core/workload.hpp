@@ -1,0 +1,82 @@
+// Shared workload repository: each bundled kernel is assembled and
+// simulated at most once per process, and every consumer — benches,
+// examples, batch studies — shares the same immutable artifacts.
+//
+// The twelve E-benches used to carry private `run_suite` copies that
+// re-simulated the entire suite per binary; the repository replaces them
+// with one lazy, thread-safe cache. Concurrent requests for the same
+// kernel deduplicate onto a single simulation (waiters block on the
+// builder's future), and suite() fans the first-touch simulations out over
+// the parallel runtime (support/parallel.hpp).
+//
+// Artifacts are cached per (kernel, fetch-stream) variant; a request
+// without the fetch stream is satisfied from a cached with-fetch artifact
+// (a strict superset), so a process that only ever asks one way simulates
+// each kernel exactly once — simulation_count() lets tests certify that.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "sim/cpu.hpp"
+
+namespace memopt {
+
+/// A kernel together with its simulation artifacts.
+struct KernelRun {
+    std::string name;
+    AssembledProgram program;
+    RunResult result;
+};
+
+/// Shared immutable simulation artifact. Repository entries live for the
+/// process lifetime, so holding the pointer (or references into it) is
+/// always safe.
+using KernelRunPtr = std::shared_ptr<const KernelRun>;
+
+/// Lazy, thread-safe cache of kernel simulation artifacts.
+class WorkloadRepository {
+public:
+    WorkloadRepository() = default;
+
+    WorkloadRepository(const WorkloadRepository&) = delete;
+    WorkloadRepository& operator=(const WorkloadRepository&) = delete;
+
+    /// The process-wide repository (what benches and examples share).
+    static WorkloadRepository& instance();
+
+    /// Artifact for one bundled kernel, simulated on first request. With
+    /// `fetch` set the artifact also carries the instruction fetch stream.
+    /// Throws memopt::Error for unknown kernel names.
+    KernelRunPtr run(const std::string& kernel_name, bool fetch = false);
+
+    /// Artifacts for the whole bundled suite, in canonical suite order.
+    /// First-touch simulations run concurrently (jobs 0 = default_jobs()).
+    std::vector<KernelRunPtr> suite(bool fetch = false, std::size_t jobs = 0);
+
+    /// Number of CPU simulations performed so far — the "suite simulated
+    /// exactly once" certificate.
+    std::size_t simulation_count() const noexcept {
+        return simulations_.load(std::memory_order_relaxed);
+    }
+
+    /// Drop all cached artifacts (testing aid).
+    void clear();
+
+private:
+    using Key = std::pair<std::string, bool>;  ///< (kernel name, fetch variant)
+
+    mutable std::mutex mutex_;
+    std::map<Key, std::shared_future<KernelRunPtr>> cache_;
+    std::atomic<std::size_t> simulations_{0};
+};
+
+}  // namespace memopt

@@ -7,6 +7,7 @@
 
 #include "energy/bus_model.hpp"
 #include "support/assert.hpp"
+#include "support/parallel.hpp"
 
 namespace memopt {
 
@@ -58,9 +59,9 @@ struct BitStats {
     std::array<std::uint64_t, 32> cost{};
     std::array<std::array<std::uint64_t, 32>, 32> cooc{};
 
-    static BitStats build(const DiffHistogram& h) {
-        BitStats s;
-        for (std::size_t k = 0; k < h.values.size(); ++k) {
+    /// Accumulate the stats of h.values[[first, last)) into this object.
+    void accumulate(const DiffHistogram& h, std::size_t first, std::size_t last) {
+        for (std::size_t k = first; k < last; ++k) {
             std::uint32_t v = h.values[k];
             const std::uint64_t c = h.counts[k];
             // Enumerate set bits.
@@ -72,9 +73,38 @@ struct BitStats {
                 v &= v - 1;
             }
             for (unsigned a = 0; a < nbits; ++a) {
-                s.cost[bits[a]] += c;
+                cost[bits[a]] += c;
                 for (unsigned bidx = 0; bidx < nbits; ++bidx)
-                    s.cooc[bits[a]][bits[bidx]] += c;
+                    cooc[bits[a]][bits[bidx]] += c;
+            }
+        }
+    }
+
+    /// Histograms below this size are accumulated inline; the parallel
+    /// split-and-merge only pays off on large difference populations.
+    static constexpr std::size_t kParallelThreshold = 4096;
+
+    static BitStats build(const DiffHistogram& h) {
+        const std::size_t n = h.values.size();
+        BitStats s;
+        if (n < kParallelThreshold || default_jobs() <= 1 || in_parallel_region()) {
+            s.accumulate(h, 0, n);
+            return s;
+        }
+        // Chunk the histogram, accumulate partial stats concurrently, and
+        // merge in chunk order. Every tally is an exact uint64 sum, so the
+        // merged stats are bit-identical to the serial accumulation.
+        const std::size_t chunks = std::min(default_jobs(), n / (kParallelThreshold / 8));
+        std::vector<BitStats> partial(chunks);
+        parallel_for(chunks, [&](std::size_t chunk) {
+            const std::size_t first = n * chunk / chunks;
+            const std::size_t last = n * (chunk + 1) / chunks;
+            partial[chunk].accumulate(h, first, last);
+        });
+        for (const BitStats& p : partial) {
+            for (unsigned i = 0; i < 32; ++i) {
+                s.cost[i] += p.cost[i];
+                for (unsigned j = 0; j < 32; ++j) s.cooc[i][j] += p.cooc[i][j];
             }
         }
         return s;
@@ -141,16 +171,34 @@ TransformSearchResult best_single_gate(std::span<const std::uint32_t> words,
     TransformSearchResult result;
     result.original_transitions = count_transitions(words, initial);
     result.encoded_transitions = result.original_transitions;
-    for (unsigned dst = 0; dst < 32; ++dst) {
+
+    // Candidate evaluation is 32*31 full-stream simulations; fan the dst
+    // rows out over the parallel runtime and reduce in row order. Ties keep
+    // the first candidate in (dst, src) scan order — exactly the serial
+    // strict-< scan — so the winner is identical at every job count.
+    struct RowBest {
+        std::uint64_t transitions;
+        LinearTransform transform;
+    };
+    std::array<RowBest, 32> rows;
+    parallel_for(32, [&](std::size_t dst) {
+        RowBest best{result.original_transitions, LinearTransform{}};
         for (unsigned src = 0; src < 32; ++src) {
             if (dst == src) continue;
             const LinearTransform t(std::vector<XorGate>{
                 XorGate{static_cast<std::uint8_t>(dst), static_cast<std::uint8_t>(src)}});
             const std::uint64_t trans = encoded_transitions(t, words, initial);
-            if (trans < result.encoded_transitions) {
-                result.encoded_transitions = trans;
-                result.transform = t;
+            if (trans < best.transitions) {
+                best.transitions = trans;
+                best.transform = t;
             }
+        }
+        rows[dst] = std::move(best);
+    });
+    for (const RowBest& row : rows) {
+        if (row.transitions < result.encoded_transitions) {
+            result.encoded_transitions = row.transitions;
+            result.transform = row.transform;
         }
     }
     return result;

@@ -1,0 +1,113 @@
+// Parallel execution runtime: a fixed-size thread pool plus deterministic
+// parallel_for / parallel_map helpers.
+//
+// Design rules (they are what make the batch APIs in core/ safe to call
+// from anywhere):
+//
+//  * Determinism. parallel_for hands out indices, parallel_map writes
+//    result slot i from exactly one invocation of fn(i); no reduction ever
+//    happens in completion order. Any pure fn therefore produces
+//    bit-identical results at 1 and N threads.
+//  * The calling thread participates. Helpers are enqueued on the shared
+//    pool, but the caller also drains the same index counter, so a
+//    parallel region always makes progress even when every pool worker is
+//    busy — nested regions cannot deadlock.
+//  * Nested regions serialize. A parallel_for issued from inside another
+//    parallel region runs inline on the issuing thread; the outer region
+//    already owns the concurrency budget.
+//  * jobs == 1 bypasses the pool entirely: fn runs inline on the calling
+//    thread, no worker threads are created, and exceptions propagate
+//    directly. `MEMOPT_JOBS=1` turns the whole library serial.
+//
+// The parallelism degree of a region is `jobs`: an explicit per-call value,
+// else the process default — the `MEMOPT_JOBS` environment variable (read
+// once) or, failing that, std::thread::hardware_concurrency(), overridable
+// programmatically with set_default_jobs().
+//
+// Exception policy: every index still runs; the exception thrown by the
+// smallest failing index is rethrown to the caller once the region
+// completes (again independent of thread count).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace memopt {
+
+/// Fixed-size thread pool with a FIFO task queue. Tasks are fire-and-forget
+/// closures; completion tracking is the submitter's business (parallel_for
+/// layers it on top). Destruction drains the queue, then joins.
+class ThreadPool {
+public:
+    explicit ThreadPool(std::size_t num_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Number of worker threads (fixed for the pool's lifetime).
+    std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Enqueue one task. Throws memopt::Error after shutdown began.
+    void submit(std::function<void()> task);
+
+private:
+    void worker_main();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+/// Process-wide parallelism default: the programmatic override if set, else
+/// MEMOPT_JOBS (parsed once, clamped to [1, 256]), else
+/// hardware_concurrency(), else 1.
+std::size_t default_jobs();
+
+/// Programmatic override of default_jobs(); `jobs == 0` clears the override
+/// (back to MEMOPT_JOBS / hardware detection). Values are clamped to 256.
+void set_default_jobs(std::size_t jobs);
+
+/// True once the shared worker pool has been instantiated. jobs==1 call
+/// sites never instantiate it; tests use this to certify the bypass.
+bool shared_pool_created() noexcept;
+
+/// True while the calling thread is executing inside a parallel region
+/// (worker or participating caller). Such a thread's nested regions run
+/// inline.
+bool in_parallel_region() noexcept;
+
+/// Run fn(0) .. fn(n-1), distributing indices over min(jobs, n) threads.
+/// `jobs == 0` means default_jobs(). See file comment for the determinism,
+/// nesting and exception guarantees.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t jobs = 0);
+
+/// Map `fn` over `items`, preserving input order in the result vector.
+/// Result type needs no default constructor; each slot is move-constructed
+/// from its fn return value exactly once.
+template <typename Container, typename Fn>
+auto parallel_map(const Container& items, Fn&& fn, std::size_t jobs = 0)
+    -> std::vector<std::decay_t<decltype(fn(items[0]))>> {
+    using Out = std::decay_t<decltype(fn(items[0]))>;
+    const std::size_t n = items.size();
+    std::vector<std::optional<Out>> slots(n);
+    parallel_for(
+        n, [&](std::size_t i) { slots[i].emplace(fn(items[i])); }, jobs);
+    std::vector<Out> out;
+    out.reserve(n);
+    for (std::optional<Out>& slot : slots) out.push_back(std::move(*slot));
+    return out;
+}
+
+}  // namespace memopt
