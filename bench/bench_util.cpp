@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
 
 namespace memopt::bench {
 
@@ -55,6 +56,74 @@ std::optional<std::ofstream> json_sink(const std::string& name) {
 
 std::optional<std::string> json_path(const std::string& name) {
     return dir_path("MEMOPT_JSON_DIR", name, "json");
+}
+
+BenchReport::BenchReport(const std::string& name) {
+    const auto path = dir_path("MEMOPT_JSON_DIR", name, "json");
+    if (!path) return;
+    path_ = *path;
+    out_.open(path_, std::ios::trunc);
+    require(out_.is_open(), "MEMOPT_JSON_DIR sink: cannot create '" + path_ + "'");
+    writer_.emplace(out_);
+    writer_->begin_object();
+    writer_->member("schema", "memopt.bench.v1");
+    writer_->member("experiment", name);
+    writer_->key("rows").begin_array();
+    rows_open_ = true;
+}
+
+BenchReport::~BenchReport() {
+    // A bench that exits without finish() leaves a truncated document; the
+    // destructor must not throw, so it only drops the file handle. The
+    // JSON-validation ctest steps catch any such path.
+}
+
+void BenchReport::write_fields(std::initializer_list<Field> fields) {
+    writer_->begin_object();
+    for (const Field& field : fields) {
+        writer_->key(field.first);
+        std::visit([&](const auto& value) { writer_->value(value); }, field.second.v);
+    }
+    writer_->end_object();
+}
+
+void BenchReport::close_rows() {
+    if (rows_open_) {
+        writer_->end_array();
+        rows_open_ = false;
+    }
+}
+
+void BenchReport::add_row(std::initializer_list<Field> fields) {
+    if (!active()) return;
+    MEMOPT_ASSERT_MSG(rows_open_, "BenchReport::add_row after summary()/finish()");
+    write_fields(fields);
+}
+
+void BenchReport::summary(std::initializer_list<Field> fields) {
+    if (!active()) return;
+    close_rows();
+    writer_->key("summary");
+    write_fields(fields);
+}
+
+void BenchReport::finish(bool shape_ok, const std::string& message) {
+    print_shape(shape_ok, message);
+    if (!active() || finished_) return;
+    close_rows();
+    writer_->key("shape").begin_object();
+    writer_->member("ok", shape_ok);
+    writer_->member("message", message);
+    writer_->end_object();
+    writer_->key("metrics");
+    MetricsRegistry::instance().snapshot().to_json(*writer_);
+    writer_->end_object();
+    MEMOPT_ASSERT_MSG(writer_->complete(), "BenchReport: unbalanced JSON document");
+    out_ << '\n';
+    out_.flush();
+    require(out_.good(), "MEMOPT_JSON_DIR sink: failed writing '" + path_ + "'");
+    std::printf("(figure data -> %s)\n", path_.c_str());
+    finished_ = true;
 }
 
 }  // namespace memopt::bench

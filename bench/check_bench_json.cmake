@@ -1,0 +1,51 @@
+# ctest driver for the E-bench MEMOPT_JSON_DIR export.
+#
+# Runs one experiment with MEMOPT_JSON_DIR pointed at a scratch directory,
+# validates the emitted figure data with `python -m json.tool`, and checks
+# the shared memopt.bench.v1 envelope (schema/experiment/rows/shape/metrics).
+#
+# Invoked as:
+#   cmake -DBENCH=<experiment-binary> -DNAME=<experiment-name>
+#         -DPYTHON=<python3> -DWORK_DIR=<scratch> -P check_bench_json.cmake
+foreach(var BENCH NAME PYTHON WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_bench_json.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_checked)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "check_bench_json.cmake: command failed (${rc}): ${ARGN}")
+  endif()
+endfunction()
+
+run_checked(${CMAKE_COMMAND} -E env MEMOPT_JSON_DIR=${WORK_DIR} ${BENCH})
+
+set(doc ${WORK_DIR}/${NAME}.json)
+if(NOT EXISTS ${doc})
+  message(FATAL_ERROR "check_bench_json.cmake: ${BENCH} did not write ${doc}")
+endif()
+run_checked(${PYTHON} -m json.tool ${doc})
+
+file(WRITE ${WORK_DIR}/check_envelope.py [=[
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("schema", "experiment", "rows", "shape", "metrics"):
+    if key not in doc:
+        sys.exit(f"missing top-level key: {key}")
+if doc["schema"] != "memopt.bench.v1":
+    sys.exit(f"unexpected schema: {doc['schema']}")
+if doc["experiment"] != sys.argv[2]:
+    sys.exit(f"unexpected experiment name: {doc['experiment']}")
+if not isinstance(doc["rows"], list) or not doc["rows"]:
+    sys.exit("rows must be a non-empty array")
+if not isinstance(doc["shape"].get("ok"), bool):
+    sys.exit("shape.ok must be a boolean")
+]=])
+run_checked(${PYTHON} ${WORK_DIR}/check_envelope.py ${doc} ${NAME})

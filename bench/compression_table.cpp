@@ -25,7 +25,8 @@ bool is_media_kernel(const std::string& name) {
 }  // namespace
 
 bool run_compression_table(const PlatformModel& platform, const std::string& experiment_id,
-                           const std::string& paper_range, double paper_lo, double paper_hi) {
+                           const std::string& report_name, const std::string& paper_range,
+                           double paper_lo, double paper_hi) {
     print_header(experiment_id + "  energy-driven data compression (" + platform.name + ")",
                  paper_range,
                  platform.description +
@@ -37,6 +38,7 @@ bool run_compression_table(const PlatformModel& platform, const std::string& exp
     TablePrinter table({"benchmark", "D$ miss [%]", "traffic ratio", "mem-path base [nJ]",
                         "mem-path diff [nJ]", "diff savings [%]", "zero-run savings [%]",
                         "total savings [%]"});
+    BenchReport report(report_name);
     std::vector<double> media_savings;
 
     for (const auto& run_ptr : run_suite()) {
@@ -62,6 +64,15 @@ bool run_compression_table(const PlatformModel& platform, const std::string& exp
                        format_fixed(comp_path / 1e3, 1), format_fixed(path_savings, 1),
                        format_fixed(percent_savings(base_path, zr_path), 1),
                        format_fixed(total_savings, 1)});
+        report.add_row({{"benchmark", run.name},
+                        {"media_kernel", is_media_kernel(run.name)},
+                        {"dcache_miss_pct", 100.0 * base.cache_stats.miss_rate()},
+                        {"traffic_ratio", comp.traffic_ratio()},
+                        {"mem_path_base_nj", base_path / 1e3},
+                        {"mem_path_diff_nj", comp_path / 1e3},
+                        {"diff_savings_pct", path_savings},
+                        {"zero_run_savings_pct", percent_savings(base_path, zr_path)},
+                        {"total_savings_pct", total_savings}});
     }
     table.print(std::cout);
     std::puts("(*) media-flavoured kernels, the workload class of the paper's table");
@@ -71,8 +82,12 @@ bool run_compression_table(const PlatformModel& platform, const std::string& exp
     std::printf("\nmeasured media-kernel band: %.1f%% .. %.1f%%   (paper: %.0f%%-%.0f%%)\n", lo,
                 hi, paper_lo, paper_hi);
     const bool overlap = hi >= paper_lo && lo <= paper_hi && hi > 0.0;
-    print_shape(overlap, "media-kernel savings band overlaps the paper's reported range; "
-                         "incompressible kernels sit near zero as expected");
+    report.summary({{"media_band_lo_pct", lo},
+                    {"media_band_hi_pct", hi},
+                    {"paper_lo_pct", paper_lo},
+                    {"paper_hi_pct", paper_hi}});
+    report.finish(overlap, "media-kernel savings band overlaps the paper's reported range; "
+                           "incompressible kernels sit near zero as expected");
     return overlap;
 }
 

@@ -43,6 +43,7 @@ int main() {
 
     TablePrinter table({"kernel", "instructions", "data accs", "write [%]", "footprint",
                         "hot-8 [%]", "locality", "image ratio"});
+    bench::BenchReport report("e0_workload_table");
     std::size_t rows = 0;
     bool sane = true;
 
@@ -61,6 +62,14 @@ int main() {
                        format_fixed(100.0 * profile.hot_fraction(8), 1),
                        format_fixed(profile.spatial_locality(), 2),
                        format_fixed(image_compressibility(run.program.data), 2)});
+        report.add_row({{"kernel", run.name},
+                        {"instructions", run.result.instructions},
+                        {"data_accesses", static_cast<std::uint64_t>(trace.size())},
+                        {"write_pct", write_pct},
+                        {"footprint_bytes", touched_blocks * 256},
+                        {"hot8_pct", 100.0 * profile.hot_fraction(8)},
+                        {"locality", profile.spatial_locality()},
+                        {"image_ratio", image_compressibility(run.program.data)}});
         ++rows;
         sane = sane && run.result.instructions > 1000 && !trace.empty() &&
                profile.hot_fraction(8) > 0.05;
@@ -69,8 +78,8 @@ int main() {
 
     std::printf("\n(hot-8: accesses in the 8 hottest blocks; locality: 1 = hot blocks "
                 "contiguous; image ratio: 1 = incompressible)\n");
-    bench::print_shape(rows == 12 && sane,
-                       "all twelve kernels show skewed profiles — the property the "
-                       "partitioning and clustering experiments exploit");
+    report.finish(rows == 12 && sane,
+                  "all twelve kernels show skewed profiles — the property the "
+                  "partitioning and clustering experiments exploit");
     return 0;
 }

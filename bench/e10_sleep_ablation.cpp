@@ -58,6 +58,7 @@ int main() {
 
     TablePrinter table({"benchmark", "none [nJ]", "freq [nJ]", "affinity [nJ]",
                         "freq wakeups", "aff wakeups", "aff vs freq [%]"});
+    bench::BenchReport report("e10_sleep_ablation");
     Accumulator gain;
     std::uint64_t total_freq_wakeups = 0;
     std::uint64_t total_aff_wakeups = 0;
@@ -99,6 +100,13 @@ int main() {
                        format("%llu", (unsigned long long)row.freq.wakeups),
                        format("%llu", (unsigned long long)row.aff.wakeups),
                        format_fixed(aff_vs_freq, 2)});
+        report.add_row({{"benchmark", row.name},
+                        {"none_nj", row.none.energy_pj / 1e3},
+                        {"freq_nj", row.freq.energy_pj / 1e3},
+                        {"aff_nj", row.aff.energy_pj / 1e3},
+                        {"freq_wakeups", row.freq.wakeups},
+                        {"aff_wakeups", row.aff.wakeups},
+                        {"aff_vs_freq_pct", aff_vs_freq}});
     }
     table.print(std::cout);
 
@@ -109,10 +117,13 @@ int main() {
     const double wakeup_delta =
         std::abs(double(total_aff_wakeups) - double(total_freq_wakeups)) /
         double(total_freq_wakeups);
-    bench::print_shape(clustered_beats_none && wakeup_delta < 0.10 &&
-                           std::abs(gain.mean()) < 1.0,
-                       "clustering keeps beating the unclustered baseline under the sleepy "
-                       "objective; frequency vs affinity differ by well under 1% — the "
-                       "time-aware objective is access-dominated at this technology point");
+    report.summary({{"total_freq_wakeups", total_freq_wakeups},
+                    {"total_aff_wakeups", total_aff_wakeups},
+                    {"avg_aff_vs_freq_pct", gain.mean()}});
+    report.finish(clustered_beats_none && wakeup_delta < 0.10 &&
+                      std::abs(gain.mean()) < 1.0,
+                  "clustering keeps beating the unclustered baseline under the sleepy "
+                  "objective; frequency vs affinity differ by well under 1% — the "
+                  "time-aware objective is access-dominated at this technology point");
     return 0;
 }

@@ -37,6 +37,7 @@ int main() {
 
     TablePrinter table({"benchmark", "diff ratio", "zero-run ratio", "bdi ratio",
                         "dict ratio", "best"});
+    bench::BenchReport report("e11_codec_comparison");
     Accumulator diff_acc;
     Accumulator zr_acc;
     Accumulator bdi_acc;
@@ -76,6 +77,12 @@ int main() {
         table.add_row({row.name, format_fixed(row.ratios[0], 3),
                        format_fixed(row.ratios[1], 3), format_fixed(row.ratios[2], 3),
                        format_fixed(row.ratios[3], 3), kLabels[best]});
+        report.add_row({{"benchmark", row.name},
+                        {"diff_ratio", row.ratios[0]},
+                        {"zero_run_ratio", row.ratios[1]},
+                        {"bdi_ratio", row.ratios[2]},
+                        {"dict_ratio", row.ratios[3]},
+                        {"best", kLabels[best]}});
     }
     table.add_separator();
     table.add_row({"average", format_fixed(diff_acc.mean(), 3), format_fixed(zr_acc.mean(), 3),
@@ -83,9 +90,13 @@ int main() {
     table.print(std::cout);
 
     std::printf("\n(lower traffic ratio is better; 1.000 = incompressible)\n");
-    bench::print_shape(diff_acc.mean() <= zr_acc.mean() && diff_acc.mean() <= bdi_acc.mean() &&
-                           diff_acc.mean() <= dict_acc.mean(),
-                       "the differential codec achieves the best average traffic ratio "
-                       "across the suite");
+    report.summary({{"avg_diff_ratio", diff_acc.mean()},
+                    {"avg_zero_run_ratio", zr_acc.mean()},
+                    {"avg_bdi_ratio", bdi_acc.mean()},
+                    {"avg_dict_ratio", dict_acc.mean()}});
+    report.finish(diff_acc.mean() <= zr_acc.mean() && diff_acc.mean() <= bdi_acc.mean() &&
+                      diff_acc.mean() <= dict_acc.mean(),
+                  "the differential codec achieves the best average traffic ratio "
+                  "across the suite");
     return 0;
 }

@@ -31,6 +31,7 @@ int main() {
     TablePrinter table({"max banks", "partitioned avg [nJ]", "clustered avg [nJ]",
                         "clustering savings [%]"});
     std::vector<double> gains;
+    bench::BenchReport report("e2_bank_sweep");
     auto csv = bench::csv_sink("e2_bank_sweep");
     std::optional<CsvWriter> csv_writer;
     if (csv) {
@@ -56,6 +57,10 @@ int main() {
         if (csv_writer)
             csv_writer->write_row_numeric(format("%zu", banks),
                                           {part.mean() / 1e3, clus.mean() / 1e3, savings});
+        report.add_row({{"max_banks", static_cast<std::uint64_t>(banks)},
+                        {"partitioned_nj", part.mean() / 1e3},
+                        {"clustered_nj", clus.mean() / 1e3},
+                        {"savings_pct", savings}});
     }
     table.print(std::cout);
 
@@ -64,8 +69,8 @@ int main() {
     const bool shape = gains[1] > gains.back() && gains[2] > gains.back() &&
                        std::abs(gains.front()) < 5.0;
     std::printf("\n");
-    bench::print_shape(shape, "clustering gain decays with bank budget "
-                              "(few banks -> clustering critical; many banks -> partitioner "
-                              "can isolate hotspots by itself)");
+    report.finish(shape, "clustering gain decays with bank budget "
+                         "(few banks -> clustering critical; many banks -> partitioner "
+                         "can isolate hotspots by itself)");
     return 0;
 }

@@ -26,6 +26,7 @@ int main() {
     traces.reserve(runs.size());
     for (const auto& run : runs) traces.push_back(&run->result.data_trace);
 
+    bench::BenchReport report("e3_cluster_ablation");
     std::puts("\n-- (a) block-size sweep ----------------------------------------");
     TablePrinter block_table({"block size", "remap table [bits]", "avg clustering savings [%]",
                               "min [%]", "max [%]"});
@@ -45,6 +46,12 @@ int main() {
         block_table.add_row({format_bytes(block), format("%llu", (unsigned long long)table_bits),
                              format_fixed(acc.mean(), 1), format_fixed(acc.min(), 1),
                              format_fixed(acc.max(), 1)});
+        report.add_row({{"axis", "block_bytes"},
+                        {"value", static_cast<double>(block)},
+                        {"remap_table_bits", table_bits},
+                        {"avg_savings_pct", acc.mean()},
+                        {"min_savings_pct", acc.min()},
+                        {"max_savings_pct", acc.max()}});
     }
     block_table.print(std::cout);
 
@@ -64,6 +71,9 @@ int main() {
             acc.add(cmp.clustering_savings_pct());
         avg_by_cost.push_back(acc.mean());
         remap_table.add_row({format_fixed(mult, 1), format_fixed(acc.mean(), 1)});
+        report.add_row({{"axis", "remap_cost_mult"},
+                        {"value", mult},
+                        {"avg_savings_pct", acc.mean()}});
     }
     remap_table.print(std::cout);
 
@@ -74,8 +84,8 @@ int main() {
         remap_monotone = remap_monotone && avg_by_cost[i] <= avg_by_cost[i - 1] + 1e-9;
     const bool shape = avg_by_block[2] > avg_by_block.back() && remap_monotone;
     std::printf("\n");
-    bench::print_shape(shape,
-                       "finer blocks preserve clustering precision; savings decay "
-                       "monotonically with remap-table energy");
+    report.finish(shape,
+                  "finer blocks preserve clustering precision; savings decay "
+                  "monotonically with remap-table energy");
     return 0;
 }

@@ -4,7 +4,7 @@
 
 int main() {
     memopt::bench::run_compression_table(
-        memopt::vliw_platform(), "E4",
+        memopt::vliw_platform(), "E4", "e4_compression_vliw",
         "10-22% energy savings on the Lx-ST200 VLIW platform (Ptolemy/MediaBench)", 10.0, 22.0);
     return 0;
 }

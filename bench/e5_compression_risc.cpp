@@ -5,7 +5,7 @@
 
 int main() {
     memopt::bench::run_compression_table(
-        memopt::risc_platform(), "E5",
+        memopt::risc_platform(), "E5", "e5_compression_risc",
         "11-14% energy savings on the MIPS platform simulated with SimpleScalar", 11.0, 14.0);
     return 0;
 }

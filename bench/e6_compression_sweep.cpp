@@ -56,6 +56,7 @@ int main() {
     std::puts("\n-- (a) line-size sweep -----------------------------------------");
     TablePrinter line_table({"line size", "avg mem-path savings [%]"});
     std::vector<double> by_line;
+    bench::BenchReport report("e6_compression_sweep");
     auto csv = bench::csv_sink("e6_compression_sweep");
     std::optional<CsvWriter> csv_writer;
     if (csv) {
@@ -68,6 +69,9 @@ int main() {
         by_line.push_back(avg_path_savings(cfg, runs));
         line_table.add_row({format("%u B", line), format_fixed(by_line.back(), 1)});
         if (csv_writer) csv_writer->write_row_numeric("line_bytes", {double(line), by_line.back()});
+        report.add_row({{"axis", "line_bytes"},
+                        {"value", static_cast<double>(line)},
+                        {"avg_savings_pct", by_line.back()}});
     }
     line_table.print(std::cout);
 
@@ -80,6 +84,9 @@ int main() {
         by_cost.push_back(avg_path_savings(cfg, runs));
         dram_table.add_row({format_fixed(mult, 2), format_fixed(by_cost.back(), 1)});
         if (csv_writer) csv_writer->write_row_numeric("per_byte_mult", {mult, by_cost.back()});
+        report.add_row({{"axis", "per_byte_mult"},
+                        {"value", mult},
+                        {"avg_savings_pct", by_cost.back()}});
     }
     dram_table.print(std::cout);
 
@@ -87,8 +94,8 @@ int main() {
     for (std::size_t i = 1; i < by_cost.size(); ++i)
         cost_monotone = cost_monotone && by_cost[i] >= by_cost[i - 1] - 1e-9;
     std::printf("\n");
-    bench::print_shape(by_line.back() > by_line.front() && cost_monotone,
-                       "savings grow with line size and monotonically with the off-chip "
-                       "per-byte energy");
+    report.finish(by_line.back() > by_line.front() && cost_monotone,
+                  "savings grow with line size and monotonically with the off-chip "
+                  "per-byte energy");
     return 0;
 }

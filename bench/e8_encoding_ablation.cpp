@@ -26,6 +26,7 @@ int main() {
 
     TablePrinter table({"gates", "avg reduction [%]", "min [%]", "max [%]"});
     std::vector<double> avg_curve;
+    bench::BenchReport report("e8_gate_budget");
     auto csv = bench::csv_sink("e8_gate_budget");
     std::optional<CsvWriter> csv_writer;
     if (csv) {
@@ -47,6 +48,10 @@ int main() {
         if (csv_writer)
             csv_writer->write_row_numeric(format("%zu", gates),
                                           {acc.mean(), acc.min(), acc.max()});
+        report.add_row({{"gates", static_cast<std::uint64_t>(gates)},
+                        {"avg_reduction_pct", acc.mean()},
+                        {"min_reduction_pct", acc.min()},
+                        {"max_reduction_pct", acc.max()}});
     }
     table.print(std::cout);
 
@@ -67,8 +72,9 @@ int main() {
     }
     const double first_gate = avg_curve.front();
     std::printf("\nthe first gate alone removes %.1f%% of all transitions\n", first_gate);
-    bench::print_shape(monotone && diminishing && first_gate > 3.0,
-                       "reduction is monotone in the budget and per-gate marginal utility "
-                       "decreases — single-gate transforms are the best value per gate");
+    report.summary({{"first_gate_reduction_pct", first_gate}});
+    report.finish(monotone && diminishing && first_gate > 3.0,
+                  "reduction is monotone in the budget and per-gate marginal utility "
+                  "decreases — single-gate transforms are the best value per gate");
     return 0;
 }

@@ -25,6 +25,7 @@ int main() {
     const ReconfArch arch;
     TablePrinter table({"application", "naive [uJ]", "greedy [uJ]", "optimal [uJ]",
                         "greedy savings [%]", "optimal savings [%]", "context savings [%]"});
+    bench::BenchReport report("e9_scheduler_table");
     Accumulator greedy_acc;
     Accumulator optimal_acc;
 
@@ -46,6 +47,13 @@ int main() {
                        format_fixed(e_greedy.total() / 1e6, 2),
                        format_fixed(e_opt.total() / 1e6, 2), format_fixed(gs, 1),
                        format_fixed(os, 1), format_fixed(cs, 1)});
+        report.add_row({{"application", format("app%llu", (unsigned long long)seed)},
+                        {"naive_uj", e_naive.total() / 1e6},
+                        {"greedy_uj", e_greedy.total() / 1e6},
+                        {"optimal_uj", e_opt.total() / 1e6},
+                        {"greedy_savings_pct", gs},
+                        {"optimal_savings_pct", os},
+                        {"context_savings_pct", cs}});
     }
     table.print(std::cout);
 
@@ -72,15 +80,21 @@ int main() {
         kernel_table.add_row({label, format_fixed(naive_pj / 1e6, 2),
                               format_fixed(greedy_pj / 1e6, 2),
                               format_fixed(percent_savings(naive_pj, greedy_pj), 1)});
+        report.add_row({{"application", label},
+                        {"naive_uj", naive_pj / 1e6},
+                        {"greedy_uj", greedy_pj / 1e6},
+                        {"greedy_savings_pct", percent_savings(naive_pj, greedy_pj)}});
     }
     kernel_table.print(std::cout);
 
     std::printf("\naverage savings (generated apps): greedy %.1f%%, optimal %.1f%%\n",
                 greedy_acc.mean(), optimal_acc.mean());
-    bench::print_shape(greedy_acc.min() > 0.0 && optimal_acc.mean() >= greedy_acc.mean() &&
-                           kernel_pipelines_win,
-                       "scheduling reduces energy on every generated application and on "
-                       "every kernel-derived pipeline; the exact DP certifies the greedy "
-                       "heuristic");
+    report.summary({{"avg_greedy_savings_pct", greedy_acc.mean()},
+                    {"avg_optimal_savings_pct", optimal_acc.mean()}});
+    report.finish(greedy_acc.min() > 0.0 && optimal_acc.mean() >= greedy_acc.mean() &&
+                      kernel_pipelines_win,
+                  "scheduling reduces energy on every generated application and on "
+                  "every kernel-derived pipeline; the exact DP certifies the greedy "
+                  "heuristic");
     return 0;
 }

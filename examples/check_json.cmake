@@ -1,0 +1,55 @@
+# ctest driver for the memopt_cli --json export.
+#
+# Runs `memopt_cli study all --json` at --jobs 1 and --jobs 8, validates
+# both documents with `python -m json.tool`, and checks that the documents
+# are identical outside the "metrics" section (timers are wall-clock, so
+# only "metrics" may differ between job counts) — the determinism contract
+# of the observability layer.
+#
+# Invoked as:
+#   cmake -DCLI=<memopt_cli> -DPYTHON=<python3> -DWORK_DIR=<scratch>
+#         -P check_json.cmake
+foreach(var CLI PYTHON WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_json.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_checked)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "check_json.cmake: command failed (${rc}): ${ARGN}")
+  endif()
+endfunction()
+
+run_checked(${CLI} study all --json ${WORK_DIR}/study_j1.json --jobs 1)
+run_checked(${CLI} study all --json ${WORK_DIR}/study_j8.json --jobs 8)
+
+# Both documents must be valid JSON.
+run_checked(${PYTHON} -m json.tool ${WORK_DIR}/study_j1.json)
+run_checked(${PYTHON} -m json.tool ${WORK_DIR}/study_j8.json)
+
+# Schema envelope present, and results bit-identical across job counts.
+file(WRITE ${WORK_DIR}/compare_reports.py [=[
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    a = json.load(f)
+with open(sys.argv[2]) as f:
+    b = json.load(f)
+for doc in (a, b):
+    for key in ("schema", "command", "target", "results", "metrics"):
+        if key not in doc:
+            sys.exit(f"missing top-level key: {key}")
+    if doc["schema"] != "memopt.report.v1":
+        sys.exit(f"unexpected schema: {doc['schema']}")
+a.pop("metrics")
+b.pop("metrics")
+if a != b:
+    sys.exit("results differ between --jobs 1 and --jobs 8")
+]=])
+run_checked(${PYTHON} ${WORK_DIR}/compare_reports.py
+            ${WORK_DIR}/study_j1.json ${WORK_DIR}/study_j8.json)

@@ -18,10 +18,17 @@
 // Every command accepts a global `--jobs N` option bounding the worker
 // threads of the parallel runtime (equivalent to MEMOPT_JOBS=N; jobs=1 is
 // fully serial). Results are bit-identical at any job count.
+//
+// `run`, `partition`, `compress`, `encode` and `study` also accept
+// `--json FILE`: the command's results are exported as one
+// "memopt.report.v1" document (see DESIGN.md) alongside the usual text
+// output. The "results" section is deterministic; wall-clock timers live
+// in the separate "metrics" section.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -42,6 +49,9 @@
 #include "energy/bus_model.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/kernels.hpp"
+#include "support/assert.hpp"
+#include "support/json.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
@@ -101,8 +111,12 @@ int usage() {
               "  study <kernel>                         all optimizations, one report\n"
               "  study all                              whole-suite study, in parallel\n"
               "global options:\n"
-              "  --jobs N                               worker threads (default: MEMOPT_JOBS\n"
-              "                                         or hardware; 1 = fully serial)");
+              "  --jobs N                               worker threads (0 = use default:\n"
+              "                                         MEMOPT_JOBS or hardware; 1 = fully\n"
+              "                                         serial)\n"
+              "  --json FILE                            also write a memopt.report.v1 JSON\n"
+              "                                         document (run/partition/compress/\n"
+              "                                         encode/study only)");
     return 2;
 }
 
@@ -119,7 +133,7 @@ int cmd_kernels() {
     return 0;
 }
 
-int cmd_run(const Args& args) {
+int cmd_run(const Args& args, JsonWriter* jw) {
     require(!args.positional.empty(), "run: missing kernel name");
     const KernelRunPtr artifact =
         WorkloadRepository::instance().run(args.positional[0], /*fetch=*/true);
@@ -139,6 +153,28 @@ int cmd_run(const Args& args) {
         std::printf("  %-12s %6llu R %6llu W  (%4.1f%% of accesses)\n", t.name.c_str(),
                     (unsigned long long)t.reads, (unsigned long long)t.writes,
                     100.0 * double(t.total()) / double(r.data_trace.size()));
+    }
+    if (jw != nullptr) {
+        jw->begin_object();
+        jw->member("kernel", artifact->name);
+        jw->member("instructions", r.instructions);
+        jw->member("cycles", r.cycles);
+        jw->member("data_accesses", static_cast<std::uint64_t>(r.data_trace.size()));
+        jw->member("reads", r.data_trace.read_count());
+        jw->member("writes", r.data_trace.write_count());
+        jw->key("outputs").begin_array();
+        for (std::uint32_t v : r.output) jw->value(v);
+        jw->end_array();
+        jw->key("symbols").begin_array();
+        for (const SymbolTraffic& t : traffic) {
+            jw->begin_object();
+            jw->member("name", t.name);
+            jw->member("reads", t.reads);
+            jw->member("writes", t.writes);
+            jw->end_object();
+        }
+        jw->end_array();
+        jw->end_object();
     }
     return 0;
 }
@@ -180,7 +216,7 @@ int cmd_trace(const Args& args) {
     return 0;
 }
 
-int cmd_partition(const Args& args) {
+int cmd_partition(const Args& args, JsonWriter* jw) {
     require(!args.positional.empty(), "partition: missing kernel or trace file");
     const MemTrace trace = trace_of(args.positional[0]);
 
@@ -200,9 +236,11 @@ int cmd_partition(const Args& args) {
         const FlowResult result = flow.run(trace, method);
         result.energy.print(std::cout, "partitioned energy:");
         std::printf("banks: %zu\n", result.solution.arch.num_banks());
+        if (jw != nullptr) to_json(*jw, result);
         return 0;
     }
     const FlowComparison cmp = flow.compare(trace, method);
+    if (jw != nullptr) to_json(*jw, cmp);
     energy_comparison_table({
                                 {"monolithic", cmp.monolithic},
                                 {"partitioned", cmp.partitioned.energy},
@@ -217,7 +255,7 @@ int cmd_partition(const Args& args) {
     return 0;
 }
 
-int cmd_compress(const Args& args) {
+int cmd_compress(const Args& args, JsonWriter* jw) {
     require(!args.positional.empty(), "compress: missing kernel name");
     const KernelRunPtr artifact = WorkloadRepository::instance().run(args.positional[0]);
     const AssembledProgram& program = artifact->program;
@@ -249,10 +287,22 @@ int cmd_compress(const Args& args) {
     comp.energy.print(std::cout, "\nwith " + codec_name + " codec:");
     std::printf("\ntraffic ratio: %.3f   total savings: %.1f%%\n", comp.traffic_ratio(),
                 100.0 * (base.energy.total() - comp.energy.total()) / base.energy.total());
+    if (jw != nullptr) {
+        jw->begin_object();
+        jw->member("platform", platform_name);
+        jw->member("codec", codec_name);
+        jw->key("baseline");
+        to_json(*jw, base);
+        jw->key("compressed");
+        to_json(*jw, comp);
+        jw->member("savings_pct", 100.0 * (base.energy.total() - comp.energy.total()) /
+                                      base.energy.total());
+        jw->end_object();
+    }
     return 0;
 }
 
-int cmd_encode(const Args& args) {
+int cmd_encode(const Args& args, JsonWriter* jw) {
     require(!args.positional.empty(), "encode: missing kernel name");
     const RunResult& run =
         WorkloadRepository::instance().run(args.positional[0], /*fetch=*/true)->result;
@@ -272,6 +322,14 @@ int cmd_encode(const Args& args) {
     for (const XorGate& g : result.transform.gates())
         std::printf("  bit[%2u] ^= bit[%2u]\n", g.dst, g.src);
     net.print(std::cout, "\nencoded-side energy (bus + decoder):");
+    if (jw != nullptr) {
+        jw->begin_object();
+        jw->key("search");
+        to_json(*jw, result);
+        jw->key("encoded_energy");
+        net.to_json(*jw);
+        jw->end_object();
+    }
     return 0;
 }
 
@@ -289,7 +347,7 @@ int cmd_schedule(const Args& args) {
     return 0;
 }
 
-int cmd_study(const Args& args) {
+int cmd_study(const Args& args, JsonWriter* jw) {
     require(!args.positional.empty(), "study: missing kernel name (or 'all')");
     StudyParams params;
     params.flow.constraints.max_banks = 4;
@@ -307,10 +365,16 @@ int cmd_study(const Args& args) {
         table.print(std::cout);
         std::printf("\n(%zu kernels studied with %zu jobs)\n", reports.size(),
                     default_jobs());
+        if (jw != nullptr) {
+            jw->begin_array();
+            for (const StudyReport& report : reports) to_json(*jw, report);
+            jw->end_array();
+        }
         return 0;
     }
 
     const StudyReport report = study_kernel(kernel_by_name(args.positional[0]), params);
+    if (jw != nullptr) to_json(*jw, report);
     std::printf("study for %s\n", report.name.c_str());
     std::printf("  1B-1 clustering savings vs partitioning : %6.1f %%\n",
                 report.clustering_savings_pct());
@@ -330,21 +394,62 @@ int main(int argc, char** argv) {
     try {
         const Args args = Args::parse(argc, argv, 2);
         // Global knob: bound the parallel runtime before any command runs.
+        // 0 means "use the default" (MEMOPT_JOBS or hardware concurrency);
+        // anything negative is a user error, not a silent default.
         const std::int64_t jobs = args.get_int("jobs", 0);
-        require(jobs >= 0, "--jobs expects a positive integer");
+        require(jobs >= 0, "--jobs expects a non-negative integer (0 = use default)");
         if (jobs > 0) set_default_jobs(static_cast<std::size_t>(jobs));
-        if (command == "kernels") return cmd_kernels();
-        if (command == "run") return cmd_run(args);
-        if (command == "disasm") return cmd_disasm(args);
-        if (command == "cc") return cmd_cc(args);
-        if (command == "trace") return cmd_trace(args);
-        if (command == "partition") return cmd_partition(args);
-        if (command == "compress") return cmd_compress(args);
-        if (command == "encode") return cmd_encode(args);
-        if (command == "schedule") return cmd_schedule(args);
-        if (command == "study") return cmd_study(args);
-        std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
-        return usage();
+
+        // Global knob: export a memopt.report.v1 JSON document. The envelope
+        // (schema/command/target + trailing metrics snapshot) is written
+        // here; each command fills in its "results" value.
+        const std::string json_path = args.get("json", "");
+        std::ofstream json_file;
+        std::optional<JsonWriter> jw;
+        if (!json_path.empty()) {
+            const bool supported = command == "run" || command == "partition" ||
+                                   command == "compress" || command == "encode" ||
+                                   command == "study";
+            require(supported, "--json is not supported for command '" + command + "'");
+            json_file.open(json_path, std::ios::trunc);
+            require(json_file.is_open(), "cannot open --json file '" + json_path + "'");
+            jw.emplace(json_file);
+            jw->begin_object();
+            jw->member("schema", "memopt.report.v1");
+            jw->member("command", command);
+            jw->member("target", args.positional.empty() ? std::string{}
+                                                         : args.positional[0]);
+            jw->key("results");
+        }
+        JsonWriter* writer = jw.has_value() ? &*jw : nullptr;
+
+        int rc = 0;
+        if (command == "kernels") rc = cmd_kernels();
+        else if (command == "run") rc = cmd_run(args, writer);
+        else if (command == "disasm") rc = cmd_disasm(args);
+        else if (command == "cc") rc = cmd_cc(args);
+        else if (command == "trace") rc = cmd_trace(args);
+        else if (command == "partition") rc = cmd_partition(args, writer);
+        else if (command == "compress") rc = cmd_compress(args, writer);
+        else if (command == "encode") rc = cmd_encode(args, writer);
+        else if (command == "schedule") rc = cmd_schedule(args);
+        else if (command == "study") rc = cmd_study(args, writer);
+        else {
+            std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+            return usage();
+        }
+
+        if (jw.has_value() && rc == 0) {
+            jw->key("metrics");
+            MetricsRegistry::instance().snapshot().to_json(*jw);
+            jw->end_object();
+            MEMOPT_ASSERT_MSG(jw->complete(), "memopt_cli: unbalanced JSON document");
+            json_file << '\n';
+            json_file.flush();
+            require(json_file.good(), "failed writing --json file '" + json_path + "'");
+            std::printf("(json report -> %s)\n", json_path.c_str());
+        }
+        return rc;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "support/assert.hpp"
+#include "support/json.hpp"
 
 namespace memopt {
 
@@ -127,6 +128,28 @@ CompressedMemReport CompressedMemorySim::run(const MemTrace& trace,
     report.energy.add("main_memory", dram_pj);
     if (codec_ != nullptr) report.energy.add("codec", codec_pj);
     return report;
+}
+
+void to_json(JsonWriter& w, const CompressedMemReport& report) {
+    const CacheStats& cs = report.cache_stats;
+    w.begin_object();
+    w.key("cache").begin_object();
+    w.member("read_hits", cs.read_hits);
+    w.member("read_misses", cs.read_misses);
+    w.member("write_hits", cs.write_hits);
+    w.member("write_misses", cs.write_misses);
+    w.member("fills", cs.fills);
+    w.member("writebacks", cs.writebacks);
+    w.member("miss_rate", cs.miss_rate());
+    w.end_object();
+    w.member("writeback_lines", report.writeback_lines);
+    w.member("fill_lines", report.fill_lines);
+    w.member("raw_traffic_bytes", report.raw_traffic_bytes);
+    w.member("actual_traffic_bytes", report.actual_traffic_bytes);
+    w.member("traffic_ratio", report.traffic_ratio());
+    w.key("energy");
+    report.energy.to_json(w);
+    w.end_object();
 }
 
 }  // namespace memopt

@@ -22,6 +22,8 @@
 
 namespace memopt {
 
+class JsonWriter;
+
 /// Configuration of the compressed memory system.
 struct CompressedMemConfig {
     CacheConfig cache;                   ///< D-cache geometry (write-back)
@@ -53,6 +55,9 @@ struct CompressedMemReport {
                          static_cast<double>(raw_traffic_bytes);
     }
 };
+
+/// Serialize one run: cache stats, line traffic, traffic ratio, energy.
+void to_json(JsonWriter& w, const CompressedMemReport& report);
 
 /// The simulation engine.
 class CompressedMemorySim {

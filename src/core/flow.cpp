@@ -2,10 +2,36 @@
 
 #include "cluster/frequency.hpp"
 #include "support/assert.hpp"
+#include "support/json.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/stats.hpp"
 
 namespace memopt {
+
+namespace {
+
+// Per-stage observability. References are cached so the name lookup is
+// paid once per process; recording is lock-free (support/metrics.hpp) and
+// never influences results.
+MetricTimer& profile_timer() {
+    static MetricTimer& t = MetricsRegistry::instance().timer("flow.profile");
+    return t;
+}
+MetricTimer& cluster_timer() {
+    static MetricTimer& t = MetricsRegistry::instance().timer("flow.cluster");
+    return t;
+}
+MetricTimer& partition_timer() {
+    static MetricTimer& t = MetricsRegistry::instance().timer("flow.partition");
+    return t;
+}
+MetricTimer& evaluate_timer() {
+    static MetricTimer& t = MetricsRegistry::instance().timer("flow.evaluate");
+    return t;
+}
+
+}  // namespace
 
 std::string cluster_method_name(ClusterMethod method) {
     switch (method) {
@@ -23,26 +49,35 @@ MemoryOptimizationFlow::MemoryOptimizationFlow(const FlowParams& params) : param
 }
 
 FlowResult MemoryOptimizationFlow::run(const MemTrace& trace, ClusterMethod method) const {
-    const BlockProfile profile = BlockProfile::from_trace(trace, params_.block_size);
+    const BlockProfile profile = [&] {
+        const ScopedTimer scope(profile_timer());
+        return BlockProfile::from_trace(trace, params_.block_size);
+    }();
     return run(profile, method, &trace);
 }
 
 FlowResult MemoryOptimizationFlow::run(const BlockProfile& profile, ClusterMethod method,
                                        const MemTrace* trace) const {
+    static MetricCounter& runs = MetricsRegistry::instance().counter("flow.runs");
+    runs.add();
+
     AddressMap map = AddressMap::identity(profile.block_size(), profile.num_blocks());
-    switch (method) {
-        case ClusterMethod::None:
-            break;
-        case ClusterMethod::Frequency:
-            map = frequency_clustering(profile);
-            break;
-        case ClusterMethod::Affinity: {
-            require(trace != nullptr,
-                    "affinity clustering requires the trace, not just the profile");
-            const AffinityMatrix affinity =
-                windowed_affinity(*trace, profile, params_.affinity_window);
-            map = affinity_clustering(profile, affinity, params_.affinity);
-            break;
+    {
+        const ScopedTimer scope(cluster_timer());
+        switch (method) {
+            case ClusterMethod::None:
+                break;
+            case ClusterMethod::Frequency:
+                map = frequency_clustering(profile);
+                break;
+            case ClusterMethod::Affinity: {
+                require(trace != nullptr,
+                        "affinity clustering requires the trace, not just the profile");
+                const AffinityMatrix affinity =
+                    windowed_affinity(*trace, profile, params_.affinity_window);
+                map = affinity_clustering(profile, affinity, params_.affinity);
+                break;
+            }
         }
     }
 
@@ -59,9 +94,11 @@ FlowResult MemoryOptimizationFlow::run(const BlockProfile& profile, ClusterMetho
 
     const bool greedy = params_.use_greedy_solver ||
                         physical.num_blocks() > params_.auto_greedy_blocks;
-    PartitionSolution solution =
-        greedy ? solve_partition_greedy(physical, params_.constraints, energy_params)
-               : solve_partition_optimal(physical, params_.constraints, energy_params);
+    PartitionSolution solution = [&] {
+        const ScopedTimer scope(partition_timer());
+        return greedy ? solve_partition_greedy(physical, params_.constraints, energy_params)
+                      : solve_partition_optimal(physical, params_.constraints, energy_params);
+    }();
 
     FlowResult result{method, std::move(map), std::move(solution), EnergyBreakdown{}};
     result.energy = result.solution.energy;
@@ -71,9 +108,18 @@ FlowResult MemoryOptimizationFlow::run(const BlockProfile& profile, ClusterMetho
 FlowComparison MemoryOptimizationFlow::compare(const MemTrace& trace,
                                                ClusterMethod method) const {
     require(method != ClusterMethod::None, "compare: pick a real clustering method");
-    const BlockProfile profile = BlockProfile::from_trace(trace, params_.block_size);
+    static MetricCounter& compares = MetricsRegistry::instance().counter("flow.compares");
+    compares.add();
+    const BlockProfile profile = [&] {
+        const ScopedTimer scope(profile_timer());
+        return BlockProfile::from_trace(trace, params_.block_size);
+    }();
+    EnergyBreakdown monolithic = [&] {
+        const ScopedTimer scope(evaluate_timer());
+        return evaluate_monolithic(profile, params_.energy);
+    }();
     FlowComparison cmp{
-        evaluate_monolithic(profile, params_.energy),
+        std::move(monolithic),
         run(profile, ClusterMethod::None, &trace),
         run(profile, method, &trace),
     };
@@ -104,6 +150,39 @@ double FlowComparison::clustering_savings_pct() const {
 
 double FlowComparison::partitioning_savings_pct() const {
     return percent_savings(monolithic.total(), partitioned.energy.total());
+}
+
+void to_json(JsonWriter& w, const FlowResult& result) {
+    const MemoryArchitecture& arch = result.solution.arch;
+    w.begin_object();
+    w.member("method", cluster_method_name(result.method));
+    w.member("num_banks", static_cast<std::uint64_t>(arch.num_banks()));
+    w.member("total_capacity_bytes", arch.total_capacity());
+    w.key("banks").begin_array();
+    for (const Bank& bank : arch.banks()) {
+        w.begin_object();
+        w.member("first_block", static_cast<std::uint64_t>(bank.first_block));
+        w.member("num_blocks", static_cast<std::uint64_t>(bank.num_blocks));
+        w.member("size_bytes", bank.size_bytes);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("energy");
+    result.energy.to_json(w);
+    w.end_object();
+}
+
+void to_json(JsonWriter& w, const FlowComparison& cmp) {
+    w.begin_object();
+    w.key("monolithic");
+    cmp.monolithic.to_json(w);
+    w.key("partitioned");
+    to_json(w, cmp.partitioned);
+    w.key("clustered");
+    to_json(w, cmp.clustered);
+    w.member("partitioning_savings_pct", cmp.partitioning_savings_pct());
+    w.member("clustering_savings_pct", cmp.clustering_savings_pct());
+    w.end_object();
 }
 
 }  // namespace memopt

@@ -23,6 +23,8 @@
 
 namespace memopt {
 
+class JsonWriter;
+
 /// Which clustering policy to apply before partitioning.
 enum class ClusterMethod {
     None,       ///< partition the raw profile (1B-1's baseline)
@@ -103,5 +105,12 @@ public:
 private:
     FlowParams params_;
 };
+
+/// Serialize one configuration: method, bank geometry, energy breakdown.
+void to_json(JsonWriter& w, const FlowResult& result);
+
+/// Serialize the monolithic/partitioned/clustered comparison with both
+/// savings percentages.
+void to_json(JsonWriter& w, const FlowComparison& cmp);
 
 }  // namespace memopt

@@ -1,6 +1,7 @@
 #include "core/study.hpp"
 
 #include "support/assert.hpp"
+#include "support/json.hpp"
 #include "support/parallel.hpp"
 #include "support/stats.hpp"
 
@@ -43,6 +44,23 @@ StudyReport study_kernel(const Kernel& kernel, const StudyParams& params) {
     const RunResult run = Cpu(config).run(program);
     return study_trace(kernel.name, run.data_trace, program.data, program.data_base,
                        run.fetch_stream, params);
+}
+
+void to_json(JsonWriter& w, const StudyReport& report) {
+    w.begin_object();
+    w.member("name", report.name);
+    w.key("memory");
+    to_json(w, report.memory);
+    w.key("compression_baseline");
+    to_json(w, report.compression_baseline);
+    w.key("compression");
+    to_json(w, report.compression);
+    w.key("encoding");
+    to_json(w, report.encoding);
+    w.member("clustering_savings_pct", report.clustering_savings_pct());
+    w.member("compression_savings_pct", report.compression_savings_pct());
+    w.member("encoding_reduction_pct", report.encoding_reduction_pct());
+    w.end_object();
 }
 
 std::vector<StudyReport> study_suite(std::span<const Kernel> kernels,

@@ -55,6 +55,10 @@ struct StudyReport {
     double encoding_reduction_pct() const { return 100.0 * encoding.reduction(); }
 };
 
+/// Serialize the full study: memory comparison, compression baseline vs
+/// codec, encoding search, and the three headline savings percentages.
+void to_json(JsonWriter& w, const StudyReport& report);
+
 /// Run the full study on a bundled kernel.
 StudyReport study_kernel(const Kernel& kernel, const StudyParams& params = StudyParams{});
 

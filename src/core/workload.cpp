@@ -1,6 +1,7 @@
 #include "core/workload.hpp"
 
 #include "sim/kernels.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 
 namespace memopt {
@@ -33,9 +34,14 @@ KernelRunPtr WorkloadRepository::run(const std::string& kernel_name, bool fetch)
         }
     }
 
+    static MetricCounter& hits = MetricsRegistry::instance().counter("workload.hits");
+    static MetricCounter& misses = MetricsRegistry::instance().counter("workload.misses");
+    (builder ? misses : hits).add();
+
     if (builder) {
         // Simulate outside the lock; waiters block on the future, not the
         // cache, so other kernels stay buildable concurrently.
+        const ScopedTimer scope(MetricsRegistry::instance().timer("workload.simulate"));
         try {
             auto artifact = std::make_shared<KernelRun>();
             artifact->name = kernel.name;

@@ -7,6 +7,8 @@
 
 #include "energy/bus_model.hpp"
 #include "support/assert.hpp"
+#include "support/json.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 
 namespace memopt {
@@ -140,9 +142,33 @@ GateChoice best_gate(const DiffHistogram& h) {
 
 }  // namespace
 
+void to_json(JsonWriter& w, const TransformSearchResult& result) {
+    w.begin_object();
+    w.member("gate_count", static_cast<std::uint64_t>(result.transform.gate_count()));
+    w.key("gates").begin_array();
+    for (const XorGate& g : result.transform.gates()) {
+        w.begin_object();
+        w.member("dst", static_cast<unsigned>(g.dst));
+        w.member("src", static_cast<unsigned>(g.src));
+        w.end_object();
+    }
+    w.end_array();
+    w.member("original_transitions", result.original_transitions);
+    w.member("encoded_transitions", result.encoded_transitions);
+    w.member("reduction_pct", 100.0 * result.reduction());
+    w.end_object();
+}
+
 TransformSearchResult search_transform(std::span<const std::uint32_t> words,
                                        const TransformSearchParams& params) {
     require(params.max_gates <= 1024, "TransformSearchParams: absurd gate budget");
+    static MetricCounter& searches = MetricsRegistry::instance().counter("encoding.searches");
+    static MetricCounter& gates_selected =
+        MetricsRegistry::instance().counter("encoding.gates_selected");
+    static MetricTimer& search_timer = MetricsRegistry::instance().timer("encoding.search");
+    searches.add();
+    const ScopedTimer scope(search_timer);
+
     TransformSearchResult result;
     if (words.empty()) return result;
 
@@ -158,6 +184,7 @@ TransformSearchResult search_transform(std::span<const std::uint32_t> words,
     }
     result.encoded_transitions = hist.total_transitions();
     result.transform = std::move(transform);
+    gates_selected.add(result.transform.gate_count());
 
     // Cross-check the histogram bookkeeping against a direct simulation of
     // the encoder; cheap relative to the search and catches any drift.

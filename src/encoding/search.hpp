@@ -21,6 +21,8 @@
 
 namespace memopt {
 
+class JsonWriter;
+
 /// Search configuration.
 struct TransformSearchParams {
     std::size_t max_gates = 16;   ///< hardware budget (XOR gates in the decoder)
@@ -41,6 +43,9 @@ struct TransformSearchResult {
                                static_cast<double>(original_transitions);
     }
 };
+
+/// Serialize one search result: gate list, transition counts, reduction.
+void to_json(JsonWriter& w, const TransformSearchResult& result);
 
 /// Greedy gate search over the profiled stream.
 TransformSearchResult search_transform(std::span<const std::uint32_t> words,

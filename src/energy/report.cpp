@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "support/json.hpp"
 #include "support/string_util.hpp"
 
 namespace memopt {
@@ -47,6 +48,15 @@ void EnergyBreakdown::print(std::ostream& os, const std::string& title) const {
     }
     os << "  " << "total" << std::string(width - 5, ' ') << " : "
        << format_energy_pj(total()) << "\n";
+}
+
+void EnergyBreakdown::to_json(JsonWriter& w) const {
+    w.begin_object();
+    w.member("total_pj", total());
+    w.key("components").begin_object();
+    for (const auto& [name, pj] : parts_) w.member(name, pj);
+    w.end_object();
+    w.end_object();
 }
 
 }  // namespace memopt

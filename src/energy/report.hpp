@@ -12,6 +12,8 @@
 
 namespace memopt {
 
+class JsonWriter;
+
 /// An ordered collection of (component name, energy [pJ]) pairs.
 ///
 /// Components keep insertion order for stable printing; adding to an
@@ -40,6 +42,9 @@ public:
 
     /// Render as an aligned two-column listing with a total line.
     void print(std::ostream& os, const std::string& title = "") const;
+
+    /// Serialize as {"total_pj": x, "components": {name: pj, ...}}.
+    void to_json(JsonWriter& w) const;
 
 private:
     std::vector<std::pair<std::string, double>> parts_;

@@ -1,0 +1,159 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "support/assert.hpp"
+
+namespace memopt {
+
+JsonWriter::JsonWriter(std::ostream& os, int indent_width)
+    : os_(os), indent_width_(indent_width) {
+    require(indent_width >= 0, "JsonWriter: negative indent width");
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const unsigned char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += static_cast<char>(c);
+                }
+        }
+    }
+    return out;
+}
+
+std::string JsonWriter::format_double(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+void JsonWriter::newline_indent() {
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_width_); ++i)
+        os_ << ' ';
+}
+
+void JsonWriter::before_value() {
+    if (stack_.empty()) {
+        require(!root_written_, "JsonWriter: a document has exactly one root value");
+        root_written_ = true;
+        return;
+    }
+    Level& top = stack_.back();
+    if (top.scope == Scope::Object) {
+        require(key_pending_, "JsonWriter: object member needs key() first");
+        key_pending_ = false;
+    } else {
+        if (top.has_items) os_ << ',';
+        newline_indent();
+        top.has_items = true;
+    }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+    before_value();
+    os_ << '{';
+    stack_.push_back({Scope::Object});
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+    require(!stack_.empty() && stack_.back().scope == Scope::Object,
+            "JsonWriter: end_object() outside an object");
+    require(!key_pending_, "JsonWriter: dangling key at end_object()");
+    const bool had_items = stack_.back().has_items;
+    stack_.pop_back();
+    if (had_items) newline_indent();
+    os_ << '}';
+    return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+    before_value();
+    os_ << '[';
+    stack_.push_back({Scope::Array});
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+    require(!stack_.empty() && stack_.back().scope == Scope::Array,
+            "JsonWriter: end_array() outside an array");
+    const bool had_items = stack_.back().has_items;
+    stack_.pop_back();
+    if (had_items) newline_indent();
+    os_ << ']';
+    return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+    require(!stack_.empty() && stack_.back().scope == Scope::Object,
+            "JsonWriter: key() outside an object");
+    require(!key_pending_, "JsonWriter: key() twice without a value");
+    if (stack_.back().has_items) os_ << ',';
+    stack_.back().has_items = true;
+    newline_indent();
+    os_ << '"' << escape(name) << "\": ";
+    key_pending_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+    before_value();
+    os_ << '"' << escape(v) << '"';
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+    MEMOPT_ASSERT_MSG(v != nullptr, "JsonWriter: null C string");
+    return value(std::string_view(v));
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+    before_value();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+    before_value();
+    os_ << format_double(v);
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+    before_value();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+    before_value();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+    before_value();
+    os_ << "null";
+    return *this;
+}
+
+}  // namespace memopt

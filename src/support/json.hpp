@@ -1,0 +1,88 @@
+// Streaming JSON writer — the serialization substrate of the observability
+// layer.
+//
+// One class, no DOM: values are emitted directly to the ostream as the
+// caller walks the document, with the writer enforcing well-formedness
+// (keys only inside objects, one value per key, one root value) via
+// memopt::Error on misuse. Strings are escaped per RFC 8259; doubles are
+// printed with %.17g so every finite value round-trips bit-exactly through
+// strtod; non-finite doubles become null (JSON has no NaN/Inf).
+//
+// Everything that exports machine-readable results — `memopt_cli --json`,
+// the E-bench MEMOPT_JSON_DIR sinks, the metrics registry — goes through
+// this writer, so the whole toolkit speaks one schema dialect.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace memopt {
+
+class JsonWriter {
+public:
+    /// Writes to `os`; the stream must outlive the writer. `indent_width`
+    /// spaces per nesting level (pretty-printed output diffs well in VCS).
+    explicit JsonWriter(std::ostream& os, int indent_width = 2);
+
+    JsonWriter(const JsonWriter&) = delete;
+    JsonWriter& operator=(const JsonWriter&) = delete;
+
+    JsonWriter& begin_object();
+    JsonWriter& end_object();
+    JsonWriter& begin_array();
+    JsonWriter& end_array();
+
+    /// Emit an object member key; the next value() / begin_*() call is its
+    /// value. Throws outside an object or when a key is already pending.
+    JsonWriter& key(std::string_view name);
+
+    JsonWriter& value(std::string_view v);
+    JsonWriter& value(const char* v);
+    JsonWriter& value(bool v);
+    JsonWriter& value(double v);
+    JsonWriter& value(std::int64_t v);
+    JsonWriter& value(std::uint64_t v);
+    JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+    JsonWriter& null();
+
+    /// key() + value() in one call.
+    template <typename T>
+    JsonWriter& member(std::string_view k, const T& v) {
+        key(k);
+        return value(v);
+    }
+
+    /// True once exactly one root value has been written and every
+    /// container is closed — i.e. the output is a complete JSON document.
+    bool complete() const { return stack_.empty() && root_written_; }
+
+    /// RFC 8259 string escaping (quote, backslash, control characters);
+    /// exposed for tests.
+    static std::string escape(std::string_view s);
+
+    /// %.17g rendering of a finite double, "null" otherwise; exposed for
+    /// tests.
+    static std::string format_double(double v);
+
+private:
+    enum class Scope { Object, Array };
+    struct Level {
+        Scope scope;
+        bool has_items = false;
+    };
+
+    void before_value();
+    void newline_indent();
+
+    std::ostream& os_;
+    int indent_width_;
+    std::vector<Level> stack_;
+    bool key_pending_ = false;
+    bool root_written_ = false;
+};
+
+}  // namespace memopt

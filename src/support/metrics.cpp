@@ -1,0 +1,64 @@
+#include "support/metrics.hpp"
+
+#include "support/json.hpp"
+
+namespace memopt {
+
+MetricsRegistry& MetricsRegistry::instance() {
+    // Intentionally leaked: pool workers and other static-lifetime objects
+    // may record metrics during static destruction, so the registry must
+    // outlive every other static in the process.
+    static MetricsRegistry* registry = new MetricsRegistry();
+    return *registry;
+}
+
+MetricCounter& MetricsRegistry::counter(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) return *it->second;
+    return *counters_.emplace(std::string(name), std::make_unique<MetricCounter>())
+                .first->second;
+}
+
+MetricTimer& MetricsRegistry::timer(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = timers_.find(name);
+    if (it != timers_.end()) return *it->second;
+    return *timers_.emplace(std::string(name), std::make_unique<MetricTimer>()).first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_)
+        snap.counters.push_back({name, counter->value()});
+    snap.timers.reserve(timers_.size());
+    for (const auto& [name, timer] : timers_)
+        snap.timers.push_back({name, timer->count(), timer->total_ns()});
+    return snap;  // std::map iteration order: already sorted by name
+}
+
+void MetricsRegistry::reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, counter] : counters_) counter->reset();
+    for (const auto& [name, timer] : timers_) timer->reset();
+}
+
+void MetricsSnapshot::to_json(JsonWriter& w) const {
+    w.begin_object();
+    w.key("counters").begin_object();
+    for (const Counter& c : counters) w.member(c.name, c.value);
+    w.end_object();
+    w.key("timers").begin_object();
+    for (const Timer& t : timers) {
+        w.key(t.name).begin_object();
+        w.member("count", t.count);
+        w.member("total_ms", static_cast<double>(t.total_ns) / 1e6);
+        w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+}
+
+}  // namespace memopt

@@ -1,0 +1,129 @@
+// Process-wide metrics registry — named counters and timers for the
+// observability layer.
+//
+// Design rules:
+//  * Recording is lock-free: counter/timer values are relaxed atomics, so
+//    instrumented hot paths (flow stages, the thread pool, the workload
+//    repository) stay safe and cheap under the parallel runtime.
+//  * Entries are immortal: counter()/timer() return references that stay
+//    valid for the process lifetime (the registry is intentionally leaked,
+//    so worker threads may still record during static destruction), and
+//    reset() zeroes values without invalidating references. Call sites can
+//    therefore cache `static MetricCounter& c = ...;` and skip the name
+//    lookup after first use.
+//  * Metrics never feed back into results: they observe wall-clock and
+//    event counts only, so instrumented code remains bit-identical at any
+//    job count. Timer values are inherently non-deterministic; exported
+//    schemas keep them in a separate "metrics" section from "results".
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace memopt {
+
+class JsonWriter;
+
+/// Monotonic event tally.
+class MetricCounter {
+public:
+    void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+    std::uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Accumulated duration plus invocation count.
+class MetricTimer {
+public:
+    void record(std::chrono::nanoseconds elapsed) noexcept {
+        count_.fetch_add(1, std::memory_order_relaxed);
+        total_ns_.fetch_add(static_cast<std::uint64_t>(elapsed.count()),
+                            std::memory_order_relaxed);
+    }
+    std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+    std::uint64_t total_ns() const noexcept { return total_ns_.load(std::memory_order_relaxed); }
+    void reset() noexcept {
+        count_.store(0, std::memory_order_relaxed);
+        total_ns_.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> total_ns_{0};
+};
+
+/// Point-in-time copy of every registered metric, sorted by name.
+struct MetricsSnapshot {
+    struct Counter {
+        std::string name;
+        std::uint64_t value;
+    };
+    struct Timer {
+        std::string name;
+        std::uint64_t count;
+        std::uint64_t total_ns;
+    };
+
+    std::vector<Counter> counters;
+    std::vector<Timer> timers;
+
+    /// Serialize as {"counters": {name: value}, "timers": {name: {"count",
+    /// "total_ms"}}} — the "metrics" section of every exported schema.
+    void to_json(JsonWriter& w) const;
+};
+
+/// The process-wide registry. Lookup takes a mutex (creation is rare);
+/// recording on the returned references is lock-free.
+class MetricsRegistry {
+public:
+    static MetricsRegistry& instance();
+
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /// The counter/timer registered under `name`, created on first use.
+    MetricCounter& counter(std::string_view name);
+    MetricTimer& timer(std::string_view name);
+
+    MetricsSnapshot snapshot() const;
+
+    /// Zero every value. Entries (and outstanding references) stay valid.
+    void reset();
+
+private:
+    MetricsRegistry() = default;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<MetricCounter>, std::less<>> counters_;
+    std::map<std::string, std::unique_ptr<MetricTimer>, std::less<>> timers_;
+};
+
+/// RAII wall-clock timer: records the scope's duration on destruction.
+class ScopedTimer {
+public:
+    explicit ScopedTimer(MetricTimer& timer)
+        : timer_(timer), start_(std::chrono::steady_clock::now()) {}
+    explicit ScopedTimer(std::string_view name)
+        : ScopedTimer(MetricsRegistry::instance().timer(name)) {}
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+    ~ScopedTimer() { timer_.record(std::chrono::steady_clock::now() - start_); }
+
+private:
+    MetricTimer& timer_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace memopt

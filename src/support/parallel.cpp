@@ -8,6 +8,7 @@
 #include <string>
 
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
 
 namespace memopt {
 
@@ -105,10 +106,21 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
     MEMOPT_ASSERT_MSG(task != nullptr, "ThreadPool::submit: empty task");
+    // Observability wrapper: queue-wait latency (enqueue to first
+    // instruction) and a tasks-run tally. Lock-free recording; the wrapper
+    // never alters task semantics or ordering.
+    static MetricCounter& tasks_run = MetricsRegistry::instance().counter("pool.tasks_run");
+    static MetricTimer& queue_wait = MetricsRegistry::instance().timer("pool.queue_wait");
+    auto wrapped = [task = std::move(task),
+                    enqueued = std::chrono::steady_clock::now()] {
+        queue_wait.record(std::chrono::steady_clock::now() - enqueued);
+        tasks_run.add();
+        task();
+    };
     {
         std::lock_guard<std::mutex> lock(mutex_);
         require(!stop_, "ThreadPool::submit: pool is shutting down");
-        queue_.push_back(std::move(task));
+        queue_.push_back(std::move(wrapped));
     }
     cv_.notify_one();
 }

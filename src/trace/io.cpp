@@ -1,5 +1,6 @@
 #include "trace/io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -93,6 +94,11 @@ MemTrace read_trace_text(std::istream& is) {
         if (fields.size() >= 5) {
             const auto value = parse_int(fields[4]);
             require(value.has_value(), format("trace text line %d: bad value", line_no));
+            // Values are 32-bit words; a silent truncation here would make
+            // the compression/encoding results of a round-tripped trace
+            // differ from the original.
+            require(*value >= 0 && *value <= 0xFFFFFFFFLL,
+                    format("trace text line %d: value out of 32-bit range", line_no));
             access.value = static_cast<std::uint32_t>(*value);
         }
         trace.add(access);
@@ -124,14 +130,28 @@ MemTrace read_trace_binary(std::istream& is) {
     require(version == kVersion, "trace: unsupported binary version");
     const std::uint64_t count = read_u64(is);
     MemTrace trace;
-    trace.reserve(static_cast<std::size_t>(count));
+    // `count` comes straight from the (possibly corrupt or truncated) file
+    // header, so it must not drive an unbounded up-front allocation: a
+    // flipped bit could request a multi-GiB reserve before the very first
+    // record read fails. Cap the hint and let the vector grow normally —
+    // a genuinely huge trace still loads, a lying header fails fast on
+    // "truncated binary stream" instead of in the allocator.
+    constexpr std::uint64_t kMaxReserveRecords = std::uint64_t{1} << 16;
+    trace.reserve(static_cast<std::size_t>(std::min(count, kMaxReserveRecords)));
     for (std::uint64_t i = 0; i < count; ++i) {
         MemAccess a;
         a.addr = read_u64(is);
         a.cycle = read_u64(is);
         a.value = read_u32(is);
         const std::uint32_t meta = read_u32(is);
-        a.size = static_cast<std::uint8_t>(meta & 0xFF);
+        const std::uint32_t size = meta & 0xFF;
+        require(size == 1 || size == 2 || size == 4 || size == 8,
+                format("trace: record %llu has invalid access size %u",
+                       static_cast<unsigned long long>(i), size));
+        require((meta & ~0x1FFu) == 0,
+                format("trace: record %llu has unknown meta bits set",
+                       static_cast<unsigned long long>(i)));
+        a.size = static_cast<std::uint8_t>(size);
         a.kind = (meta & 0x100u) ? AccessKind::Write : AccessKind::Read;
         trace.add(a);
     }

@@ -8,12 +8,15 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <sstream>
 
 #include "isa/assembler.hpp"
 #include "isa/encode.hpp"
 #include "lang/codegen.hpp"
 #include "sim/cpu.hpp"
 #include "support/rng.hpp"
+#include "trace/io.hpp"
+#include "trace/synthetic.hpp"
 
 namespace memopt {
 namespace {
@@ -277,6 +280,70 @@ TEST_P(FrontEndFuzz, ArclangNeverCrashesOnGarbage) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FrontEndFuzz, ::testing::Range<std::uint64_t>(1, 6));
+
+
+// ---- trace-reader robustness fuzzing ------------------------------------
+
+/// Corrupted trace streams fed to both readers: serialize a valid trace,
+/// flip random bytes / truncate at random offsets, and require that parsing
+/// either succeeds or throws memopt::Error — never crashes, hangs, or
+/// attempts an unbounded allocation.
+class TraceIoFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceIoFuzz, BinaryReaderSurvivesCorruption) {
+    Rng rng(GetParam() * 52711 + 11);
+    SyntheticParams sp;
+    sp.span_bytes = 4096;
+    sp.num_accesses = 64;
+    sp.seed = GetParam();
+    std::stringstream ss;
+    write_trace_binary(ss, uniform_trace(sp));
+    const std::string pristine = ss.str();
+
+    for (int trial = 0; trial < 200; ++trial) {
+        std::string bytes = pristine;
+        const std::size_t flips = 1 + rng.next_below(8);
+        for (std::size_t f = 0; f < flips; ++f)
+            bytes[rng.next_below(bytes.size())] ^=
+                static_cast<char>(1 + rng.next_below(255));
+        if (rng.next_below(4) == 0) bytes.resize(rng.next_below(bytes.size() + 1));
+        std::stringstream corrupted(bytes);
+        try {
+            read_trace_binary(corrupted);
+        } catch (const Error&) {
+            // rejected cleanly: fine
+        }
+    }
+    SUCCEED();
+}
+
+TEST_P(TraceIoFuzz, TextReaderSurvivesCorruption) {
+    Rng rng(GetParam() * 68111 + 29);
+    std::stringstream ss;
+    SyntheticParams sp;
+    sp.span_bytes = 4096;
+    sp.num_accesses = 32;
+    sp.seed = GetParam();
+    write_trace_text(ss, uniform_trace(sp));
+    const std::string pristine = ss.str();
+
+    for (int trial = 0; trial < 200; ++trial) {
+        std::string text = pristine;
+        const std::size_t flips = 1 + rng.next_below(6);
+        for (std::size_t f = 0; f < flips; ++f)
+            text[rng.next_below(text.size())] =
+                static_cast<char>(0x20 + rng.next_below(0x5F));
+        std::stringstream corrupted(text);
+        try {
+            read_trace_text(corrupted);
+        } catch (const Error&) {
+            // rejected cleanly: fine
+        }
+    }
+    SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceIoFuzz, ::testing::Range<std::uint64_t>(1, 6));
 
 }  // namespace
 }  // namespace memopt

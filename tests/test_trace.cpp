@@ -344,6 +344,67 @@ TEST(TraceIo, BinaryRejectsBadMagicAndTruncation) {
     EXPECT_THROW(read_trace_binary(truncated), Error);
 }
 
+TEST(TraceIo, TextRejectsValueOutOfRange) {
+    // int64 values that don't fit a 32-bit word must be rejected, not
+    // silently truncated (truncation would change compression/encoding
+    // results of a round-tripped trace).
+    std::stringstream too_big("R 0x100 4 5 0x100000000\n");
+    EXPECT_THROW(read_trace_text(too_big), Error);
+    std::stringstream negative("R 0x100 4 5 -7\n");
+    EXPECT_THROW(read_trace_text(negative), Error);
+    // The error must carry the offending line number.
+    std::stringstream second_line("R 0x100 4 5 1\nW 0x104 4 6 0x1FFFFFFFF\n");
+    try {
+        read_trace_text(second_line);
+        FAIL() << "expected Error";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+        EXPECT_NE(std::string(e.what()).find("value out of 32-bit range"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TraceIo, BinaryRejectsInvalidAccessSize) {
+    std::stringstream ss;
+    write_trace_binary(ss, sample_trace());
+    std::string bytes = ss.str();
+    // Layout: 16-byte header (magic, version, count), then 24-byte records
+    // of addr(8) cycle(8) value(4) meta(4). The size field is the low byte
+    // of the first record's meta word, at offset 36.
+    ASSERT_GE(bytes.size(), 40u);
+    bytes[36] = 3;  // not in {1, 2, 4, 8}
+    std::stringstream corrupted(bytes);
+    try {
+        read_trace_binary(corrupted);
+        FAIL() << "expected Error";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("invalid access size"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TraceIo, BinaryRejectsUnknownMetaBits) {
+    std::stringstream ss;
+    write_trace_binary(ss, sample_trace());
+    std::string bytes = ss.str();
+    ASSERT_GE(bytes.size(), 40u);
+    bytes[38] = 0x40;  // meta bits above the size/kind fields
+    std::stringstream corrupted(bytes);
+    EXPECT_THROW(read_trace_binary(corrupted), Error);
+}
+
+TEST(TraceIo, BinaryHugeCountHeaderFailsFast) {
+    // A corrupt header advertising ~10^18 records must not drive an
+    // up-front multi-GiB reserve; it has to fail on the first missing
+    // record instead. If the reserve cap regressed, this test would die on
+    // allocation long before the EXPECT_THROW.
+    std::string bytes = "MTRC";
+    bytes += std::string(1, '\x01') + std::string(3, '\x00');  // version 1 LE
+    bytes += std::string(7, '\xFF') + std::string(1, '\x0F');  // count = 2^60-ish
+    std::stringstream corrupted(bytes);
+    EXPECT_THROW(read_trace_binary(corrupted), Error);
+}
+
 TEST(TraceIo, FileSaveLoadBothFormats) {
     const MemTrace t = sample_trace();
     const std::string text_path = ::testing::TempDir() + "memopt_trace_test.txt";
