@@ -14,6 +14,13 @@
 //   memopt_cli encode <kernel> [--gates N]
 //   memopt_cli schedule [--seed N]
 //   memopt_cli study <kernel>|all
+//   memopt_cli fault <kernel> [--protection none|parity|secded]
+//                    [--codec none|diff|zero-run|bdi|dictionary]
+//                    [--rate R] [--trials N] [--seed S] [--drowsy F]
+//
+// Exit codes: 0 = success, 1 = usage error (bad command line),
+// 2 = data or environment error (memopt::Error — missing kernel, unreadable
+// file, malformed trace, ...).
 //
 // Every command accepts a global `--jobs N` option bounding the worker
 // threads of the parallel runtime (equivalent to MEMOPT_JOBS=N; jobs=1 is
@@ -25,6 +32,7 @@
 // output. The "results" section is deterministic; wall-clock timers live
 // in the separate "metrics" section.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -47,6 +55,8 @@
 #include "encoding/decoder_cost.hpp"
 #include "encoding/search.hpp"
 #include "energy/bus_model.hpp"
+#include "fault/campaign.hpp"
+#include "partition/sleep.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/kernels.hpp"
 #include "support/assert.hpp"
@@ -62,6 +72,17 @@ namespace {
 
 using namespace memopt;
 
+/// A bad command line (unknown command, malformed option, missing
+/// argument). Exits with code 1, as opposed to data/environment errors
+/// (memopt::Error), which exit with code 2.
+struct UsageError : Error {
+    using Error::Error;
+};
+
+void usage_require(bool condition, const std::string& message) {
+    if (!condition) throw UsageError(message);
+}
+
 /// Trivial "--key value" option parser; positional args stay in order.
 struct Args {
     std::vector<std::string> positional;
@@ -72,7 +93,7 @@ struct Args {
         for (int i = first; i < argc; ++i) {
             const std::string arg = argv[i];
             if (arg.rfind("--", 0) == 0) {
-                require(i + 1 < argc, "option " + arg + " needs a value");
+                usage_require(i + 1 < argc, "option " + arg + " needs a value");
                 args.options[arg.substr(2)] = argv[++i];
             } else {
                 args.positional.push_back(arg);
@@ -90,8 +111,18 @@ struct Args {
         const auto it = options.find(key);
         if (it == options.end()) return fallback;
         const auto v = parse_int(it->second);
-        require(v.has_value(), "option --" + key + " expects an integer");
+        usage_require(v.has_value(), "option --" + key + " expects an integer");
         return *v;
+    }
+
+    double get_double(const std::string& key, double fallback) const {
+        const auto it = options.find(key);
+        if (it == options.end()) return fallback;
+        char* end = nullptr;
+        const double v = std::strtod(it->second.c_str(), &end);
+        usage_require(end != it->second.c_str() && *end == '\0',
+                      "option --" + key + " expects a number");
+        return v;
     }
 };
 
@@ -110,14 +141,20 @@ int usage() {
               "  schedule [--seed N]\n"
               "  study <kernel>                         all optimizations, one report\n"
               "  study all                              whole-suite study, in parallel\n"
+              "  fault <kernel> [--protection none|parity|secded]\n"
+              "            [--codec none|diff|zero-run|bdi|dictionary] [--rate R]\n"
+              "            [--trials N] [--seed S] [--drowsy F] [--line BYTES]\n"
               "global options:\n"
               "  --jobs N                               worker threads (0 = use default:\n"
               "                                         MEMOPT_JOBS or hardware; 1 = fully\n"
               "                                         serial)\n"
               "  --json FILE                            also write a memopt.report.v1 JSON\n"
               "                                         document (run/partition/compress/\n"
-              "                                         encode/study only)");
-    return 2;
+              "                                         encode/study/fault; fault exports\n"
+              "                                         memopt.fault.v1)\n"
+              "exit codes:\n"
+              "  0 success   1 usage error   2 data or environment error");
+    return 1;
 }
 
 MemTrace trace_of(const std::string& source) {
@@ -134,7 +171,7 @@ int cmd_kernels() {
 }
 
 int cmd_run(const Args& args, JsonWriter* jw) {
-    require(!args.positional.empty(), "run: missing kernel name");
+    usage_require(!args.positional.empty(), "run: missing kernel name");
     const KernelRunPtr artifact =
         WorkloadRepository::instance().run(args.positional[0], /*fetch=*/true);
     const AssembledProgram& program = artifact->program;
@@ -180,14 +217,14 @@ int cmd_run(const Args& args, JsonWriter* jw) {
 }
 
 int cmd_disasm(const Args& args) {
-    require(!args.positional.empty(), "disasm: missing kernel name");
+    usage_require(!args.positional.empty(), "disasm: missing kernel name");
     const AssembledProgram program = assemble(kernel_by_name(args.positional[0]).source);
     std::fputs(disassemble_program(program).c_str(), stdout);
     return 0;
 }
 
 int cmd_cc(const Args& args) {
-    require(!args.positional.empty(), "cc: missing source file");
+    usage_require(!args.positional.empty(), "cc: missing source file");
     std::ifstream in(args.positional[0]);
     require(in.is_open(), "cc: cannot open '" + args.positional[0] + "'");
     std::string source((std::istreambuf_iterator<char>(in)),
@@ -197,7 +234,7 @@ int cmd_cc(const Args& args) {
         std::fputs(lang::compile_to_asm(source).c_str(), stdout);
         return 0;
     }
-    require(mode == "run", "cc: --emit must be 'asm' or 'run'");
+    usage_require(mode == "run", "cc: --emit must be 'asm' or 'run'");
     const AssembledProgram program = lang::compile(source);
     const RunResult r = Cpu(CpuConfig{}).run(program);
     std::printf("instructions : %llu\n", (unsigned long long)r.instructions);
@@ -208,7 +245,7 @@ int cmd_cc(const Args& args) {
 }
 
 int cmd_trace(const Args& args) {
-    require(args.positional.size() >= 2, "trace: need <kernel> <file>");
+    usage_require(args.positional.size() >= 2, "trace: need <kernel> <file>");
     const MemTrace& trace =
         WorkloadRepository::instance().run(args.positional[0])->result.data_trace;
     save_trace(args.positional[1], trace);
@@ -217,7 +254,7 @@ int cmd_trace(const Args& args) {
 }
 
 int cmd_partition(const Args& args, JsonWriter* jw) {
-    require(!args.positional.empty(), "partition: missing kernel or trace file");
+    usage_require(!args.positional.empty(), "partition: missing kernel or trace file");
     const MemTrace trace = trace_of(args.positional[0]);
 
     FlowParams fp;
@@ -230,7 +267,7 @@ int cmd_partition(const Args& args, JsonWriter* jw) {
     if (method_name == "none") method = ClusterMethod::None;
     else if (method_name == "frequency") method = ClusterMethod::Frequency;
     else if (method_name == "affinity") method = ClusterMethod::Affinity;
-    else throw Error("partition: unknown clustering method '" + method_name + "'");
+    else throw UsageError("partition: unknown clustering method '" + method_name + "'");
 
     if (method == ClusterMethod::None) {
         const FlowResult result = flow.run(trace, method);
@@ -256,7 +293,7 @@ int cmd_partition(const Args& args, JsonWriter* jw) {
 }
 
 int cmd_compress(const Args& args, JsonWriter* jw) {
-    require(!args.positional.empty(), "compress: missing kernel name");
+    usage_require(!args.positional.empty(), "compress: missing kernel name");
     const KernelRunPtr artifact = WorkloadRepository::instance().run(args.positional[0]);
     const AssembledProgram& program = artifact->program;
     const RunResult& run = artifact->result;
@@ -264,8 +301,8 @@ int cmd_compress(const Args& args, JsonWriter* jw) {
     const std::string platform_name = args.get("platform", "vliw");
     const PlatformModel platform =
         platform_name == "risc" ? risc_platform() : vliw_platform();
-    require(platform_name == "vliw" || platform_name == "risc",
-            "compress: unknown platform '" + platform_name + "'");
+    usage_require(platform_name == "vliw" || platform_name == "risc",
+                  "compress: unknown platform '" + platform_name + "'");
 
     const DiffCodec diff;
     const ZeroRunCodec zero_run;
@@ -277,7 +314,7 @@ int cmd_compress(const Args& args, JsonWriter* jw) {
     else if (codec_name == "zero-run") codec = &zero_run;
     else if (codec_name == "bdi") codec = &bdi;
     else if (codec_name == "dictionary") codec = &dict;
-    else throw Error("compress: unknown codec '" + codec_name + "'");
+    else throw UsageError("compress: unknown codec '" + codec_name + "'");
 
     const auto base = CompressedMemorySim(platform.config, nullptr)
                           .run(run.data_trace, program.data, program.data_base);
@@ -303,7 +340,7 @@ int cmd_compress(const Args& args, JsonWriter* jw) {
 }
 
 int cmd_encode(const Args& args, JsonWriter* jw) {
-    require(!args.positional.empty(), "encode: missing kernel name");
+    usage_require(!args.positional.empty(), "encode: missing kernel name");
     const RunResult& run =
         WorkloadRepository::instance().run(args.positional[0], /*fetch=*/true)->result;
 
@@ -333,6 +370,79 @@ int cmd_encode(const Args& args, JsonWriter* jw) {
     return 0;
 }
 
+int cmd_fault(const Args& args, JsonWriter* jw) {
+    usage_require(!args.positional.empty(), "fault: missing kernel name");
+    const KernelRunPtr artifact = WorkloadRepository::instance().run(args.positional[0]);
+    const AssembledProgram& program = artifact->program;
+    const RunResult& run = artifact->result;
+
+    FaultCampaignConfig config;
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    config.trials = static_cast<std::size_t>(args.get_int("trials", 64));
+    config.bit_flip_rate = args.get_double("rate", 1e-4);
+    config.line_bytes = static_cast<unsigned>(args.get_int("line", 32));
+    usage_require(config.trials > 0, "fault: --trials expects a positive count");
+    usage_require(config.bit_flip_rate >= 0.0 && config.bit_flip_rate <= 1.0,
+                  "fault: --rate expects a probability in [0,1]");
+
+    const std::string prot_name = args.get("protection", "secded");
+    if (prot_name == "none") config.protection = ProtectionScheme::None;
+    else if (prot_name == "parity") config.protection = ProtectionScheme::Parity;
+    else if (prot_name == "secded") config.protection = ProtectionScheme::Secded;
+    else throw UsageError("fault: unknown protection '" + prot_name + "'");
+
+    const DiffCodec diff;
+    const ZeroRunCodec zero_run;
+    const BdiCodec bdi;
+    const DictionaryCodec dict = DictionaryCodec::train(run.data_trace, 16);
+    const std::string codec_name = args.get("codec", "none");
+    if (codec_name == "none") config.codec = nullptr;
+    else if (codec_name == "diff") config.codec = &diff;
+    else if (codec_name == "zero-run") config.codec = &zero_run;
+    else if (codec_name == "bdi") config.codec = &bdi;
+    else if (codec_name == "dictionary") config.codec = &dict;
+    else throw UsageError("fault: unknown codec '" + codec_name + "'");
+
+    const auto corpus = line_corpus(program.data, config.line_bytes);
+
+    // Drowsy scaling: partition the kernel's trace, replay it against the
+    // sleepy-bank model, and raise each line's flip rate by its bank's
+    // sleep residency (drowsy banks hold state at reduced noise margins).
+    const double drowsy = args.get_double("drowsy", 0.0);
+    usage_require(drowsy >= 0.0, "fault: --drowsy expects a non-negative factor");
+    std::vector<double> probs;
+    if (drowsy > 0.0) {
+        FlowParams fp;
+        fp.constraints.max_banks = 4;
+        const FlowResult fr =
+            MemoryOptimizationFlow(fp).run(run.data_trace, ClusterMethod::Frequency);
+        const SleepReport sleep = evaluate_partition_sleepy(
+            fr.solution.arch, fr.map, run.data_trace, fp.energy, SleepParams{});
+        probs = sleepy_line_probabilities(fr.solution.arch, fr.map, sleep,
+                                          config.bit_flip_rate, drowsy, program.data_base,
+                                          corpus.size(), config.line_bytes, run.cycles);
+    }
+
+    const FaultCampaignResult result = run_campaign(config, corpus, probs);
+    std::printf("campaign        : %zu lines x %zu trials, %s codec, %s protection\n",
+                corpus.size(), config.trials, codec_name.c_str(),
+                protection_name(config.protection));
+    std::printf("faults injected : %llu\n", (unsigned long long)result.faults_injected);
+    std::printf("corrected words : %llu\n", (unsigned long long)result.corrected);
+    std::printf("detected words  : %llu\n", (unsigned long long)result.detected);
+    std::printf("codec rejects   : %llu\n", (unsigned long long)result.codec_rejects);
+    std::printf("degraded lines  : %llu (rate %.3e)\n",
+                (unsigned long long)result.degraded, result.degraded_rate());
+    std::printf("silent corrupt  : %llu (residual rate %.3e)\n",
+                (unsigned long long)result.silent, result.residual_corruption_rate());
+    std::printf("clean lines     : %llu\n", (unsigned long long)result.clean);
+    result.energy.print(std::cout, "\ncampaign energy:");
+    std::printf("\nprotection + recovery overhead: %.1f%% of base access energy\n",
+                100.0 * result.energy_overhead());
+    if (jw != nullptr) to_json(*jw, result);
+    return 0;
+}
+
 int cmd_schedule(const Args& args) {
     AppGenParams params;
     params.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
@@ -348,7 +458,7 @@ int cmd_schedule(const Args& args) {
 }
 
 int cmd_study(const Args& args, JsonWriter* jw) {
-    require(!args.positional.empty(), "study: missing kernel name (or 'all')");
+    usage_require(!args.positional.empty(), "study: missing kernel name (or 'all')");
     StudyParams params;
     params.flow.constraints.max_banks = 4;
 
@@ -397,7 +507,7 @@ int main(int argc, char** argv) {
         // 0 means "use the default" (MEMOPT_JOBS or hardware concurrency);
         // anything negative is a user error, not a silent default.
         const std::int64_t jobs = args.get_int("jobs", 0);
-        require(jobs >= 0, "--jobs expects a non-negative integer (0 = use default)");
+        usage_require(jobs >= 0, "--jobs expects a non-negative integer (0 = use default)");
         if (jobs > 0) set_default_jobs(static_cast<std::size_t>(jobs));
 
         // Global knob: export a memopt.report.v1 JSON document. The envelope
@@ -409,13 +519,14 @@ int main(int argc, char** argv) {
         if (!json_path.empty()) {
             const bool supported = command == "run" || command == "partition" ||
                                    command == "compress" || command == "encode" ||
-                                   command == "study";
-            require(supported, "--json is not supported for command '" + command + "'");
+                                   command == "study" || command == "fault";
+            usage_require(supported, "--json is not supported for command '" + command + "'");
             json_file.open(json_path, std::ios::trunc);
             require(json_file.is_open(), "cannot open --json file '" + json_path + "'");
             jw.emplace(json_file);
             jw->begin_object();
-            jw->member("schema", "memopt.report.v1");
+            jw->member("schema", command == "fault" ? "memopt.fault.v1"
+                                                    : "memopt.report.v1");
             jw->member("command", command);
             jw->member("target", args.positional.empty() ? std::string{}
                                                          : args.positional[0]);
@@ -434,6 +545,7 @@ int main(int argc, char** argv) {
         else if (command == "encode") rc = cmd_encode(args, writer);
         else if (command == "schedule") rc = cmd_schedule(args);
         else if (command == "study") rc = cmd_study(args, writer);
+        else if (command == "fault") rc = cmd_fault(args, writer);
         else {
             std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
             return usage();
@@ -450,8 +562,14 @@ int main(int argc, char** argv) {
             std::printf("(json report -> %s)\n", json_path.c_str());
         }
         return rc;
-    } catch (const std::exception& e) {
+    } catch (const UsageError& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
+    } catch (const Error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
     }
 }

@@ -77,7 +77,8 @@ BitWriter BdiCodec::encode(std::span<const std::uint8_t> line) const {
 
 std::vector<std::uint8_t> BdiCodec::decode(std::span<const std::uint8_t> coded,
                                            std::size_t line_bytes) const {
-    require(line_bytes % 4 == 0 && line_bytes > 0, "BdiCodec: bad line size");
+    require(line_bytes % 4 == 0 && line_bytes > 0 && line_bytes <= kMaxLineBytes,
+            "BdiCodec: bad line size");
     const std::size_t num_words = line_bytes / 4;
     BitReader in(coded);
     const unsigned mode = in.get_bits(kModeBits);

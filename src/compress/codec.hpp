@@ -16,6 +16,12 @@
 
 namespace memopt {
 
+/// Upper bound on a decodable line. Every decode() clamps its caller-
+/// supplied `line_bytes` against this before any allocation sized from it,
+/// so a corrupted or hostile size can never trigger an unbounded reserve.
+/// Real caches top out at 256-byte lines; 4 KiB leaves generous headroom.
+inline constexpr std::size_t kMaxLineBytes = 4096;
+
 /// Append-only bit stream writer (LSB-first within each byte).
 class BitWriter {
 public:

@@ -98,7 +98,8 @@ BitWriter DictionaryCodec::encode(std::span<const std::uint8_t> line) const {
 
 std::vector<std::uint8_t> DictionaryCodec::decode(std::span<const std::uint8_t> coded,
                                                   std::size_t line_bytes) const {
-    require(line_bytes % 4 == 0 && line_bytes > 0, "DictionaryCodec: bad line size");
+    require(line_bytes % 4 == 0 && line_bytes > 0 && line_bytes <= kMaxLineBytes,
+            "DictionaryCodec: bad line size");
     const std::size_t num_words = line_bytes / 4;
     BitReader in(coded);
     std::vector<std::uint32_t> words;

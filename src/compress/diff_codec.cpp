@@ -114,7 +114,8 @@ BitWriter DiffCodec::encode(std::span<const std::uint8_t> line) const {
 
 std::vector<std::uint8_t> DiffCodec::decode(std::span<const std::uint8_t> coded,
                                             std::size_t line_bytes) const {
-    require(line_bytes % 4 == 0 && line_bytes > 0, "DiffCodec: bad line size");
+    require(line_bytes % 4 == 0 && line_bytes > 0 && line_bytes <= kMaxLineBytes,
+            "DiffCodec: bad line size");
     const std::size_t num_words = line_bytes / 4;
     BitReader in(coded);
     const unsigned mode = in.get_bits(2);

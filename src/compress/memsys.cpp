@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <vector>
 
+#include "fault/inject.hpp"
+#include "fault/protect.hpp"
 #include "support/assert.hpp"
 #include "support/json.hpp"
+#include "support/rng.hpp"
 
 namespace memopt {
 
@@ -13,6 +16,12 @@ CompressedMemorySim::CompressedMemorySim(const CompressedMemConfig& config,
     : config_(config), codec_(codec) {
     require(config.cache.write_policy == WritePolicy::WriteBackAllocate,
             "CompressedMemorySim: compression requires a write-back cache");
+    require(!(config.verify_roundtrip && config.faults.has_value()),
+            "CompressedMemorySim: verify_roundtrip and fault injection are exclusive");
+    if (config.faults.has_value())
+        require(config.faults->stored_bit_flip_prob >= 0.0 &&
+                    config.faults->stored_bit_flip_prob <= 1.0,
+                "CompressedMemorySim: stored_bit_flip_prob must be in [0,1]");
 }
 
 CompressedMemReport CompressedMemorySim::run(const MemTrace& trace,
@@ -32,21 +41,35 @@ CompressedMemReport CompressedMemorySim::run(const MemTrace& trace,
     std::copy(image.begin(), image.end(),
               shadow.begin() + static_cast<std::ptrdiff_t>(image_base));
 
-    // Stored size (bytes) of each line currently resident in main memory in
+    // Stored layout of each line currently resident in main memory in
     // compressed form; absent means stored raw.
-    std::unordered_map<std::uint64_t, std::uint32_t> stored_compressed;
-    // Stored blobs for the verify_roundtrip invariant.
+    struct StoredLine {
+        std::uint32_t stored_bytes;  ///< blob + check bits, the burst size
+        std::uint32_t blob_words;    ///< 64-bit words the checker walks
+    };
+    std::unordered_map<std::uint64_t, StoredLine> stored_compressed;
+    // Stored blobs for the verify_roundtrip invariant and fault injection.
     std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> stored_blobs;
+    const bool keep_blobs = config_.verify_roundtrip || config_.faults.has_value();
 
     CacheModel cache(config_.cache);
-    const SramEnergyModel cache_sram(config_.cache.size_bytes, 32, config_.cache_sram);
+    const SramEnergyModel cache_sram(config_.cache.size_bytes, 32, config_.cache_sram,
+                                     config_.protection);
     const DramEnergyModel dram(config_.dram);
     const std::size_t words_per_line = line_bytes / 4;
+    // Protection accounting for stored compressed lines, at 64-bit word
+    // granularity: check bits inflate the burst, the encode/check logic is
+    // charged per stored word on both write-back and refill.
+    const double ecc_word_pj =
+        protection_access_energy(config_.protection, 64, config_.cache_sram);
+    Rng fault_rng(config_.faults.has_value() ? config_.faults->seed : 0);
 
     CompressedMemReport report;
     double cache_pj = 0.0;
     double dram_pj = 0.0;
     double codec_pj = 0.0;
+    double ecc_pj = 0.0;
+    double refetch_pj = 0.0;
 
     auto line_span = [&](std::uint64_t line_addr) {
         return std::span<const std::uint8_t>(shadow).subspan(line_addr, line_bytes);
@@ -60,15 +83,21 @@ CompressedMemReport CompressedMemorySim::run(const MemTrace& trace,
         std::uint64_t burst_bytes = line_bytes;
         if (codec_ != nullptr) {
             const BitWriter coded = codec_->encode(line_span(line_addr));
-            burst_bytes = (coded.bit_count() + 7) / 8;
+            const std::size_t blob_bytes = (coded.bit_count() + 7) / 8;
+            const std::size_t stored_bytes =
+                protected_stored_bytes(blob_bytes, config_.protection);
             codec_pj += config_.compress_pj_per_word * static_cast<double>(words_per_line);
-            if (burst_bytes < line_bytes) {
-                stored_compressed[line_addr] = static_cast<std::uint32_t>(burst_bytes);
-                if (config_.verify_roundtrip) stored_blobs[line_addr] = coded.bytes();
+            if (stored_bytes < line_bytes) {
+                burst_bytes = stored_bytes;
+                const auto blob_words = static_cast<std::uint32_t>((blob_bytes + 7) / 8);
+                stored_compressed[line_addr] =
+                    StoredLine{static_cast<std::uint32_t>(stored_bytes), blob_words};
+                ecc_pj += ecc_word_pj * static_cast<double>(blob_words);
+                if (keep_blobs) stored_blobs[line_addr] = coded.bytes();
             } else {
-                burst_bytes = line_bytes;  // store raw when compression does not pay
+                // Store raw when compression (incl. check bits) does not pay.
                 stored_compressed.erase(line_addr);
-                if (config_.verify_roundtrip) stored_blobs.erase(line_addr);
+                if (keep_blobs) stored_blobs.erase(line_addr);
             }
         }
         report.actual_traffic_bytes += burst_bytes;
@@ -82,8 +111,11 @@ CompressedMemReport CompressedMemorySim::run(const MemTrace& trace,
         if (codec_ != nullptr) {
             const auto it = stored_compressed.find(line_addr);
             if (it != stored_compressed.end()) {
-                burst_bytes = it->second;
+                burst_bytes = it->second.stored_bytes;
                 codec_pj += config_.decompress_pj_per_word * static_cast<double>(words_per_line);
+                // The checker walks every stored word on refill, whether or
+                // not faults are being injected.
+                ecc_pj += ecc_word_pj * static_cast<double>(it->second.blob_words);
                 if (config_.verify_roundtrip) {
                     // Between eviction and this refill nothing wrote the
                     // line (writes allocate first), so the shadow still
@@ -96,6 +128,38 @@ CompressedMemReport CompressedMemorySim::run(const MemTrace& trace,
                     const auto expected = line_span(line_addr);
                     require(std::equal(decoded.begin(), decoded.end(), expected.begin()),
                             "CompressedMemorySim: stored line failed the round-trip check");
+                }
+                if (config_.faults.has_value()) {
+                    const auto blob = stored_blobs.find(line_addr);
+                    MEMOPT_ASSERT(blob != stored_blobs.end());
+                    // Corrupt the stored bits, scrub, then decode. Detected
+                    // corruption — ECC-flagged or codec-reported — degrades
+                    // to a modeled re-fetch of the raw line; garbage never
+                    // propagates silently past an enabled checker.
+                    ProtectedBuffer buffer(blob->second, config_.protection);
+                    report.faults_injected += FaultInjector::flip_bits(
+                        buffer, config_.faults->stored_bit_flip_prob, fault_rng);
+                    const ProtectedBuffer::ScrubResult scrub = buffer.scrub();
+                    report.corrected_faults += scrub.corrected_words;
+                    bool degraded = scrub.detected_words > 0;
+                    if (!degraded) {
+                        try {
+                            const std::vector<std::uint8_t> decoded =
+                                codec_->decode(buffer.bytes(), line_bytes);
+                            const auto expected = line_span(line_addr);
+                            if (!std::equal(decoded.begin(), decoded.end(),
+                                            expected.begin()))
+                                ++report.silent_refills;
+                        } catch (const Error&) {
+                            degraded = true;
+                        }
+                    }
+                    if (degraded) {
+                        ++report.degraded_refills;
+                        // Modeled recovery: burst the raw line again.
+                        report.actual_traffic_bytes += line_bytes;
+                        refetch_pj += dram.burst_energy(line_bytes);
+                    }
                 }
             }
         }
@@ -127,6 +191,8 @@ CompressedMemReport CompressedMemorySim::run(const MemTrace& trace,
     report.energy.add("cache", cache_pj);
     report.energy.add("main_memory", dram_pj);
     if (codec_ != nullptr) report.energy.add("codec", codec_pj);
+    if (ecc_pj > 0.0) report.energy.add("ecc", ecc_pj);
+    if (refetch_pj > 0.0) report.energy.add("refetch", refetch_pj);
     return report;
 }
 
@@ -147,6 +213,10 @@ void to_json(JsonWriter& w, const CompressedMemReport& report) {
     w.member("raw_traffic_bytes", report.raw_traffic_bytes);
     w.member("actual_traffic_bytes", report.actual_traffic_bytes);
     w.member("traffic_ratio", report.traffic_ratio());
+    w.member("faults_injected", report.faults_injected);
+    w.member("corrected_faults", report.corrected_faults);
+    w.member("degraded_refills", report.degraded_refills);
+    w.member("silent_refills", report.silent_refills);
     w.key("energy");
     report.energy.to_json(w);
     w.end_object();

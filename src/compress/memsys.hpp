@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <unordered_map>
 
@@ -24,6 +25,12 @@ namespace memopt {
 
 class JsonWriter;
 
+/// Fault injection into compressed lines between write-back and refill.
+struct MemFaultParams {
+    double stored_bit_flip_prob = 0.0;  ///< per stored bit (data + check), at refill
+    std::uint64_t seed = 1;             ///< deterministic injection stream
+};
+
 /// Configuration of the compressed memory system.
 struct CompressedMemConfig {
     CacheConfig cache;                   ///< D-cache geometry (write-back)
@@ -31,10 +38,23 @@ struct CompressedMemConfig {
     DramTechnology dram;                 ///< off-chip path technology
     double compress_pj_per_word = 1.2;   ///< HW compression unit, per 32-bit word
     double decompress_pj_per_word = 0.9; ///< HW decompression unit, per word
+    /// Protection of the stored (compressed) lines and the cache array.
+    /// Check bits inflate the stored size of every compressed line (the
+    /// honest cost of protecting narrow-delta encodings) and add encode/
+    /// check logic energy per refill/write-back ("ecc" component).
+    ProtectionScheme protection = ProtectionScheme::None;
+    /// When set, every refill of a compressed line first flips each stored
+    /// bit with the given probability. Detected corruption (ECC-flagged or
+    /// codec-reported) degrades gracefully to a modeled re-fetch of the raw
+    /// line instead of propagating garbage; undetected corruption is
+    /// tallied as a silent refill.
+    std::optional<MemFaultParams> faults;
     /// When set, the simulation keeps every compressed blob and, on each
     /// refill of a compressed line, decodes it and checks the bytes against
     /// the shadow memory — an end-to-end losslessness invariant across the
     /// full system (throws memopt::Error on mismatch). Used by tests.
+    /// Mutually exclusive with `faults` (corrupted blobs must not trip the
+    /// losslessness invariant).
     bool verify_roundtrip = false;
 };
 
@@ -45,7 +65,11 @@ struct CompressedMemReport {
     std::uint64_t fill_lines = 0;           ///< lines fetched from main memory
     std::uint64_t raw_traffic_bytes = 0;    ///< bytes if all bursts were raw
     std::uint64_t actual_traffic_bytes = 0; ///< bytes actually moved
-    EnergyBreakdown energy;                 ///< "cache", "main_memory", "codec"
+    std::uint64_t faults_injected = 0;      ///< stored bits flipped (faults enabled)
+    std::uint64_t corrected_faults = 0;     ///< words repaired by SECDED at refill
+    std::uint64_t degraded_refills = 0;     ///< refills degraded to a raw re-fetch
+    std::uint64_t silent_refills = 0;       ///< refills delivering undetected corruption
+    EnergyBreakdown energy;  ///< "cache", "main_memory", "codec" (+ "ecc", "refetch")
 
     /// Actual/raw traffic; 1.0 when nothing was compressible (or no codec).
     double traffic_ratio() const {

@@ -29,7 +29,8 @@ BitWriter ZeroRunCodec::encode(std::span<const std::uint8_t> line) const {
 
 std::vector<std::uint8_t> ZeroRunCodec::decode(std::span<const std::uint8_t> coded,
                                                std::size_t line_bytes) const {
-    require(line_bytes % 4 == 0 && line_bytes > 0, "ZeroRunCodec: bad line size");
+    require(line_bytes % 4 == 0 && line_bytes > 0 && line_bytes <= kMaxLineBytes,
+            "ZeroRunCodec: bad line size");
     const std::size_t num_words = line_bytes / 4;
     BitReader in(coded);
     std::vector<std::uint32_t> words;

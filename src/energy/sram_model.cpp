@@ -7,9 +7,47 @@
 
 namespace memopt {
 
+const char* protection_name(ProtectionScheme scheme) {
+    switch (scheme) {
+        case ProtectionScheme::None: return "none";
+        case ProtectionScheme::Parity: return "parity";
+        case ProtectionScheme::Secded: return "secded";
+    }
+    MEMOPT_ASSERT_MSG(false, "unknown ProtectionScheme");
+    return "?";
+}
+
+unsigned protection_check_bits(ProtectionScheme scheme, unsigned data_bits) {
+    require(data_bits > 0, "protection_check_bits: zero data width");
+    switch (scheme) {
+        case ProtectionScheme::None:
+            return 0;
+        case ProtectionScheme::Parity:
+            return 1;
+        case ProtectionScheme::Secded: {
+            // Smallest m with 2^m >= data_bits + m + 1, plus the overall
+            // parity bit that upgrades Hamming SEC to SECDED.
+            unsigned m = 1;
+            while ((1ull << m) < data_bits + m + 1) ++m;
+            return m + 1;
+        }
+    }
+    MEMOPT_ASSERT_MSG(false, "unknown ProtectionScheme");
+    return 0;
+}
+
+double protection_access_energy(ProtectionScheme scheme, unsigned data_bits,
+                                const SramTechnology& tech) {
+    const unsigned check = protection_check_bits(scheme, data_bits);
+    if (check == 0) return 0.0;
+    // Every check bit is produced/verified by an XOR tree over roughly half
+    // of the data word (plus the stored check bit itself).
+    return static_cast<double>(check) * (data_bits / 2.0 + 1.0) * tech.ecc_xor_pj;
+}
+
 SramEnergyModel::SramEnergyModel(std::uint64_t size_bytes, unsigned word_bits,
-                                 const SramTechnology& tech)
-    : size_bytes_(size_bytes), word_bits_(word_bits), tech_(tech) {
+                                 const SramTechnology& tech, ProtectionScheme protection)
+    : size_bytes_(size_bytes), word_bits_(word_bits), tech_(tech), protection_(protection) {
     require(is_pow2(size_bytes), "SramEnergyModel: size must be a power of two");
     require(size_bytes >= 16, "SramEnergyModel: size must be >= 16 bytes");
     require(word_bits == 8 || word_bits == 16 || word_bits == 32 || word_bits == 64 ||
@@ -18,12 +56,19 @@ SramEnergyModel::SramEnergyModel(std::uint64_t size_bytes, unsigned word_bits,
 
     const double words = static_cast<double>(size_bytes) / (word_bits / 8.0);
     const double addr_bits = std::log2(words);
+    // Check-bit columns widen every physical row: the array terms (bitlines
+    // switched, cells leaking) scale by the protected-word width; the
+    // decoder term does not (the address space is unchanged).
+    const double width_factor =
+        1.0 + static_cast<double>(protection_check_bits(protection, word_bits)) /
+                  static_cast<double>(word_bits);
     // Wider words move more bitlines per access; scale the array term
     // linearly with width relative to the 32-bit reference.
     read_pj_ = tech.read_base_pj + tech.read_dec_pj * addr_bits +
-               tech.read_sqrt_pj * std::sqrt(words) * (static_cast<double>(word_bits) / 32.0);
+               tech.read_sqrt_pj * std::sqrt(words) *
+                   (static_cast<double>(word_bits) / 32.0) * width_factor;
     write_pj_ = read_pj_ * tech.write_factor;
-    leak_pw_ = tech.leak_pw_per_byte * static_cast<double>(size_bytes);
+    leak_pw_ = tech.leak_pw_per_byte * static_cast<double>(size_bytes) * width_factor;
 }
 
 double SramEnergyModel::leakage_energy(std::uint64_t cycles, double cycle_ns) const {

@@ -23,7 +23,33 @@ struct SramTechnology {
     double write_factor = 1.18;     ///< write energy = factor * read energy
     double leak_pw_per_byte = 1.5;  ///< standby leakage per byte
     double wakeup_pj = 0.0;         ///< cost to reactivate a sleeping bank (0 = always on)
+    double ecc_xor_pj = 0.004;      ///< one XOR term of an ECC encode/check tree
 };
+
+/// Error-protection scheme of a memory array or stored line. The energy
+/// techniques reproduced here (drowsy banks, compressed write-back) trade
+/// reliability margin for energy; protection buys that margin back at a
+/// per-access and per-bit cost that studies must account for.
+enum class ProtectionScheme {
+    None,    ///< unprotected storage
+    Parity,  ///< 1 parity bit per word: detects odd-weight flips
+    Secded,  ///< Hamming SECDED: corrects 1-bit, detects 2-bit flips per word
+};
+
+/// Display name ("none", "parity", "secded").
+const char* protection_name(ProtectionScheme scheme);
+
+/// Check bits stored per `data_bits`-wide word under `scheme`
+/// (Parity: 1; SECDED: Hamming bits + overall parity, e.g. 8 for 64).
+unsigned protection_check_bits(ProtectionScheme scheme, unsigned data_bits);
+
+/// Per-access energy of the encode/check logic (XOR trees) [pJ]. The
+/// *storage* overhead of the check bits is modeled separately by
+/// SramEnergyModel's protection-aware constructor; call sites charge this
+/// logic term explicitly (typically as an "ecc" breakdown component) so
+/// reports can isolate the cost of protection.
+double protection_access_energy(ProtectionScheme scheme, unsigned data_bits,
+                                const SramTechnology& tech = SramTechnology{});
 
 /// Energy model for a single SRAM cut of a given capacity.
 ///
@@ -31,12 +57,18 @@ struct SramTechnology {
 class SramEnergyModel {
 public:
     /// `size_bytes` must be a power of two and >= 16 bytes.
-    /// `word_bits` is the I/O width (default 32).
+    /// `word_bits` is the I/O width (default 32). With a protection scheme
+    /// the array carries check-bit columns alongside every word: bitline
+    /// and leakage terms scale by (data+check)/data, modeling the wider
+    /// physical row. The encode/check *logic* energy is not folded in —
+    /// see protection_access_energy().
     explicit SramEnergyModel(std::uint64_t size_bytes, unsigned word_bits = 32,
-                             const SramTechnology& tech = SramTechnology{});
+                             const SramTechnology& tech = SramTechnology{},
+                             ProtectionScheme protection = ProtectionScheme::None);
 
     std::uint64_t size_bytes() const { return size_bytes_; }
     unsigned word_bits() const { return word_bits_; }
+    ProtectionScheme protection() const { return protection_; }
 
     /// Energy of one read access [pJ].
     double read_energy() const { return read_pj_; }
@@ -56,6 +88,7 @@ private:
     std::uint64_t size_bytes_;
     unsigned word_bits_;
     SramTechnology tech_;
+    ProtectionScheme protection_;
     double read_pj_;
     double write_pj_;
     double leak_pw_;

@@ -15,7 +15,7 @@ EnergyBreakdown evaluate_partition(const MemoryArchitecture& arch, const BlockPr
     double access_pj = 0.0;
     double leak_pj = 0.0;
     for (const Bank& bank : arch.banks()) {
-        const SramEnergyModel model(bank.size_bytes, 32, params.sram);
+        const SramEnergyModel model(bank.size_bytes, 32, params.sram, params.protection);
         std::uint64_t reads = 0;
         std::uint64_t writes = 0;
         for (std::size_t b = bank.first_block; b < bank.end_block(); ++b) {
@@ -36,6 +36,9 @@ EnergyBreakdown evaluate_partition(const MemoryArchitecture& arch, const BlockPr
     if (params.extra_pj_per_access > 0.0)
         breakdown.add("remap",
                       params.extra_pj_per_access * static_cast<double>(profile.total_accesses()));
+    if (params.protection != ProtectionScheme::None)
+        breakdown.add("ecc", protection_access_energy(params.protection, 32, params.sram) *
+                                 static_cast<double>(profile.total_accesses()));
     return breakdown;
 }
 

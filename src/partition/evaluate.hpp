@@ -22,10 +22,14 @@ struct PartitionEnergyParams {
     double cycle_ns = 10.0;              ///< cycle time (100 MHz class core)
     std::uint64_t runtime_cycles = 0;    ///< run length for leakage; 0 = ignore leakage
     double extra_pj_per_access = 0.0;    ///< e.g. address-remap table lookup energy
+    /// Bank-array protection: check bits widen every bank (array + leakage
+    /// terms) and each access pays the encode/check logic as an "ecc"
+    /// component. None keeps results bit-identical to the unprotected model.
+    ProtectionScheme protection = ProtectionScheme::None;
 };
 
 /// Energy breakdown of running `profile` against `arch`.
-/// Components: "bank_access", "bank_select", "leakage", "remap".
+/// Components: "bank_access", "bank_select", "leakage", "remap", "ecc".
 /// The architecture must cover exactly the profile's blocks.
 EnergyBreakdown evaluate_partition(const MemoryArchitecture& arch, const BlockProfile& profile,
                                    const PartitionEnergyParams& params);

@@ -29,7 +29,8 @@ SleepReport evaluate_partition_sleepy(const MemoryArchitecture& arch, const Addr
     std::vector<SramEnergyModel> models;
     models.reserve(num_banks);
     for (const Bank& bank : arch.banks())
-        models.emplace_back(bank.size_bytes, 32, energy_params.sram);
+        models.emplace_back(bank.size_bytes, 32, energy_params.sram,
+                            energy_params.protection);
 
     struct BankState {
         std::uint64_t last_access = 0;  // cycle of last access
@@ -113,6 +114,11 @@ SleepReport evaluate_partition_sleepy(const MemoryArchitecture& arch, const Addr
     if (energy_params.extra_pj_per_access > 0.0)
         report.energy.add("remap",
                           energy_params.extra_pj_per_access * static_cast<double>(trace.size()));
+    if (energy_params.protection != ProtectionScheme::None)
+        report.energy.add("ecc",
+                          protection_access_energy(energy_params.protection, 32,
+                                                   energy_params.sram) *
+                              static_cast<double>(trace.size()));
     double leak_total = 0.0;
     for (const BankState& s : states) leak_total += s.leak_pj;
     report.energy.add("leakage", leak_total);

@@ -3,11 +3,15 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "support/parallel.hpp"
+
 namespace memopt::detail {
 
 void assert_fail(const char* expr, const char* file, int line, const std::string& msg) {
     std::fprintf(stderr, "memopt internal invariant violated: %s\n  at %s:%d\n", expr, file, line);
     if (!msg.empty()) std::fprintf(stderr, "  note: %s\n", msg.c_str());
+    const int worker = pool_worker_index();
+    if (worker >= 0) std::fprintf(stderr, "  in thread-pool worker %d\n", worker);
     std::fflush(stderr);
     std::abort();
 }

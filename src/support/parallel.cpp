@@ -20,6 +20,9 @@ constexpr std::size_t kMaxJobs = 256;
 /// regions observe it and run inline.
 thread_local bool t_in_parallel_region = false;
 
+/// Shared-pool worker index of the calling thread; -1 everywhere else.
+thread_local int t_worker_index = -1;
+
 std::atomic<std::size_t> g_jobs_override{0};
 std::atomic<bool> g_pool_created{false};
 
@@ -92,7 +95,10 @@ struct ForRegion {
 ThreadPool::ThreadPool(std::size_t num_threads) {
     workers_.reserve(num_threads);
     for (std::size_t i = 0; i < num_threads; ++i)
-        workers_.emplace_back([this] { worker_main(); });
+        workers_.emplace_back([this, i] {
+            t_worker_index = static_cast<int>(i);
+            worker_main();
+        });
 }
 
 ThreadPool::~ThreadPool() {
@@ -157,6 +163,8 @@ bool shared_pool_created() noexcept {
 }
 
 bool in_parallel_region() noexcept { return t_in_parallel_region; }
+
+int pool_worker_index() noexcept { return t_worker_index; }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t jobs) {

@@ -87,6 +87,12 @@ bool shared_pool_created() noexcept;
 /// inline.
 bool in_parallel_region() noexcept;
 
+/// Index of the shared-pool worker the calling thread is, or -1 on any
+/// other thread (including a caller participating in a region). Stable for
+/// the worker's lifetime; diagnostics (MEMOPT_ASSERT) print it so aborts
+/// inside parallel regions can be attributed to a thread.
+int pool_worker_index() noexcept;
+
 /// Run fn(0) .. fn(n-1), distributing indices over min(jobs, n) threads.
 /// `jobs == 0` means default_jobs(). See file comment for the determinism,
 /// nesting and exception guarantees.

@@ -10,6 +10,11 @@
 #include <array>
 #include <sstream>
 
+#include "compress/bdi_codec.hpp"
+#include "compress/dictionary_codec.hpp"
+#include "compress/diff_codec.hpp"
+#include "compress/zero_run.hpp"
+#include "fault/inject.hpp"
 #include "isa/assembler.hpp"
 #include "isa/encode.hpp"
 #include "lang/codegen.hpp"
@@ -344,6 +349,110 @@ TEST_P(TraceIoFuzz, TextReaderSurvivesCorruption) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TraceIoFuzz, ::testing::Range<std::uint64_t>(1, 6));
+
+
+// ---- codec corruption fuzzing -------------------------------------------
+
+/// Corrupted compressed blobs fed to every line codec: encode a valid line,
+/// flip random bits / truncate / extend the blob, and require decode() to
+/// either return exactly line_bytes bytes or throw memopt::Error — never
+/// crash, hang, or allocate past the line bound. This is the contract the
+/// degraded-refill path of compress/memsys and fault/campaign rely on.
+class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::vector<std::uint8_t> random_line(Rng& rng, std::size_t line_bytes) {
+    std::vector<std::uint8_t> line(line_bytes, 0);
+    switch (rng.next_below(4)) {
+        case 0:  // all zero: the zero-run sweet spot
+            break;
+        case 1: {  // smooth words: the diff/BDI sweet spot
+            std::uint32_t value = static_cast<std::uint32_t>(rng.next_u64());
+            for (std::size_t i = 0; i + 3 < line_bytes; i += 4) {
+                value += static_cast<std::uint32_t>(rng.next_below(17)) - 8;
+                for (unsigned b = 0; b < 4; ++b)
+                    line[i + b] = static_cast<std::uint8_t>(value >> (8 * b));
+            }
+            break;
+        }
+        case 2: {  // few distinct values: the dictionary sweet spot
+            const std::uint8_t a = static_cast<std::uint8_t>(rng.next_below(256));
+            const std::uint8_t b = static_cast<std::uint8_t>(rng.next_below(256));
+            for (auto& byte : line) byte = rng.next_bool(0.5) ? a : b;
+            break;
+        }
+        default:  // incompressible noise: forces the raw fallback
+            for (auto& byte : line) byte = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    return line;
+}
+
+TEST_P(CodecFuzz, DecodersSurviveCorruptedBlobs) {
+    constexpr std::size_t kLineBytes = 32;
+    Rng rng(GetParam() * 40093 + 17);
+    SyntheticParams sp;
+    sp.span_bytes = 4096;
+    sp.num_accesses = 2000;
+    sp.seed = GetParam();
+    const DiffCodec diff;
+    const ZeroRunCodec zero_run;
+    const BdiCodec bdi;
+    const DictionaryCodec dict = DictionaryCodec::train(uniform_trace(sp), 16);
+    const std::array<const LineCodec*, 4> codecs = {&diff, &zero_run, &bdi, &dict};
+
+    for (int trial = 0; trial < 150; ++trial) {
+        const std::vector<std::uint8_t> line = random_line(rng, kLineBytes);
+        for (const LineCodec* codec : codecs) {
+            std::vector<std::uint8_t> blob = codec->encode(line).bytes();
+            // Corrupt: random bit flips, then maybe truncate or extend.
+            if (!blob.empty())
+                FaultInjector::flip_bits(std::span<std::uint8_t>(blob), 0.03, rng);
+            if (rng.next_below(4) == 0) blob.resize(rng.next_below(blob.size() + 1));
+            else if (rng.next_below(4) == 0)
+                blob.resize(blob.size() + 1 + rng.next_below(8),
+                            static_cast<std::uint8_t>(rng.next_below(256)));
+            try {
+                const std::vector<std::uint8_t> decoded = codec->decode(blob, kLineBytes);
+                EXPECT_EQ(decoded.size(), kLineBytes) << codec->name();
+            } catch (const Error&) {
+                // rejected cleanly: fine
+            }
+        }
+    }
+    SUCCEED();
+}
+
+TEST_P(CodecFuzz, DecodersSurvivePureGarbage) {
+    constexpr std::size_t kLineBytes = 32;
+    Rng rng(GetParam() * 86453 + 41);
+    SyntheticParams sp;
+    sp.span_bytes = 4096;
+    sp.num_accesses = 2000;
+    sp.seed = GetParam();
+    const DiffCodec diff;
+    const ZeroRunCodec zero_run;
+    const BdiCodec bdi;
+    const DictionaryCodec dict = DictionaryCodec::train(uniform_trace(sp), 16);
+    const std::array<const LineCodec*, 4> codecs = {&diff, &zero_run, &bdi, &dict};
+
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<std::uint8_t> garbage(rng.next_below(64));
+        for (auto& byte : garbage) byte = static_cast<std::uint8_t>(rng.next_below(256));
+        for (const LineCodec* codec : codecs) {
+            try {
+                const std::vector<std::uint8_t> decoded =
+                    codec->decode(garbage, kLineBytes);
+                EXPECT_EQ(decoded.size(), kLineBytes) << codec->name();
+            } catch (const Error&) {
+                // rejected cleanly: fine
+            }
+        }
+    }
+    // The caller-supplied size is clamped too: an absurd line_bytes must be
+    // rejected before any allocation is sized from it.
+    EXPECT_THROW(diff.decode({}, std::size_t{1} << 40), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Range<std::uint64_t>(1, 6));
 
 }  // namespace
 }  // namespace memopt
