@@ -11,7 +11,9 @@
 
 #include "bench_util.hpp"
 #include "cache/cache.hpp"
+#include "cluster/affinity_cluster.hpp"
 #include "cluster/frequency.hpp"
+#include "trace/affinity.hpp"
 #include "compress/diff_codec.hpp"
 #include "core/flow.hpp"
 #include "encoding/search.hpp"
@@ -100,10 +102,12 @@ BENCHMARK(BM_DiffCodecEncode);
 void BM_CacheSimulation(benchmark::State& state) {
     const MemTrace trace = uniform_trace({.span_bytes = 64 * 1024, .num_accesses = 100000,
                                           .write_fraction = 0.3, .seed = 4});
+    const auto addrs = trace.addrs();
+    const auto kinds = trace.kinds();
     std::uint64_t accesses = 0;
     for (auto _ : state) {
         CacheModel cache(CacheConfig{});
-        for (const MemAccess& a : trace.accesses()) cache.access(a.addr, a.kind);
+        for (std::size_t i = 0; i < trace.size(); ++i) cache.access(addrs[i], kinds[i]);
         accesses += trace.size();
         benchmark::DoNotOptimize(cache.stats().misses());
     }
@@ -111,6 +115,65 @@ void BM_CacheSimulation(benchmark::State& state) {
         benchmark::Counter(static_cast<double>(accesses), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CacheSimulation);
+
+// The tentpole paths of the trace-pipeline overhaul: single-pass windowed
+// affinity over the SoA columns (sharded when the trace is long enough),
+// the fused profile+affinity builder, and the incremental greedy affinity
+// chain. Arg is the block count, which also decides dense vs CSR storage.
+void BM_WindowedAffinity(benchmark::State& state) {
+    const auto blocks = static_cast<std::size_t>(state.range(0));
+    const MemTrace trace = scattered_hotspot_trace({
+        .base = {.span_bytes = blocks * 256, .num_accesses = 200000, .write_fraction = 0.3,
+                 .seed = 5},
+        .num_hotspots = 8,
+        .hotspot_bytes = 1024,
+        .hot_fraction = 0.9,
+    });
+    const BlockProfile profile = BlockProfile::from_trace(trace, 256);
+    std::uint64_t accesses = 0;
+    for (auto _ : state) {
+        const AffinityMatrix aff = windowed_affinity(trace, profile, 8);
+        accesses += trace.size();
+        benchmark::DoNotOptimize(aff.total());
+    }
+    state.counters["accesses/s"] =
+        benchmark::Counter(static_cast<double>(accesses), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WindowedAffinity)->Arg(512)->Arg(4096);
+
+void BM_ProfileAndAffinity(benchmark::State& state) {
+    const auto blocks = static_cast<std::size_t>(state.range(0));
+    const MemTrace trace = scattered_hotspot_trace({
+        .base = {.span_bytes = blocks * 256, .num_accesses = 200000, .write_fraction = 0.3,
+                 .seed = 5},
+        .num_hotspots = 8,
+        .hotspot_bytes = 1024,
+        .hot_fraction = 0.9,
+    });
+    for (auto _ : state) {
+        const ProfileAffinity pa = build_profile_and_affinity(trace, 256, 8);
+        benchmark::DoNotOptimize(pa.affinity.total());
+        benchmark::DoNotOptimize(pa.profile.total_accesses());
+    }
+}
+BENCHMARK(BM_ProfileAndAffinity)->Arg(512)->Arg(4096);
+
+void BM_AffinityClustering(benchmark::State& state) {
+    const auto blocks = static_cast<std::size_t>(state.range(0));
+    const MemTrace trace = scattered_hotspot_trace({
+        .base = {.span_bytes = blocks * 256, .num_accesses = 200000, .write_fraction = 0.3,
+                 .seed = 5},
+        .num_hotspots = 8,
+        .hotspot_bytes = 1024,
+        .hot_fraction = 0.9,
+    });
+    const ProfileAffinity pa = build_profile_and_affinity(trace, 256, 8);
+    for (auto _ : state) {
+        const AddressMap map = affinity_clustering(pa.profile, pa.affinity);
+        benchmark::DoNotOptimize(map.num_blocks());
+    }
+}
+BENCHMARK(BM_AffinityClustering)->Arg(512)->Arg(4096);
 
 void BM_TransformSearch(benchmark::State& state) {
     CpuConfig cfg;
@@ -166,26 +229,57 @@ BENCHMARK(BM_E1ClusteringSweep)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+/// Console reporter that also collects per-benchmark timings so the run
+/// can be re-emitted in the repo-wide "memopt.bench.v1" schema. Times are
+/// normalized to nanoseconds per iteration regardless of each benchmark's
+/// display unit, which is what scripts/check_perf.py compares.
+class CollectingReporter : public benchmark::ConsoleReporter {
+public:
+    struct Row {
+        std::string name;
+        double real_ns;
+        double cpu_ns;
+        std::uint64_t iterations;
+    };
+    std::vector<Row> rows;
+
+    void ReportRuns(const std::vector<Run>& runs) override {
+        for (const Run& run : runs) {
+            if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+            const auto iters = static_cast<double>(run.iterations);
+            rows.push_back(Row{run.benchmark_name(),
+                               run.real_accumulated_time / iters * 1e9,
+                               run.cpu_accumulated_time / iters * 1e9,
+                               static_cast<std::uint64_t>(run.iterations)});
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+};
+
 }  // namespace
 
 // Custom entry point (instead of benchmark_main) so the run can also emit
-// machine-readable results: with MEMOPT_JSON_DIR set, the full report is
-// written to <dir>/BENCH_perf.json for cross-PR perf tracking. The path is
-// injected as --benchmark_out right after argv[0], so flags given on the
-// command line still win.
+// machine-readable results: with MEMOPT_JSON_DIR set, the collected rows
+// are written to <dir>/BENCH_perf.json as a memopt.bench.v1 document — the
+// same schema every E-bench emits — which scripts/check_perf.py diffs
+// against bench/baselines/perf_baseline.json in the perf-regression CI job.
 int main(int argc, char** argv) {
-    std::vector<char*> args(argv, argv + argc);
-    std::string out_flag, format_flag;
-    if (const auto path = memopt::bench::json_path("BENCH_perf")) {
-        out_flag = "--benchmark_out=" + *path;
-        format_flag = "--benchmark_out_format=json";
-        args.insert(args.begin() + 1, {out_flag.data(), format_flag.data()});
-        std::printf("(figure data -> %s)\n", path->c_str());
-    }
-    int num_args = static_cast<int>(args.size());
-    benchmark::Initialize(&num_args, args.data());
-    if (benchmark::ReportUnrecognizedArguments(num_args, args.data())) return 1;
-    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    CollectingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
+
+    memopt::bench::BenchReport report("BENCH_perf");
+    for (const CollectingReporter::Row& row : reporter.rows) {
+        report.add_row({{"benchmark", row.name},
+                        {"real_time_ns", row.real_ns},
+                        {"cpu_time_ns", row.cpu_ns},
+                        {"iterations", row.iterations}});
+    }
+    report.summary({{"benchmarks", static_cast<std::uint64_t>(reporter.rows.size())}});
+    report.finish(!reporter.rows.empty(), reporter.rows.empty()
+                                              ? "no benchmark results collected"
+                                              : "per-benchmark timings collected");
     return 0;
 }

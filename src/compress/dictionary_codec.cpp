@@ -45,8 +45,10 @@ DictionaryCodec train_from_counts(std::unordered_map<std::uint32_t, std::uint64_
 
 DictionaryCodec DictionaryCodec::train(const MemTrace& trace, std::size_t entries) {
     std::unordered_map<std::uint32_t, std::uint64_t> counts;
-    for (const MemAccess& a : trace.accesses()) {
-        if (a.kind == AccessKind::Write) ++counts[a.value];
+    const auto values = trace.values();
+    const auto kinds = trace.kinds();
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (kinds[i] == AccessKind::Write) ++counts[values[i]];
     }
     return train_from_counts(counts, entries);
 }

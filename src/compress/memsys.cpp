@@ -169,18 +169,25 @@ CompressedMemReport CompressedMemorySim::run(const MemTrace& trace,
         cache_pj += cache_sram.write_energy() * static_cast<double>(words_per_line);
     };
 
-    for (const MemAccess& access : trace.accesses()) {
-        require(access.addr + access.size <= span, "CompressedMemorySim: access outside span");
-        const CacheAccessResult r = cache.access(access.addr, access.kind);
+    // Columnar replay over the four columns this simulation reads.
+    const auto addrs = trace.addrs();
+    const auto values = trace.values();
+    const auto acc_sizes = trace.sizes();
+    const auto kinds = trace.kinds();
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const std::uint64_t addr = addrs[i];
+        const AccessKind kind = kinds[i];
+        require(addr + acc_sizes[i] <= span, "CompressedMemorySim: access outside span");
+        const CacheAccessResult r = cache.access(addr, kind);
         // The CPU-side cache access itself.
-        cache_pj += access.kind == AccessKind::Read ? cache_sram.read_energy()
-                                                    : cache_sram.write_energy();
+        cache_pj += kind == AccessKind::Read ? cache_sram.read_energy()
+                                             : cache_sram.write_energy();
         if (r.writeback_line) do_writeback(*r.writeback_line);
         if (r.fill_line) do_fill(*r.fill_line);
         // Update the shadow after the geometric simulation.
-        if (access.kind == AccessKind::Write) {
-            for (unsigned b = 0; b < access.size; ++b)
-                shadow[access.addr + b] = static_cast<std::uint8_t>(access.value >> (8 * b));
+        if (kind == AccessKind::Write) {
+            for (unsigned b = 0; b < acc_sizes[i]; ++b)
+                shadow[addr + b] = static_cast<std::uint8_t>(values[i] >> (8 * b));
         }
     }
 

@@ -49,6 +49,17 @@ MemoryOptimizationFlow::MemoryOptimizationFlow(const FlowParams& params) : param
 }
 
 FlowResult MemoryOptimizationFlow::run(const MemTrace& trace, ClusterMethod method) const {
+    if (method == ClusterMethod::Affinity) {
+        // Fused path: the profile and the windowed affinity come out of one
+        // streaming replay of the trace (bit-identical to the two-pass
+        // build, roughly half the replay cost).
+        ProfileAffinity pa = [&] {
+            const ScopedTimer scope(profile_timer());
+            return build_profile_and_affinity(trace, params_.block_size,
+                                              params_.affinity_window);
+        }();
+        return run_prepared(pa.profile, method, &trace, &pa.affinity);
+    }
     const BlockProfile profile = [&] {
         const ScopedTimer scope(profile_timer());
         return BlockProfile::from_trace(trace, params_.block_size);
@@ -58,6 +69,12 @@ FlowResult MemoryOptimizationFlow::run(const MemTrace& trace, ClusterMethod meth
 
 FlowResult MemoryOptimizationFlow::run(const BlockProfile& profile, ClusterMethod method,
                                        const MemTrace* trace) const {
+    return run_prepared(profile, method, trace, nullptr);
+}
+
+FlowResult MemoryOptimizationFlow::run_prepared(const BlockProfile& profile,
+                                                ClusterMethod method, const MemTrace* trace,
+                                                const AffinityMatrix* affinity) const {
     static MetricCounter& runs = MetricsRegistry::instance().counter("flow.runs");
     runs.add();
 
@@ -71,11 +88,15 @@ FlowResult MemoryOptimizationFlow::run(const BlockProfile& profile, ClusterMetho
                 map = frequency_clustering(profile);
                 break;
             case ClusterMethod::Affinity: {
+                if (affinity != nullptr) {
+                    map = affinity_clustering(profile, *affinity, params_.affinity);
+                    break;
+                }
                 require(trace != nullptr,
                         "affinity clustering requires the trace, not just the profile");
-                const AffinityMatrix affinity =
+                const AffinityMatrix built =
                     windowed_affinity(*trace, profile, params_.affinity_window);
-                map = affinity_clustering(profile, affinity, params_.affinity);
+                map = affinity_clustering(profile, built, params_.affinity);
                 break;
             }
         }

@@ -19,6 +19,7 @@
 #include "cluster/remap_cost.hpp"
 #include "energy/report.hpp"
 #include "partition/solver.hpp"
+#include "trace/affinity.hpp"
 #include "trace/trace.hpp"
 
 namespace memopt {
@@ -103,6 +104,12 @@ public:
         ClusterMethod method = ClusterMethod::Frequency, std::size_t jobs = 0) const;
 
 private:
+    /// Shared implementation: cluster + partition + evaluate one profile.
+    /// `affinity` is the pre-built windowed affinity from the fused trace
+    /// replay (nullptr to build it from `trace` on demand).
+    FlowResult run_prepared(const BlockProfile& profile, ClusterMethod method,
+                            const MemTrace* trace, const AffinityMatrix* affinity) const;
+
     FlowParams params_;
 };
 

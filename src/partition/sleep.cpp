@@ -54,11 +54,16 @@ SleepReport evaluate_partition_sleepy(const MemoryArchitecture& arch, const Addr
         states[b].leak_pj += states[b].asleep ? nominal * sleep.sleep_leak_factor : nominal;
     };
 
+    // Columnar replay: addr, cycle and kind are the only fields this model
+    // reads, so stream exactly those three columns.
+    const auto addrs = trace.addrs();
+    const auto cycles = trace.cycles();
+    const auto kinds = trace.kinds();
     std::uint64_t now = 0;
-    for (const MemAccess& access : trace.accesses()) {
-        MEMOPT_ASSERT_MSG(access.cycle >= now, "trace cycles must be non-decreasing");
-        now = access.cycle;
-        const std::uint64_t phys = map.map_addr(access.addr);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        MEMOPT_ASSERT_MSG(cycles[i] >= now, "trace cycles must be non-decreasing");
+        now = cycles[i];
+        const std::uint64_t phys = map.map_addr(addrs[i]);
         const std::size_t block = static_cast<std::size_t>(phys / arch.block_size());
         const std::size_t bank = arch.bank_of_block(block);
 
@@ -87,8 +92,8 @@ SleepReport evaluate_partition_sleepy(const MemoryArchitecture& arch, const Addr
             ++stats[bank].wakeups;
             stats[bank].asleep_cycles += now - slept_since;
         }
-        access_pj += access.kind == AccessKind::Read ? models[bank].read_energy()
-                                                     : models[bank].write_energy();
+        access_pj += kinds[i] == AccessKind::Read ? models[bank].read_energy()
+                                                  : models[bank].write_energy();
         ++stats[bank].accesses;
         s.last_access = now;
     }

@@ -14,10 +14,18 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Precomputed per-range bank cost oracle: prefix access sums plus cached
-/// per-capacity SRAM energies make cost(i, j) an O(1) query.
+/// Precomputed per-range bank cost oracle: prefix access sums plus a
+/// per-bank-length energy table make cost(i, j) a handful of loads and
+/// three multiply-adds — it sits in the innermost O(k n^2) DP loop.
 class BankCostOracle {
 public:
+    /// Per-capacity SRAM energies, indexed by bank length (block count).
+    struct Entry {
+        double read_pj;
+        double write_pj;
+        double leak_pj;
+    };
+
     BankCostOracle(const BlockProfile& profile, const PartitionEnergyParams& params)
         : block_size_(profile.block_size()), params_(params) {
         const std::size_t n = profile.num_blocks();
@@ -28,7 +36,12 @@ public:
             prefix_writes_[b + 1] = prefix_writes_[b] + profile.counts(b).writes;
         }
         // Cache energies for every capacity that can occur: powers of two
-        // from min_bank_bytes up to the full span.
+        // from min_bank_bytes up to the full span...
+        struct CapEntry {
+            std::uint64_t capacity;
+            Entry e;
+        };
+        std::vector<CapEntry> by_capacity;
         const std::uint64_t max_cap =
             MemoryArchitecture::capacity_for(block_size_, n, params.min_bank_bytes);
         for (std::uint64_t cap = params.min_bank_bytes; cap <= max_cap; cap *= 2) {
@@ -36,16 +49,29 @@ public:
             const double leak = params.runtime_cycles > 0
                                     ? model.leakage_energy(params.runtime_cycles, params.cycle_ns)
                                     : 0.0;
-            energies_.push_back(Entry{cap, model.read_energy(), model.write_energy(), leak});
+            by_capacity.push_back(
+                CapEntry{cap, Entry{model.read_energy(), model.write_energy(), leak}});
+        }
+        // ...then flatten to a by-length table so cost() needs no capacity
+        // arithmetic or search at all: len_entries_[L] is the energy entry
+        // of a bank spanning L blocks.
+        len_entries_.resize(n + 1);
+        for (std::size_t len = 1; len <= n; ++len) {
+            const std::uint64_t cap =
+                MemoryArchitecture::capacity_for(block_size_, len, params.min_bank_bytes);
+            const CapEntry* found = nullptr;
+            for (const CapEntry& c : by_capacity) {
+                if (c.capacity == cap) found = &c;
+            }
+            MEMOPT_ASSERT_MSG(found != nullptr, "BankCostOracle: uncached capacity");
+            len_entries_[len] = found->e;
         }
     }
 
     /// Energy of one bank covering blocks [i, j), excluding bank-select.
+    /// Bounds are the caller's responsibility (0 <= i < j <= num_blocks).
     double cost(std::size_t i, std::size_t j) const {
-        MEMOPT_ASSERT(i < j && j < prefix_reads_.size());
-        const std::uint64_t cap =
-            MemoryArchitecture::capacity_for(block_size_, j - i, params_.min_bank_bytes);
-        const Entry& e = entry_for(cap);
+        const Entry& e = len_entries_[j - i];
         const auto reads = static_cast<double>(prefix_reads_[j] - prefix_reads_[i]);
         const auto writes = static_cast<double>(prefix_writes_[j] - prefix_writes_[i]);
         return reads * e.read_pj + writes * e.write_pj + e.leak_pj;
@@ -55,27 +81,16 @@ public:
         return prefix_reads_.back() + prefix_writes_.back();
     }
 
+    const std::vector<std::uint64_t>& prefix_reads() const { return prefix_reads_; }
+    const std::vector<std::uint64_t>& prefix_writes() const { return prefix_writes_; }
+    const std::vector<Entry>& len_entries() const { return len_entries_; }
+
 private:
-    struct Entry {
-        std::uint64_t capacity;
-        double read_pj;
-        double write_pj;
-        double leak_pj;
-    };
-
-    const Entry& entry_for(std::uint64_t cap) const {
-        for (const Entry& e : energies_) {
-            if (e.capacity == cap) return e;
-        }
-        MEMOPT_ASSERT_MSG(false, "BankCostOracle: uncached capacity");
-        return energies_.front();
-    }
-
     std::uint64_t block_size_;
     PartitionEnergyParams params_;
     std::vector<std::uint64_t> prefix_reads_;
     std::vector<std::uint64_t> prefix_writes_;
-    std::vector<Entry> energies_;
+    std::vector<Entry> len_entries_;
 };
 
 PartitionSolution make_solution(const BlockProfile& profile,
@@ -105,34 +120,64 @@ PartitionSolution solve_partition_optimal(const BlockProfile& profile,
 
     // dp[k][j]: min cost of covering blocks [0, j) with exactly k banks
     // (bank-select excluded; it depends only on the final k and is added at
-    // the end). parent[k][j]: the start block of the last bank.
-    std::vector<std::vector<double>> dp(kmax + 1, std::vector<double>(n + 1, kInf));
-    std::vector<std::vector<std::size_t>> parent(kmax + 1, std::vector<std::size_t>(n + 1, 0));
-    dp[0][0] = 0.0;
+    // the end). Row k only reads row k-1, so the cost table is two flat
+    // rows; only the parent table (the start block of the last bank) is
+    // kept in full for the reconstruction.
+    std::vector<double> prev_row(n + 1, kInf);
+    std::vector<double> cur_row(n + 1, kInf);
+    std::vector<std::size_t> parent((kmax + 1) * (n + 1), 0);
+    std::vector<double> dp_at_n(kmax + 1, kInf);
+    const std::vector<std::uint64_t>& pre_reads = oracle.prefix_reads();
+    const std::vector<std::uint64_t>& pre_writes = oracle.prefix_writes();
+    const std::vector<BankCostOracle::Entry>& len_entries = oracle.len_entries();
+    prev_row[0] = 0.0;
     for (std::size_t k = 1; k <= kmax; ++k) {
-        for (std::size_t j = k; j <= n; ++j) {
-            double best = kInf;
-            std::size_t best_i = 0;
-            for (std::size_t i = k - 1; i < j; ++i) {
-                if (dp[k - 1][i] == kInf) continue;
-                const double cand = dp[k - 1][i] + oracle.cost(i, j);
-                if (cand < best) {
-                    best = cand;
-                    best_i = i;
-                }
+        std::size_t* const par = parent.data() + k * (n + 1);
+        if (k == 1) {
+            // Exactly one bank: the only predecessor is the empty prefix.
+            for (std::size_t j = 1; j <= n; ++j) {
+                cur_row[j] = prev_row[0] + oracle.cost(0, j);
+                par[j] = 0;
             }
-            dp[k][j] = best;
-            parent[k][j] = best_i;
+        } else {
+            // Every prefix [0, i) with i >= k-1 is reachable with k-1
+            // banks, so no infinity checks are needed in the hot loop.
+            // The cost expression is oracle.cost(i, j) written out with
+            // the per-j prefix loads hoisted; the evaluation order is
+            // unchanged, so dp values stay bit-identical.
+            for (std::size_t j = k; j <= n; ++j) {
+                const std::uint64_t reads_j = pre_reads[j];
+                const std::uint64_t writes_j = pre_writes[j];
+                double best = kInf;
+                std::size_t best_i = 0;
+                for (std::size_t i = k - 1; i < j; ++i) {
+                    const BankCostOracle::Entry& e = len_entries[j - i];
+                    const auto reads = static_cast<double>(reads_j - pre_reads[i]);
+                    const auto writes = static_cast<double>(writes_j - pre_writes[i]);
+                    const double cand =
+                        prev_row[i] +
+                        (reads * e.read_pj + writes * e.write_pj + e.leak_pj);
+                    if (cand < best) {
+                        best = cand;
+                        best_i = i;
+                    }
+                }
+                cur_row[j] = best;
+                par[j] = best_i;
+            }
         }
+        dp_at_n[k] = cur_row[n];
+        std::swap(prev_row, cur_row);
+        std::fill(cur_row.begin(), cur_row.end(), kInf);
     }
 
     // Pick the best bank count including the per-access select overhead.
     double best_total = kInf;
     std::size_t best_k = 1;
     for (std::size_t k = 1; k <= kmax; ++k) {
-        if (dp[k][n] == kInf) continue;
+        if (dp_at_n[k] == kInf) continue;
         const double total =
-            dp[k][n] + total_accesses * bank_select_energy(k, params.sram);
+            dp_at_n[k] + total_accesses * bank_select_energy(k, params.sram);
         if (total < best_total) {
             best_total = total;
             best_k = k;
@@ -144,7 +189,7 @@ PartitionSolution solve_partition_optimal(const BlockProfile& profile,
     std::vector<std::size_t> splits;
     std::size_t j = n;
     for (std::size_t k = best_k; k >= 1; --k) {
-        const std::size_t i = parent[k][j];
+        const std::size_t i = parent[k * (n + 1) + j];
         if (i != 0) splits.push_back(i);
         j = i;
     }

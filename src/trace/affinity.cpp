@@ -1,31 +1,157 @@
 #include "trace/affinity.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/assert.hpp"
+#include "support/parallel.hpp"
 
 namespace memopt {
+
+namespace {
+
+/// Shards shorter than this replay serially: below ~64Ki accesses the pool
+/// dispatch overhead beats the replay itself.
+constexpr std::size_t kMinAccessesPerShard = std::size_t{1} << 16;
+
+std::size_t replay_shard_count(std::size_t num_accesses, std::size_t jobs) {
+    if (jobs == 0) jobs = default_jobs();
+    if (jobs <= 1 || num_accesses < 2 * kMinAccessesPerShard) return 1;
+    return std::min(jobs, num_accesses / kMinAccessesPerShard);
+}
+
+std::pair<std::size_t, std::size_t> shard_range(std::size_t n, std::size_t shard,
+                                                std::size_t shards) {
+    return {n * shard / shards, n * (shard + 1) / shards};
+}
+
+std::size_t block_of_checked(std::uint64_t addr, unsigned shift, std::size_t num_blocks) {
+    const auto block = static_cast<std::size_t>(addr >> shift);
+    require(block < num_blocks, "block_of: address outside profile span");
+    return block;
+}
+
+/// Replay addrs[begin, end) through the sliding co-access window, counting
+/// pairs formed with the newest access. The window is pre-warmed from the
+/// `window - 1` accesses preceding `begin`, so a shard's first pairs are
+/// exactly the ones the serial replay forms at the same positions.
+void windowed_pairs(std::span<const std::uint64_t> addrs, std::size_t begin, std::size_t end,
+                    std::size_t window, unsigned shift, std::size_t num_blocks,
+                    AffinityAccumulator& acc) {
+    const std::size_t cap = window - 1;
+    std::vector<std::size_t> ring(cap);
+    std::size_t count = 0;  // occupied slots
+    std::size_t next = 0;   // slot holding the oldest entry once full
+    auto push = [&](std::size_t block) {
+        ring[next] = block;
+        next = (next + 1) % cap;
+        if (count < cap) ++count;
+    };
+    for (std::size_t i = begin > cap ? begin - cap : 0; i < begin; ++i)
+        push(block_of_checked(addrs[i], shift, num_blocks));
+    for (std::size_t i = begin; i < end; ++i) {
+        const std::size_t block = block_of_checked(addrs[i], shift, num_blocks);
+        for (std::size_t k = 0; k < count; ++k) {
+            if (ring[k] != block) acc.add(ring[k], block, 1.0);
+        }
+        push(block);
+    }
+}
+
+/// Replay addrs[begin, end) counting consecutive-access block transitions.
+/// The predecessor of access `begin` is read from the previous shard's last
+/// access, making the sharded pair set identical to the serial one.
+void transition_pairs(std::span<const std::uint64_t> addrs, std::size_t begin, std::size_t end,
+                      unsigned shift, std::size_t num_blocks, AffinityAccumulator& acc) {
+    if (end == 0) return;
+    std::size_t i = begin;
+    std::size_t prev;
+    if (begin == 0) {
+        prev = block_of_checked(addrs[0], shift, num_blocks);
+        i = 1;
+    } else {
+        prev = block_of_checked(addrs[begin - 1], shift, num_blocks);
+    }
+    for (; i < end; ++i) {
+        const std::size_t block = block_of_checked(addrs[i], shift, num_blocks);
+        if (block != prev) acc.add(prev, block, 1.0);
+        prev = block;
+    }
+}
+
+/// Run `shard_fn(begin, end, acc)` over every shard of [0, n) and reduce
+/// the per-shard accumulators in shard order.
+template <typename ShardFn>
+AffinityAccumulator sharded_accumulate(std::size_t n, std::size_t num_blocks, std::size_t jobs,
+                                       const ShardFn& shard_fn) {
+    const std::size_t shards = replay_shard_count(n, jobs);
+    if (shards == 1) {
+        AffinityAccumulator acc(num_blocks);
+        shard_fn(std::size_t{0}, n, acc);
+        return acc;
+    }
+    std::vector<std::size_t> ids(shards);
+    for (std::size_t s = 0; s < shards; ++s) ids[s] = s;
+    std::vector<AffinityAccumulator> parts = parallel_map(
+        ids,
+        [&](std::size_t s) {
+            AffinityAccumulator acc(num_blocks);
+            const auto [begin, end] = shard_range(n, s, shards);
+            shard_fn(begin, end, acc);
+            return acc;
+        },
+        jobs);
+    AffinityAccumulator out = std::move(parts.front());
+    for (std::size_t s = 1; s < parts.size(); ++s) out.merge(parts[s]);
+    return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AffinityMatrix
 
 AffinityMatrix::AffinityMatrix(std::size_t num_blocks) : n_(num_blocks) {
     require(num_blocks > 0, "AffinityMatrix: num_blocks must be > 0");
     tri_.assign(n_ * (n_ + 1) / 2, 0.0);
 }
 
-std::size_t AffinityMatrix::index(std::size_t a, std::size_t b) const {
+std::size_t AffinityMatrix::tri_index(std::size_t a, std::size_t b) const {
     MEMOPT_ASSERT(a < n_ && b < n_);
     if (a > b) std::swap(a, b);
     // Row-major upper triangle: row a starts at a*n - a*(a-1)/2 - a offsets.
     return a * n_ - a * (a + 1) / 2 + b;
 }
 
+double AffinityMatrix::sparse_at(std::size_t a, std::size_t b) const {
+    const auto first = col_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[a]);
+    const auto last = col_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[a + 1]);
+    const auto it = std::lower_bound(first, last, static_cast<std::uint32_t>(b));
+    if (it == last || *it != b) return 0.0;
+    return val_[static_cast<std::size_t>(it - col_.begin())];
+}
+
+std::size_t AffinityMatrix::stored_pairs() const {
+    if (sparse_) {
+        std::size_t diagonal = 0;
+        for (std::size_t a = 0; a < n_; ++a) {
+            if (sparse_at(a, a) != 0.0) ++diagonal;
+        }
+        return (col_.size() - diagonal) / 2 + diagonal;
+    }
+    return static_cast<std::size_t>(
+        std::count_if(tri_.begin(), tri_.end(), [](double v) { return v != 0.0; }));
+}
+
 double AffinityMatrix::at(std::size_t a, std::size_t b) const {
     require(a < n_ && b < n_, "AffinityMatrix::at out of range");
-    return tri_[index(a, b)];
+    return sparse_ ? sparse_at(a, b) : tri_[tri_index(a, b)];
 }
 
 void AffinityMatrix::add(std::size_t a, std::size_t b, double w) {
     require(a < n_ && b < n_, "AffinityMatrix::add out of range");
-    tri_[index(a, b)] += w;
+    require(!sparse_, "AffinityMatrix::add: sparse matrix is immutable");
+    tri_[tri_index(a, b)] += w;
 }
 
 double AffinityMatrix::affinity_to_set(std::size_t a,
@@ -37,43 +163,262 @@ double AffinityMatrix::affinity_to_set(std::size_t a,
 
 double AffinityMatrix::total() const {
     double sum = 0.0;
+    if (sparse_) {
+        // Upper-triangle entries in row-major order: the same accumulation
+        // order as the dense loop below (zeros contribute nothing there).
+        for (std::size_t a = 0; a < n_; ++a) {
+            for (std::size_t e = row_ptr_[a]; e < row_ptr_[a + 1]; ++e) {
+                if (col_[e] >= a) sum += val_[e];
+            }
+        }
+        return sum;
+    }
     for (double v : tri_) sum += v;
     return sum;
 }
 
-AffinityMatrix transition_affinity(const MemTrace& trace, const BlockProfile& profile) {
-    AffinityMatrix m(profile.num_blocks());
-    bool have_prev = false;
-    std::size_t prev = 0;
-    for (const MemAccess& a : trace.accesses()) {
-        const std::size_t block = profile.block_of(a.addr);
-        if (have_prev && block != prev) m.add(prev, block, 1.0);
-        prev = block;
-        have_prev = true;
+double AffinityMatrix::max_offdiagonal() const {
+    double best = 0.0;
+    if (sparse_) {
+        for (std::size_t a = 0; a < n_; ++a) {
+            for (std::size_t e = row_ptr_[a]; e < row_ptr_[a + 1]; ++e) {
+                if (col_[e] > a) best = std::max(best, val_[e]);
+            }
+        }
+        return best;
+    }
+    for (std::size_t a = 0; a < n_; ++a) {
+        for (std::size_t b = a + 1; b < n_; ++b) best = std::max(best, tri_[tri_index(a, b)]);
+    }
+    return best;
+}
+
+// ---------------------------------------------------------------------------
+// AffinityAccumulator
+
+AffinityAccumulator::AffinityAccumulator(std::size_t num_blocks)
+    : n_(num_blocks), dense_(num_blocks <= kAffinityDenseMaxBlocks) {
+    require(num_blocks > 0, "AffinityAccumulator: num_blocks must be > 0");
+    require(static_cast<std::uint64_t>(num_blocks) <= (std::uint64_t{1} << 32),
+            "AffinityAccumulator: too many blocks");
+    if (dense_) tri_.assign(n_ * (n_ + 1) / 2, 0.0);
+}
+
+std::uint64_t AffinityAccumulator::pack(std::size_t a, std::size_t b) const {
+    MEMOPT_ASSERT(a < n_ && b < n_);
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+}
+
+void AffinityAccumulator::add(std::size_t a, std::size_t b, double w) {
+    if (dense_) {
+        if (a > b) std::swap(a, b);
+        MEMOPT_ASSERT(b < n_);
+        tri_[a * n_ - a * (a + 1) / 2 + b] += w;
+    } else {
+        pairs_[pack(a, b)] += w;
+    }
+}
+
+void AffinityAccumulator::merge(const AffinityAccumulator& other) {
+    require(other.n_ == n_ && other.dense_ == dense_,
+            "AffinityAccumulator::merge: shape mismatch");
+    if (dense_) {
+        for (std::size_t i = 0; i < tri_.size(); ++i) tri_[i] += other.tri_[i];
+    } else {
+        for (const auto& [key, w] : other.pairs_) pairs_[key] += w;
+    }
+}
+
+AffinityMatrix AffinityAccumulator::finalize(std::size_t dense_max_blocks) {
+    AffinityMatrix m(1);  // placeholder; reshaped below
+    m.n_ = n_;
+    if (n_ <= dense_max_blocks) {
+        // Dense result.
+        m.sparse_ = false;
+        m.row_ptr_.clear();
+        m.col_.clear();
+        m.val_.clear();
+        if (dense_) {
+            m.tri_ = std::move(tri_);
+            tri_.clear();
+        } else {
+            m.tri_.assign(n_ * (n_ + 1) / 2, 0.0);
+            for (const auto& [key, w] : pairs_) {
+                const auto a = static_cast<std::size_t>(key >> 32);
+                const auto b = static_cast<std::size_t>(key & 0xFFFFFFFFu);
+                m.tri_[a * n_ - a * (a + 1) / 2 + b] = w;
+            }
+            pairs_.clear();
+        }
+        return m;
+    }
+
+    // CSR result: collect the upper-triangle pairs sorted by (row, col),
+    // then scatter each into both adjacency rows. Processing pairs in
+    // ascending (a, b) order fills every row's columns in ascending order:
+    // row r first receives its below-diagonal neighbours (from pairs whose
+    // larger element is r, arriving as the smaller element ascends), then
+    // its above-diagonal neighbours (from its own row's pairs).
+    std::vector<std::pair<std::uint64_t, double>> sorted;
+    if (dense_) {
+        for (std::size_t a = 0; a < n_; ++a) {
+            const std::size_t row_base = a * n_ - a * (a + 1) / 2;
+            for (std::size_t b = a; b < n_; ++b) {
+                const double w = tri_[row_base + b];
+                if (w != 0.0)
+                    sorted.emplace_back((static_cast<std::uint64_t>(a) << 32) | b, w);
+            }
+        }
+        tri_.clear();
+    } else {
+        sorted.reserve(pairs_.size());
+        for (const auto& [key, w] : pairs_) {
+            if (w != 0.0) sorted.emplace_back(key, w);
+        }
+        pairs_.clear();
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const auto& x, const auto& y) { return x.first < y.first; });
+    }
+
+    m.sparse_ = true;
+    m.tri_.clear();
+    std::vector<std::size_t> degree(n_, 0);
+    for (const auto& [key, w] : sorted) {
+        const auto a = static_cast<std::size_t>(key >> 32);
+        const auto b = static_cast<std::size_t>(key & 0xFFFFFFFFu);
+        ++degree[a];
+        if (a != b) ++degree[b];
+    }
+    m.row_ptr_.assign(n_ + 1, 0);
+    for (std::size_t a = 0; a < n_; ++a) m.row_ptr_[a + 1] = m.row_ptr_[a] + degree[a];
+    const std::size_t nnz = m.row_ptr_[n_];
+    m.col_.assign(nnz, 0);
+    m.val_.assign(nnz, 0.0);
+    std::vector<std::size_t> cursor(m.row_ptr_.begin(), m.row_ptr_.end() - 1);
+    for (const auto& [key, w] : sorted) {
+        const auto a = static_cast<std::size_t>(key >> 32);
+        const auto b = static_cast<std::size_t>(key & 0xFFFFFFFFu);
+        m.col_[cursor[a]] = static_cast<std::uint32_t>(b);
+        m.val_[cursor[a]] = w;
+        ++cursor[a];
+        if (a != b) {
+            m.col_[cursor[b]] = static_cast<std::uint32_t>(a);
+            m.val_[cursor[b]] = w;
+            ++cursor[b];
+        }
     }
     return m;
 }
 
+// ---------------------------------------------------------------------------
+// Builders
+
+AffinityMatrix transition_affinity(const MemTrace& trace, const BlockProfile& profile,
+                                   std::size_t jobs) {
+    const unsigned shift = log2_exact(profile.block_size());
+    const std::size_t num_blocks = profile.num_blocks();
+    const std::span<const std::uint64_t> addrs = trace.addrs();
+    AffinityAccumulator acc = sharded_accumulate(
+        addrs.size(), num_blocks, jobs,
+        [&](std::size_t begin, std::size_t end, AffinityAccumulator& out) {
+            transition_pairs(addrs, begin, end, shift, num_blocks, out);
+        });
+    return acc.finalize();
+}
+
 AffinityMatrix windowed_affinity(const MemTrace& trace, const BlockProfile& profile,
-                                 std::size_t window) {
+                                 std::size_t window, std::size_t jobs) {
     require(window >= 2, "windowed_affinity: window must be >= 2");
-    AffinityMatrix m(profile.num_blocks());
-    std::vector<std::size_t> ring;  // blocks of the last `window-1` accesses
-    ring.reserve(window);
-    std::size_t head = 0;
-    for (const MemAccess& a : trace.accesses()) {
-        const std::size_t block = profile.block_of(a.addr);
-        for (std::size_t b : ring) {
-            if (b != block) m.add(b, block, 1.0);
+    const unsigned shift = log2_exact(profile.block_size());
+    const std::size_t num_blocks = profile.num_blocks();
+    const std::span<const std::uint64_t> addrs = trace.addrs();
+    AffinityAccumulator acc = sharded_accumulate(
+        addrs.size(), num_blocks, jobs,
+        [&](std::size_t begin, std::size_t end, AffinityAccumulator& out) {
+            windowed_pairs(addrs, begin, end, window, shift, num_blocks, out);
+        });
+    return acc.finalize();
+}
+
+ProfileAffinity build_profile_and_affinity(const MemTrace& trace, std::uint64_t block_size,
+                                           std::size_t window, std::size_t jobs) {
+    require(is_pow2(block_size), "build_profile_and_affinity: block_size must be a power of two");
+    require(!trace.empty(), "build_profile_and_affinity: empty trace");
+    require(window >= 2, "build_profile_and_affinity: window must be >= 2");
+
+    const std::uint64_t span = std::max<std::uint64_t>(trace.address_span_pow2(), block_size);
+    const auto num_blocks = static_cast<std::size_t>(span / block_size);
+    const unsigned shift = log2_exact(block_size);
+    const std::span<const std::uint64_t> addrs = trace.addrs();
+    const std::span<const AccessKind> kinds = trace.kinds();
+    const std::size_t n = addrs.size();
+
+    // One fused pass per shard: block counts and window pairs together, so
+    // the trace's addr column is streamed once instead of twice.
+    struct Shard {
+        std::vector<std::uint64_t> reads;
+        std::vector<std::uint64_t> writes;
+        AffinityAccumulator acc;
+    };
+    auto run_shard = [&](std::size_t begin, std::size_t end, Shard& shard) {
+        const std::size_t cap = window - 1;
+        std::vector<std::size_t> ring(cap);
+        std::size_t count = 0;
+        std::size_t next = 0;
+        auto push = [&](std::size_t block) {
+            ring[next] = block;
+            next = (next + 1) % cap;
+            if (count < cap) ++count;
+        };
+        for (std::size_t i = begin > cap ? begin - cap : 0; i < begin; ++i)
+            push(block_of_checked(addrs[i], shift, num_blocks));
+        for (std::size_t i = begin; i < end; ++i) {
+            const std::size_t block = block_of_checked(addrs[i], shift, num_blocks);
+            if (kinds[i] == AccessKind::Read) ++shard.reads[block];
+            else ++shard.writes[block];
+            for (std::size_t k = 0; k < count; ++k) {
+                if (ring[k] != block) shard.acc.add(ring[k], block, 1.0);
+            }
+            push(block);
         }
-        if (ring.size() < window - 1) {
-            ring.push_back(block);
-        } else if (window > 1) {
-            ring[head] = block;
-            head = (head + 1) % (window - 1);
+    };
+
+    const std::size_t shards = replay_shard_count(n, jobs);
+    Shard merged{std::vector<std::uint64_t>(num_blocks, 0),
+                 std::vector<std::uint64_t>(num_blocks, 0), AffinityAccumulator(num_blocks)};
+    if (shards == 1) {
+        run_shard(0, n, merged);
+    } else {
+        std::vector<std::size_t> ids(shards);
+        for (std::size_t s = 0; s < shards; ++s) ids[s] = s;
+        std::vector<Shard> parts = parallel_map(
+            ids,
+            [&](std::size_t s) {
+                Shard shard{std::vector<std::uint64_t>(num_blocks, 0),
+                            std::vector<std::uint64_t>(num_blocks, 0),
+                            AffinityAccumulator(num_blocks)};
+                const auto [begin, end] = shard_range(n, s, shards);
+                run_shard(begin, end, shard);
+                return shard;
+            },
+            jobs);
+        merged = std::move(parts.front());
+        for (std::size_t s = 1; s < parts.size(); ++s) {
+            for (std::size_t b = 0; b < num_blocks; ++b) {
+                merged.reads[b] += parts[s].reads[b];
+                merged.writes[b] += parts[s].writes[b];
+            }
+            merged.acc.merge(parts[s].acc);
         }
     }
-    return m;
+
+    BlockProfile profile(block_size, num_blocks);
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+        if (merged.reads[b] != 0 || merged.writes[b] != 0)
+            profile.add_counts(b, merged.reads[b], merged.writes[b]);
+    }
+    return ProfileAffinity{std::move(profile), merged.acc.finalize()};
 }
 
 }  // namespace memopt

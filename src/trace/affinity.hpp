@@ -4,11 +4,28 @@
 // accessed close together in time: placing such blocks in the same bank lets
 // the other banks stay idle for long stretches. This module computes
 //  * a transition matrix (consecutive-access block adjacency), and
-//  * a windowed co-access affinity matrix.
+//  * a windowed co-access affinity matrix,
+// plus a fused single-pass builder that produces the block profile and the
+// affinity matrix from one streaming replay of the trace.
+//
+// Storage is adaptive behind one interface: small block counts use the
+// dense upper-triangular array (O(n^2/2) doubles); large block counts use a
+// compressed-sparse-row (CSR) adjacency, because a windowed trace replay
+// touches O(accesses * window) pairs but typically only a tiny fraction of
+// the n^2 possible ones. Both representations produce bit-identical query
+// results for the integer-valued co-access counts the builders emit.
+//
+// Long traces are replayed sharded across the process thread pool
+// (support/parallel.hpp): each shard replays a contiguous slice of the
+// trace (pre-warming its sliding window from the preceding accesses) and
+// the per-shard partial sums are reduced in shard order. Co-access weights
+// are integer counts, so the reduction is exact and results are
+// bit-identical at any job count.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "trace/profile.hpp"
@@ -16,20 +33,32 @@
 
 namespace memopt {
 
-/// Symmetric block-affinity matrix with dense storage (upper triangle).
-///
-/// Suitable for the block counts used in practice (<= a few thousand).
+/// Block counts at or below this use the dense triangular representation;
+/// larger matrices are finalized to CSR.
+inline constexpr std::size_t kAffinityDenseMaxBlocks = 1024;
+
+/// Symmetric block-affinity matrix. Dense upper-triangle storage for small
+/// block counts, CSR adjacency for large ones — same queries, bit-identical
+/// results for integer-valued weights (see file comment).
 class AffinityMatrix {
 public:
-    /// Zero matrix over `num_blocks` blocks.
+    /// Zero matrix over `num_blocks` blocks (always dense; mutable via add).
     explicit AffinityMatrix(std::size_t num_blocks);
 
     std::size_t num_blocks() const { return n_; }
 
+    /// True when backed by the immutable CSR representation.
+    bool is_sparse() const { return sparse_; }
+
+    /// Number of stored unordered block pairs with non-zero affinity
+    /// (diagonal included when present). O(n^2) for dense, O(1) for sparse.
+    std::size_t stored_pairs() const;
+
     /// Affinity between blocks a and b (symmetric; diagonal allowed).
     double at(std::size_t a, std::size_t b) const;
 
-    /// Add `w` to the affinity between a and b.
+    /// Add `w` to the affinity between a and b. Dense matrices only; a
+    /// sparse matrix is immutable once finalized.
     void add(std::size_t a, std::size_t b, double w);
 
     /// Sum of affinities from `a` to every block in `members`.
@@ -38,24 +67,104 @@ public:
     /// Total affinity mass (sum over unordered pairs, diagonal included once).
     double total() const;
 
+    /// Largest off-diagonal entry, at least 0.0 (the greedy chain's
+    /// normalization constant).
+    double max_offdiagonal() const;
+
+    /// Invoke fn(b, w) for every block b != a with non-zero affinity w to
+    /// `a`, in ascending block order. O(degree) for sparse, O(n) for dense.
+    template <typename Fn>
+    void for_each_neighbor(std::size_t a, Fn&& fn) const {
+        require(a < n_, "AffinityMatrix::for_each_neighbor out of range");
+        if (sparse_) {
+            for (std::size_t e = row_ptr_[a]; e < row_ptr_[a + 1]; ++e) {
+                const std::size_t b = col_[e];
+                if (b != a) fn(b, val_[e]);
+            }
+        } else {
+            for (std::size_t b = 0; b < n_; ++b) {
+                if (b == a) continue;
+                const double w = tri_[tri_index(a, b)];
+                if (w != 0.0) fn(b, w);
+            }
+        }
+    }
+
 private:
-    std::size_t index(std::size_t a, std::size_t b) const;
+    friend class AffinityAccumulator;
+
+    std::size_t tri_index(std::size_t a, std::size_t b) const;
+    /// CSR lookup: value at (a, b) or 0.0.
+    double sparse_at(std::size_t a, std::size_t b) const;
 
     std::size_t n_;
-    std::vector<double> tri_;  // upper-triangular storage, row-major
+    bool sparse_ = false;
+    std::vector<double> tri_;  // dense: upper-triangular storage, row-major
+
+    // sparse: CSR over the full symmetric adjacency (each off-diagonal pair
+    // stored in both rows; diagonal stored once), columns ascending per row.
+    std::vector<std::size_t> row_ptr_;  // n_ + 1
+    std::vector<std::uint32_t> col_;
+    std::vector<double> val_;
+};
+
+/// Order-independent affinity accumulator: the builders' shard-local sink.
+/// Accumulates (a, b) += w pairs (a == b allowed) and finalizes into the
+/// representation matching the block count. merge() folds another shard's
+/// partial sums in, element-wise.
+class AffinityAccumulator {
+public:
+    explicit AffinityAccumulator(std::size_t num_blocks);
+
+    std::size_t num_blocks() const { return n_; }
+
+    void add(std::size_t a, std::size_t b, double w);
+
+    /// Fold `other`'s partial sums into this accumulator (element-wise).
+    /// Call in shard order for a deterministic reduction.
+    void merge(const AffinityAccumulator& other);
+
+    /// Finalize into a matrix: dense for num_blocks <= dense_max_blocks,
+    /// CSR above. Leaves the accumulator empty.
+    AffinityMatrix finalize(std::size_t dense_max_blocks = kAffinityDenseMaxBlocks);
+
+private:
+    std::uint64_t pack(std::size_t a, std::size_t b) const;
+
+    std::size_t n_;
+    bool dense_;
+    std::vector<double> tri_;                           // dense accumulation
+    std::unordered_map<std::uint64_t, double> pairs_;   // sparse accumulation
 };
 
 /// Build a transition affinity: affinity(a,b) += 1 whenever an access to
 /// block b immediately follows an access to block a (a != b), using the
 /// block geometry of `profile`. Accesses outside the profile span are
-/// rejected (Error).
-AffinityMatrix transition_affinity(const MemTrace& trace, const BlockProfile& profile);
+/// rejected (Error). Long traces are sharded over `jobs` threads
+/// (0 = default_jobs()); results are bit-identical at any job count.
+AffinityMatrix transition_affinity(const MemTrace& trace, const BlockProfile& profile,
+                                   std::size_t jobs = 0);
 
 /// Build a windowed co-access affinity: for a sliding window of `window`
 /// consecutive accesses, every unordered pair of distinct blocks that
 /// co-occurs in the window gains affinity 1 (counted once per window
 /// position where the pair is formed with the newest access). `window >= 2`.
+/// Sharded like transition_affinity.
 AffinityMatrix windowed_affinity(const MemTrace& trace, const BlockProfile& profile,
-                                 std::size_t window);
+                                 std::size_t window, std::size_t jobs = 0);
+
+/// A block profile and its windowed affinity, built together.
+struct ProfileAffinity {
+    BlockProfile profile;
+    AffinityMatrix affinity;
+};
+
+/// Fused single-pass builder: stream the trace once, producing both the
+/// block profile (reads/writes per block) and the windowed co-access
+/// affinity. Equivalent to BlockProfile::from_trace + windowed_affinity —
+/// bit-identical outputs — at roughly half the trace-replay cost. Long
+/// traces are sharded over `jobs` threads with an in-order reduction.
+ProfileAffinity build_profile_and_affinity(const MemTrace& trace, std::uint64_t block_size,
+                                           std::size_t window, std::size_t jobs = 0);
 
 }  // namespace memopt

@@ -48,10 +48,15 @@ std::uint64_t read_u64(std::istream& is) {
 
 void write_trace_text(std::ostream& os, const MemTrace& trace) {
     os << "# memopt trace v1: kind addr size cycle value\n";
-    for (const MemAccess& a : trace.accesses()) {
-        os << (a.kind == AccessKind::Read ? 'R' : 'W') << " 0x" << std::hex << a.addr << std::dec
-           << ' ' << static_cast<unsigned>(a.size) << ' ' << a.cycle << " 0x" << std::hex
-           << a.value << std::dec << '\n';
+    const auto addrs = trace.addrs();
+    const auto cycles = trace.cycles();
+    const auto values = trace.values();
+    const auto sizes = trace.sizes();
+    const auto kinds = trace.kinds();
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        os << (kinds[i] == AccessKind::Read ? 'R' : 'W') << " 0x" << std::hex << addrs[i]
+           << std::dec << ' ' << static_cast<unsigned>(sizes[i]) << ' ' << cycles[i] << " 0x"
+           << std::hex << values[i] << std::dec << '\n';
     }
 }
 
@@ -110,13 +115,18 @@ void write_trace_binary(std::ostream& os, const MemTrace& trace) {
     os.write(kMagic, 4);
     write_u32(os, kVersion);
     write_u64(os, trace.size());
-    for (const MemAccess& a : trace.accesses()) {
-        write_u64(os, a.addr);
-        write_u64(os, a.cycle);
-        write_u32(os, a.value);
+    const auto addrs = trace.addrs();
+    const auto cycles = trace.cycles();
+    const auto values = trace.values();
+    const auto sizes = trace.sizes();
+    const auto kinds = trace.kinds();
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        write_u64(os, addrs[i]);
+        write_u64(os, cycles[i]);
+        write_u32(os, values[i]);
         const std::uint32_t meta =
-            static_cast<std::uint32_t>(a.size) |
-            (a.kind == AccessKind::Write ? 0x100u : 0u);
+            static_cast<std::uint32_t>(sizes[i]) |
+            (kinds[i] == AccessKind::Write ? 0x100u : 0u);
         write_u32(os, meta);
     }
 }

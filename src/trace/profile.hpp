@@ -35,8 +35,12 @@ public:
 
     /// Build a profile from a trace. The covered span is the smallest
     /// power-of-two multiple of block_size that contains every access.
-    /// block_size must be a power of two.
-    static BlockProfile from_trace(const MemTrace& trace, std::uint64_t block_size);
+    /// block_size must be a power of two. Long traces are replayed sharded
+    /// over `jobs` threads (0 = default_jobs()) with an in-order reduction;
+    /// counts are integer sums, so the result is bit-identical at any job
+    /// count.
+    static BlockProfile from_trace(const MemTrace& trace, std::uint64_t block_size,
+                                   std::size_t jobs = 0);
 
     std::uint64_t block_size() const { return block_size_; }
     std::size_t num_blocks() const { return counts_.size(); }

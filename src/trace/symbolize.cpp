@@ -1,40 +1,56 @@
 #include "trace/symbolize.hpp"
 
 #include <algorithm>
-#include <map>
+#include <utility>
 
 namespace memopt {
 
 std::vector<SymbolTraffic> symbolize_trace(const AssembledProgram& program,
                                            const MemTrace& trace) {
     // Data symbols sorted by address; each region runs to the next symbol
-    // or the end of the data image.
-    std::map<std::uint64_t, std::string> data_symbols;
+    // or the end of the data image. This is a build-once/look-up-often
+    // table, so a sorted vector beats a node-based std::map: one contiguous
+    // allocation and cache-friendly binary searches on the lookup path.
+    std::vector<std::pair<std::uint64_t, std::string>> data_symbols;
     for (const auto& [name, addr] : program.symbols) {
-        if (addr >= program.data_base) data_symbols.emplace(addr, name);
+        if (addr >= program.data_base) data_symbols.emplace_back(addr, name);
     }
+    std::stable_sort(data_symbols.begin(), data_symbols.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    // Two labels on the same address: keep the first (matches the previous
+    // std::map::emplace behaviour, which dropped later duplicates).
+    data_symbols.erase(std::unique(data_symbols.begin(), data_symbols.end(),
+                                   [](const auto& a, const auto& b) {
+                                       return a.first == b.first;
+                                   }),
+                       data_symbols.end());
 
     std::vector<SymbolTraffic> regions;
+    regions.reserve(data_symbols.size());
     const std::uint64_t image_end = program.data_base + program.data.size();
-    for (auto it = data_symbols.begin(); it != data_symbols.end(); ++it) {
-        const auto next = std::next(it);
-        const std::uint64_t end = next != data_symbols.end() ? next->first : image_end;
-        regions.push_back(SymbolTraffic{it->second, it->first,
-                                        end > it->first ? end - it->first : 0, 0, 0});
+    for (std::size_t i = 0; i < data_symbols.size(); ++i) {
+        const std::uint64_t base = data_symbols[i].first;
+        const std::uint64_t end =
+            i + 1 < data_symbols.size() ? data_symbols[i + 1].first : image_end;
+        regions.push_back(
+            SymbolTraffic{data_symbols[i].second, base, end > base ? end - base : 0, 0, 0});
     }
     SymbolTraffic anonymous{"<stack/anon>", 0, 0, 0, 0};
 
-    for (const MemAccess& access : trace.accesses()) {
+    const auto addrs = trace.addrs();
+    const auto kinds = trace.kinds();
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const std::uint64_t addr = addrs[i];
         SymbolTraffic* hit = &anonymous;
         // Regions are ordered: binary search for the last base <= addr.
-        if (!regions.empty() && access.addr >= regions.front().base) {
+        if (!regions.empty() && addr >= regions.front().base) {
             const auto it = std::upper_bound(
-                regions.begin(), regions.end(), access.addr,
-                [](std::uint64_t addr, const SymbolTraffic& r) { return addr < r.base; });
+                regions.begin(), regions.end(), addr,
+                [](std::uint64_t a, const SymbolTraffic& r) { return a < r.base; });
             SymbolTraffic& candidate = *std::prev(it);
-            if (access.addr < candidate.base + candidate.bytes) hit = &candidate;
+            if (addr < candidate.base + candidate.bytes) hit = &candidate;
         }
-        if (access.kind == AccessKind::Read) {
+        if (kinds[i] == AccessKind::Read) {
             ++hit->reads;
         } else {
             ++hit->writes;

@@ -8,7 +8,7 @@ namespace memopt {
 void MemTrace::add(const MemAccess& a) {
     MEMOPT_ASSERT_MSG(a.size == 1 || a.size == 2 || a.size == 4 || a.size == 8,
                       "access size must be 1/2/4/8 bytes");
-    if (accesses_.empty()) {
+    if (addrs_.empty()) {
         min_addr_ = a.addr;
         max_addr_ = a.addr + a.size - 1;
     } else {
@@ -17,7 +17,11 @@ void MemTrace::add(const MemAccess& a) {
     }
     if (a.kind == AccessKind::Read) ++reads_;
     else ++writes_;
-    accesses_.push_back(a);
+    addrs_.push_back(a.addr);
+    cycles_.push_back(a.cycle);
+    values_.push_back(a.value);
+    sizes_.push_back(a.size);
+    kinds_.push_back(a.kind);
 }
 
 void MemTrace::add_read(std::uint64_t addr, std::uint8_t size, std::uint64_t cycle) {
@@ -28,25 +32,70 @@ void MemTrace::add_write(std::uint64_t addr, std::uint8_t size, std::uint64_t cy
     add(MemAccess{.addr = addr, .cycle = cycle, .size = size, .kind = AccessKind::Write});
 }
 
+MemTrace MemTrace::from_columns(std::vector<std::uint64_t> addrs,
+                                std::vector<std::uint64_t> cycles,
+                                std::vector<std::uint32_t> values,
+                                std::vector<std::uint8_t> sizes,
+                                std::vector<AccessKind> kinds) {
+    const std::size_t n = addrs.size();
+    require(cycles.size() == n && values.size() == n && sizes.size() == n && kinds.size() == n,
+            "MemTrace::from_columns: column length mismatch");
+    MemTrace trace;
+    trace.addrs_ = std::move(addrs);
+    trace.cycles_ = std::move(cycles);
+    trace.values_ = std::move(values);
+    trace.sizes_ = std::move(sizes);
+    trace.kinds_ = std::move(kinds);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t size = trace.sizes_[i];
+        MEMOPT_ASSERT_MSG(size == 1 || size == 2 || size == 4 || size == 8,
+                          "access size must be 1/2/4/8 bytes");
+        const std::uint64_t lo = trace.addrs_[i];
+        const std::uint64_t hi = lo + size - 1;
+        if (i == 0) {
+            trace.min_addr_ = lo;
+            trace.max_addr_ = hi;
+        } else {
+            trace.min_addr_ = std::min(trace.min_addr_, lo);
+            trace.max_addr_ = std::max(trace.max_addr_, hi);
+        }
+        if (trace.kinds_[i] == AccessKind::Read) ++trace.reads_;
+        else ++trace.writes_;
+    }
+    return trace;
+}
+
 std::uint64_t MemTrace::min_addr() const {
-    require(!accesses_.empty(), "min_addr on empty trace");
+    require(!addrs_.empty(), "min_addr on empty trace");
     return min_addr_;
 }
 
 std::uint64_t MemTrace::max_addr() const {
-    require(!accesses_.empty(), "max_addr on empty trace");
+    require(!addrs_.empty(), "max_addr on empty trace");
     return max_addr_;
 }
 
 std::uint64_t MemTrace::address_span_pow2() const {
-    require(!accesses_.empty(), "address_span_pow2 on empty trace");
+    require(!addrs_.empty(), "address_span_pow2 on empty trace");
     return ceil_pow2(max_addr_ + 1);
 }
 
 void MemTrace::clear() {
-    accesses_.clear();
+    addrs_.clear();
+    cycles_.clear();
+    values_.clear();
+    sizes_.clear();
+    kinds_.clear();
     reads_ = writes_ = 0;
     min_addr_ = max_addr_ = 0;
+}
+
+void MemTrace::reserve(std::size_t n) {
+    addrs_.reserve(n);
+    cycles_.reserve(n);
+    values_.reserve(n);
+    sizes_.reserve(n);
+    kinds_.reserve(n);
 }
 
 std::uint64_t ceil_pow2(std::uint64_t v) {

@@ -486,5 +486,177 @@ TEST(Symbolize, AccountsEveryAccessExactlyOnce) {
     EXPECT_EQ(total, run.data_trace.size());
 }
 
+// -------------------------------------------------- SoA column layout ----
+
+// The columnar storage and the materializing AccessView must describe the
+// same trace: every row assembled from the column spans equals the
+// MemAccess the view (the old AoS interface) hands out.
+TEST(SoaLayout, ColumnsAgreeWithAccessView) {
+    const MemTrace t = uniform_trace({.span_bytes = 65536, .num_accesses = 2000,
+                                      .write_fraction = 0.4, .seed = 9});
+    const auto addrs = t.addrs();
+    const auto cycles = t.cycles();
+    const auto values = t.values();
+    const auto sizes = t.sizes();
+    const auto kinds = t.kinds();
+    ASSERT_EQ(addrs.size(), t.size());
+    ASSERT_EQ(cycles.size(), t.size());
+    ASSERT_EQ(values.size(), t.size());
+    ASSERT_EQ(sizes.size(), t.size());
+    ASSERT_EQ(kinds.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const MemAccess a = t.accesses()[i];
+        EXPECT_EQ(a.addr, addrs[i]) << i;
+        EXPECT_EQ(a.cycle, cycles[i]) << i;
+        EXPECT_EQ(a.value, values[i]) << i;
+        EXPECT_EQ(a.size, sizes[i]) << i;
+        EXPECT_EQ(a.kind, kinds[i]) << i;
+        EXPECT_EQ(a.addr, t.at(i).addr) << i;
+    }
+}
+
+// Round-trip through both I/O formats: a trace rebuilt row-by-row through
+// the AoS add() API serializes and deserializes to the same columns as the
+// SoA original — the storage layout is invisible to the formats.
+TEST(SoaLayout, AosRebuildRoundTripsThroughIo) {
+    const MemTrace soa = uniform_trace({.span_bytes = 65536, .num_accesses = 2000,
+                                        .write_fraction = 0.4, .seed = 10});
+    MemTrace aos;
+    for (const MemAccess& a : soa.accesses()) aos.add(a);
+
+    std::stringstream text_soa, text_aos;
+    write_trace_text(text_soa, soa);
+    write_trace_text(text_aos, aos);
+    EXPECT_EQ(text_soa.str(), text_aos.str());
+    expect_traces_equal(soa, read_trace_text(text_soa));
+
+    std::stringstream bin_soa, bin_aos;
+    write_trace_binary(bin_soa, soa);
+    write_trace_binary(bin_aos, aos);
+    EXPECT_EQ(bin_soa.str(), bin_aos.str());
+    expect_traces_equal(soa, read_trace_binary(bin_soa));
+}
+
+TEST(SoaLayout, FromColumnsMatchesAddAndValidates) {
+    MemTrace reference;
+    reference.add(MemAccess{0x100, 0, 0, 4, AccessKind::Read});
+    reference.add(MemAccess{0x204, 5, 7, 2, AccessKind::Write});
+    reference.add(MemAccess{0x108, 11, 0, 8, AccessKind::Read});
+    const MemTrace built = MemTrace::from_columns(
+        {0x100, 0x204, 0x108}, {0, 5, 11}, {0, 7, 0}, {4, 2, 8},
+        {AccessKind::Read, AccessKind::Write, AccessKind::Read});
+    expect_traces_equal(reference, built);
+    EXPECT_EQ(built.read_count(), 2u);
+    EXPECT_EQ(built.write_count(), 1u);
+    EXPECT_EQ(built.min_addr(), 0x100u);
+    EXPECT_EQ(built.max_addr(), 0x205u);
+    EXPECT_THROW(MemTrace::from_columns({0x100}, {0, 1}, {0}, {4}, {AccessKind::Read}),
+                 Error);
+}
+
+// -------------------------------------------- sharded replay invariance ----
+
+// Sharded replay must be bit-identical at any job count: affinity weights
+// are integer-valued, so the merge order cannot change any sum.
+TEST(ShardedReplay, ProfileAndAffinityInvariantAcrossJobs) {
+    // Long enough to split into several shards (kMinAccessesPerShard = 64Ki).
+    const MemTrace t = scattered_hotspot_trace({
+        .base = {.span_bytes = 256 * 256, .num_accesses = 300000, .write_fraction = 0.3,
+                 .seed = 21},
+        .num_hotspots = 4,
+        .hotspot_bytes = 1024,
+        .hot_fraction = 0.9,
+    });
+    const BlockProfile p1 = BlockProfile::from_trace(t, 256, 1);
+    const AffinityMatrix w1 = windowed_affinity(t, p1, 8, 1);
+    const AffinityMatrix a1 = transition_affinity(t, p1, 1);
+    for (const std::size_t jobs : {std::size_t{4}, std::size_t{8}}) {
+        const BlockProfile pj = BlockProfile::from_trace(t, 256, jobs);
+        ASSERT_EQ(pj.num_blocks(), p1.num_blocks());
+        for (std::size_t b = 0; b < p1.num_blocks(); ++b) {
+            EXPECT_EQ(pj.counts(b).reads, p1.counts(b).reads) << b;
+            EXPECT_EQ(pj.counts(b).writes, p1.counts(b).writes) << b;
+        }
+        const AffinityMatrix wj = windowed_affinity(t, pj, 8, jobs);
+        const AffinityMatrix aj = transition_affinity(t, pj, jobs);
+        EXPECT_EQ(wj.total(), w1.total());
+        EXPECT_EQ(aj.total(), a1.total());
+        for (std::size_t a = 0; a < p1.num_blocks(); ++a) {
+            for (std::size_t b = a; b < p1.num_blocks(); ++b) {
+                ASSERT_EQ(wj.at(a, b), w1.at(a, b)) << a << "," << b;
+                ASSERT_EQ(aj.at(a, b), a1.at(a, b)) << a << "," << b;
+            }
+        }
+    }
+}
+
+// The fused single-pass builder must agree exactly with the two-pass
+// composition it replaces, at every job count.
+TEST(ShardedReplay, FusedBuilderMatchesTwoPass) {
+    const MemTrace t = scattered_hotspot_trace({
+        .base = {.span_bytes = 128 * 256, .num_accesses = 200000, .write_fraction = 0.3,
+                 .seed = 22},
+        .num_hotspots = 4,
+        .hotspot_bytes = 512,
+        .hot_fraction = 0.8,
+    });
+    const BlockProfile ref_profile = BlockProfile::from_trace(t, 256, 1);
+    const AffinityMatrix ref_affinity = windowed_affinity(t, ref_profile, 8, 1);
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+        const ProfileAffinity pa = build_profile_and_affinity(t, 256, 8, jobs);
+        ASSERT_EQ(pa.profile.num_blocks(), ref_profile.num_blocks());
+        for (std::size_t b = 0; b < ref_profile.num_blocks(); ++b) {
+            EXPECT_EQ(pa.profile.counts(b).reads, ref_profile.counts(b).reads) << b;
+            EXPECT_EQ(pa.profile.counts(b).writes, ref_profile.counts(b).writes) << b;
+        }
+        EXPECT_EQ(pa.affinity.total(), ref_affinity.total());
+        for (std::size_t a = 0; a < ref_profile.num_blocks(); ++a)
+            for (std::size_t b = a; b < ref_profile.num_blocks(); ++b)
+                ASSERT_EQ(pa.affinity.at(a, b), ref_affinity.at(a, b)) << a << "," << b;
+    }
+}
+
+// ------------------------------------------------- CSR affinity storage ----
+
+// Forcing the sparse representation (dense_max_blocks = 0) must reproduce
+// the dense matrix entry for entry, including neighbour iteration order.
+TEST(AffinityCsr, SparseMatchesDense) {
+    const MemTrace t = scattered_hotspot_trace({
+        .base = {.span_bytes = 64 * 256, .num_accesses = 50000, .write_fraction = 0.3,
+                 .seed = 23},
+        .num_hotspots = 4,
+        .hotspot_bytes = 512,
+        .hot_fraction = 0.8,
+    });
+    const BlockProfile p = BlockProfile::from_trace(t, 256);
+    const auto addrs = t.addrs();
+
+    AffinityAccumulator acc_dense(p.num_blocks());
+    AffinityAccumulator acc_sparse(p.num_blocks());
+    for (std::size_t i = 1; i < t.size(); ++i) {
+        const std::size_t a = static_cast<std::size_t>(addrs[i - 1] / 256);
+        const std::size_t b = static_cast<std::size_t>(addrs[i] / 256);
+        acc_dense.add(a, b, 1.0);
+        acc_sparse.add(a, b, 1.0);
+    }
+    const AffinityMatrix dense = acc_dense.finalize();
+    const AffinityMatrix sparse = acc_sparse.finalize(0);
+    ASSERT_FALSE(dense.is_sparse());
+    ASSERT_TRUE(sparse.is_sparse());
+
+    ASSERT_EQ(dense.num_blocks(), sparse.num_blocks());
+    EXPECT_EQ(dense.total(), sparse.total());
+    EXPECT_EQ(dense.max_offdiagonal(), sparse.max_offdiagonal());
+    for (std::size_t a = 0; a < dense.num_blocks(); ++a) {
+        for (std::size_t b = 0; b < dense.num_blocks(); ++b) {
+            ASSERT_EQ(dense.at(a, b), sparse.at(a, b)) << a << "," << b;
+        }
+        std::vector<std::pair<std::size_t, double>> nd, ns;
+        dense.for_each_neighbor(a, [&](std::size_t b, double w) { nd.emplace_back(b, w); });
+        sparse.for_each_neighbor(a, [&](std::size_t b, double w) { ns.emplace_back(b, w); });
+        ASSERT_EQ(nd, ns) << "row " << a;
+    }
+}
+
 }  // namespace
 }  // namespace memopt
