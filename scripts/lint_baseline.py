@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Lint-baseline gate: check a memopt_lint JSON report, or refresh the baseline.
+
+Usage:
+    python3 scripts/lint_baseline.py <memopt_lint.json>            # gate (CI)
+    python3 scripts/lint_baseline.py <memopt_lint.json> --update   # refresh baseline
+    python3 scripts/lint_baseline.py <memopt_lint.json> --baseline <file>
+
+The input is the memopt.lint.v1 document from
+`memopt_lint --root . --baseline tools/lint_baseline.txt --json <file> src bench tests`;
+each finding carries {file, line, rule, message, baselined}.
+
+Gate mode fails (exit 1) when the report has active (unbaselined) findings —
+fix the code or add an inline `// memopt-lint: <rule> -- rationale`
+annotation — or when the baseline has stale entries that no longer match
+anything (prune them, or rerun with --update). The goal state of
+tools/lint_baseline.txt is empty: --update exists for triaged legacy debt,
+not for waving new findings through.
+
+--update rewrites the baseline with every finding in the report (sorted
+file:line:rule entries), preserving nothing: the report is the truth.
+
+Exit codes: 0 ok, 1 findings/stale entries, 2 usage/input error.
+"""
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "tools" / "lint_baseline.txt"
+
+BASELINE_HEADER = """\
+# memopt_lint suppression baseline.
+#
+# One `file:line:rule` entry per line suppresses exactly one matching
+# finding; `#` comments and blank lines are ignored. Entries that match
+# nothing are reported as stale and fail the CI gate — prune them.
+#
+# Refresh after triaging legacy findings:
+#     build/tools/memopt_lint --root . --json memopt_lint.json src bench tests
+#     python3 scripts/lint_baseline.py memopt_lint.json --update
+#
+# The goal state of this file is what you see: empty. New code must lint
+# clean or carry an inline `// memopt-lint: <rule> -- rationale` annotation.
+"""
+
+
+def load_report(path: Path) -> dict:
+    with path.open() as f:
+        doc = json.load(f)
+    if doc.get("schema") != "memopt.lint.v1":
+        sys.exit(f"error: {path} is not a memopt.lint.v1 document "
+                 f"(schema={doc.get('schema')!r})")
+    return doc
+
+
+def update_baseline(path: Path, doc: dict) -> None:
+    entries = sorted(
+        (f["file"], int(f["line"]), f["rule"]) for f in doc.get("findings", [])
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as f:
+        f.write(BASELINE_HEADER)
+        if entries:
+            f.write("\n")
+        for file, line, rule in entries:
+            f.write(f"{file}:{line}:{rule}\n")
+    print(f"baseline updated: {path} ({len(entries)} entries)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("report", type=Path,
+                        help="memopt.lint.v1 JSON from memopt_lint --json")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help=f"baseline file (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this report instead of gating")
+    args = parser.parse_args()
+
+    if not args.report.exists():
+        print(f"error: report file not found: {args.report}", file=sys.stderr)
+        return 2
+    doc = load_report(args.report)
+
+    if args.update:
+        update_baseline(args.baseline, doc)
+        return 0
+
+    active = [f for f in doc.get("findings", []) if not f.get("baselined")]
+    stale = doc.get("stale_baseline", [])
+    files = doc.get("files_scanned", 0)
+
+    for f in active:
+        print(f"{f['file']}:{f['line']}: {f['rule']}: {f['message']}")
+    for entry in stale:
+        print(f"stale baseline entry (matches nothing, prune it): {entry}")
+
+    if active or stale:
+        print(f"\nLINT GATE: FAIL — {len(active)} active finding(s), "
+              f"{len(stale)} stale baseline entr(y/ies) over {files} files")
+        return 1
+    baselined = int(doc.get("summary", {}).get("baselined", 0))
+    print(f"LINT GATE: ok — {files} files clean "
+          f"({baselined} finding(s) suppressed by the baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,10 @@ namespace {
 DictionaryCodec train_from_counts(std::unordered_map<std::uint32_t, std::uint64_t>& counts,
                                   std::size_t entries) {
     require(entries > 0 && is_pow2(entries), "DictionaryCodec: entries must be a power of two");
+    // memopt-lint: order-independent -- ranked is immediately std::sort'ed by a
+    // strict total order (count desc, then word asc) over unique keys, so the
+    // map's hash order never reaches the truncation below. Pinned by
+    // DictionaryCodec.TrainingInvariantUnderInsertOrder.
     std::vector<std::pair<std::uint32_t, std::uint64_t>> ranked(counts.begin(), counts.end());
     std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
         if (a.second != b.second) return a.second > b.second;

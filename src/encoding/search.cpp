@@ -32,6 +32,11 @@ struct DiffHistogram {
         DiffHistogram h;
         h.values.reserve(map.size());
         h.counts.reserve(map.size());
+        // memopt-lint: order-independent -- every consumer of the histogram is a
+        // multiset reduction: total_transitions and BitStats are exact uint64
+        // sums (commutative/associative), apply() is elementwise, and best_gate
+        // ranks gates on those sums with a fixed (dst, src) scan order. Pinned
+        // by Search.InvariantUnderDiffOrder.
         for (const auto& [v, c] : map) {
             h.values.push_back(v);
             h.counts.push_back(c);

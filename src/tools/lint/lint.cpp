@@ -1,0 +1,202 @@
+#include "tools/lint/lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+#include "support/assert.hpp"
+#include "support/json.hpp"
+
+namespace fs = std::filesystem;
+
+namespace memopt::lint {
+
+namespace {
+
+bool lintable_extension(const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" || ext == ".h" ||
+           ext == ".hh" || ext == ".hxx" || ext == ".inl";
+}
+
+bool excluded(const fs::path& p, const std::vector<std::string>& exclude_dirs) {
+    for (const fs::path& part : p) {
+        for (const std::string& ex : exclude_dirs) {
+            if (part.string() == ex) return true;
+        }
+    }
+    return false;
+}
+
+/// All lintable files under `path` (or `path` itself), sorted by their
+/// root-relative diagnostic path for a deterministic scan order.
+void collect_files(const fs::path& root, const std::string& rel_path,
+                   const std::vector<std::string>& exclude_dirs,
+                   std::vector<std::string>& out) {
+    const fs::path abs = fs::path(rel_path).is_absolute() ? fs::path(rel_path) : root / rel_path;
+    if (!fs::exists(abs)) throw Error("memopt_lint: no such path: " + abs.string());
+    if (fs::is_regular_file(abs)) {
+        out.push_back(fs::relative(abs, root).generic_string());
+        return;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(abs)) {
+        if (!entry.is_regular_file() || !lintable_extension(entry.path())) continue;
+        const fs::path rel = fs::relative(entry.path(), root);
+        if (excluded(rel, exclude_dirs)) continue;
+        out.push_back(rel.generic_string());
+    }
+}
+
+std::string read_file(const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) throw Error("memopt_lint: cannot read " + p.string());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+}  // namespace
+
+std::size_t LintReport::active_count() const {
+    return static_cast<std::size_t>(
+        std::count_if(findings.begin(), findings.end(),
+                      [](const Finding& f) { return !f.baselined; }));
+}
+
+std::size_t LintReport::baselined_count() const {
+    return findings.size() - active_count();
+}
+
+std::vector<BaselineEntry> parse_baseline(std::istream& in, const std::string& name) {
+    std::vector<BaselineEntry> entries;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                                 line.back() == '\r')) {
+            line.pop_back();
+        }
+        if (line.empty()) continue;
+        // file:line:rule — split on the *last* two colons so Windows-style
+        // or otherwise exotic paths survive.
+        const std::size_t c2 = line.rfind(':');
+        const std::size_t c1 = c2 == std::string::npos ? std::string::npos
+                                                       : line.rfind(':', c2 - 1);
+        BaselineEntry e;
+        if (c1 == std::string::npos || c1 == 0 || c2 == c1 + 1 || c2 + 1 >= line.size()) {
+            throw Error("memopt_lint: malformed baseline entry at " + name + ":" +
+                        std::to_string(lineno) + ": '" + line + "' (want file:line:rule)");
+        }
+        e.file = line.substr(0, c1);
+        e.rule = line.substr(c2 + 1);
+        try {
+            e.line = std::stoi(line.substr(c1 + 1, c2 - c1 - 1));
+        } catch (const std::exception&) {
+            throw Error("memopt_lint: malformed baseline line number at " + name + ":" +
+                        std::to_string(lineno) + ": '" + line + "'");
+        }
+        entries.push_back(std::move(e));
+    }
+    return entries;
+}
+
+LintReport run_lint(const LintOptions& options) {
+    const fs::path root(options.root);
+    if (!fs::is_directory(root)) {
+        throw Error("memopt_lint: root is not a directory: " + options.root);
+    }
+
+    std::vector<std::string> files;
+    for (const std::string& p : options.paths) collect_files(root, p, options.exclude_dirs, files);
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    // Pass 1: tokenize everything and union the member-style unordered
+    // container names so a map declared in a header is recognized in the
+    // .cpp that iterates it.
+    std::vector<SourceFile> sources;
+    sources.reserve(files.size());
+    std::set<std::string> members;
+    for (const std::string& rel : files) {
+        SourceFile sf = tokenize(rel, read_file(root / rel));
+        const std::set<std::string> m = collect_unordered_members(sf);
+        members.insert(m.begin(), m.end());
+        sources.push_back(std::move(sf));
+    }
+
+    // Pass 2: rules.
+    LintReport report;
+    report.files_scanned = sources.size();
+    for (const SourceFile& sf : sources) check_file(sf, members, report.findings);
+    std::sort(report.findings.begin(), report.findings.end(),
+              [](const Finding& a, const Finding& b) {
+                  return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+              });
+
+    // Baseline: each entry may suppress exactly one finding; entries that
+    // match nothing are reported as stale so the file can be pruned.
+    if (!options.baseline_path.empty()) {
+        std::ifstream in(options.baseline_path);
+        if (!in) throw Error("memopt_lint: cannot read baseline " + options.baseline_path);
+        for (const BaselineEntry& e : parse_baseline(in, options.baseline_path)) {
+            bool matched = false;
+            for (Finding& f : report.findings) {
+                if (!f.baselined && f.file == e.file && f.line == e.line && f.rule == e.rule) {
+                    f.baselined = true;
+                    matched = true;
+                    break;
+                }
+            }
+            if (!matched) {
+                report.stale_baseline.push_back(e.file + ":" + std::to_string(e.line) + ":" +
+                                                e.rule);
+            }
+        }
+    }
+    return report;
+}
+
+void write_json(JsonWriter& w, const LintOptions& options, const LintReport& report) {
+    w.begin_object();
+    w.member("schema", "memopt.lint.v1");
+    w.member("root", options.root);
+    w.key("paths").begin_array();
+    for (const std::string& p : options.paths) w.value(p);
+    w.end_array();
+    w.member("files_scanned", static_cast<std::uint64_t>(report.files_scanned));
+    w.key("rules").begin_array();
+    for (const RuleInfo& r : rule_catalogue()) {
+        w.begin_object();
+        w.member("id", r.id);
+        w.member("summary", r.summary);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("findings").begin_array();
+    for (const Finding& f : report.findings) {
+        w.begin_object();
+        w.member("file", f.file);
+        w.member("line", static_cast<std::int64_t>(f.line));
+        w.member("rule", f.rule);
+        w.member("message", f.message);
+        w.member("baselined", f.baselined);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("stale_baseline").begin_array();
+    for (const std::string& s : report.stale_baseline) w.value(s);
+    w.end_array();
+    w.key("summary").begin_object();
+    w.member("active", static_cast<std::uint64_t>(report.active_count()));
+    w.member("baselined", static_cast<std::uint64_t>(report.baselined_count()));
+    w.member("stale_baseline", static_cast<std::uint64_t>(report.stale_baseline.size()));
+    w.end_object();
+    w.end_object();
+}
+
+}  // namespace memopt::lint

@@ -1,0 +1,62 @@
+// memopt_lint driver: walk source trees, run the rule catalogue, apply the
+// suppression baseline, and render text / memopt.lint.v1 JSON reports.
+//
+// The scan is fully deterministic: files are visited in sorted path order,
+// findings are sorted by (file, line, rule), and the JSON report is written
+// through the streaming JsonWriter, so two runs over the same tree produce
+// byte-identical reports — the linter holds itself to the invariant it
+// enforces.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tools/lint/rules.hpp"
+
+namespace memopt {
+class JsonWriter;
+}
+
+namespace memopt::lint {
+
+struct LintOptions {
+    /// Directory all scan paths and diagnostics are relative to.
+    std::string root = ".";
+    /// Files or directories to scan, relative to root (or absolute).
+    std::vector<std::string> paths = {"src", "bench", "tests"};
+    /// Suppression baseline file; empty = no baseline.
+    std::string baseline_path;
+    /// Directory names excluded from the walk wherever they appear.
+    std::vector<std::string> exclude_dirs = {"lint_fixtures"};
+};
+
+struct LintReport {
+    std::vector<Finding> findings;  // sorted; includes baselined entries
+    std::vector<std::string> stale_baseline;  // baseline entries that matched nothing
+    std::size_t files_scanned = 0;
+
+    std::size_t active_count() const;     // findings not matched by the baseline
+    std::size_t baselined_count() const;  // findings matched by the baseline
+};
+
+/// One baseline entry: `file:line:rule` (see parse_baseline).
+struct BaselineEntry {
+    std::string file;
+    int line = 0;
+    std::string rule;
+};
+
+/// Parse a baseline document: one `file:line:rule` entry per line, `#`
+/// comments and blank lines ignored. Throws memopt::Error on malformed
+/// entries (with the offending line number).
+std::vector<BaselineEntry> parse_baseline(std::istream& in, const std::string& name);
+
+/// Run the full lint: walk, tokenize, check, and fold the baseline in.
+/// Throws memopt::Error on unreadable paths or a malformed baseline.
+LintReport run_lint(const LintOptions& options);
+
+/// Write the memopt.lint.v1 report document.
+void write_json(JsonWriter& w, const LintOptions& options, const LintReport& report);
+
+}  // namespace memopt::lint

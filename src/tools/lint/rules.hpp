@@ -1,0 +1,75 @@
+// memopt_lint rule catalogue — project invariants as named, suppressible
+// static checks.
+//
+// Every headline result in this repository depends on replay, clustering,
+// search, and campaign results being bit-identical at any --jobs count.
+// These rules make the hazards that historically break that invariant
+// (unordered-container iteration feeding results, ambient entropy sources,
+// racy floating-point accumulation) machine-checked at lint time instead
+// of discovered at replay time.
+//
+//  D1  iteration over std::unordered_map/unordered_set that feeds results
+//      must be sorted before order-sensitive consumption or carry a
+//      `// memopt-lint: order-independent` annotation with a rationale.
+//  D2  no nondeterministic seed sources (std::random_device, time(),
+//      rand(), srand()) outside src/support/rng — all randomness flows
+//      from an explicit memopt::Rng seed.
+//  D3  floating-point accumulation into shared (captured) state inside
+//      parallel_for / parallel_map / pool-submit lambdas must go through
+//      shard-local partial sums reduced in order, not direct `+=`.
+//  D4  no std::atomic<float|double>: atomic FP read-modify-write makes the
+//      accumulation order scheduling-dependent by construction.
+//  A1  invariant checks use MEMOPT_ASSERT / MEMOPT_ASSERT_MSG, never raw
+//      assert( — raw assert vanishes under NDEBUG and prints no context.
+//  H1  header hygiene: every header starts with #pragma once (or a classic
+//      include guard) and contains no `using namespace`.
+//
+// Suppression: a finding on line L is suppressed by an annotation comment
+// `// memopt-lint: <word>` on line L or L-1, where <word> is the rule id
+// (e.g. `D1`) or the rule's named allowance (`order-independent` for
+// D1/D3). Legacy findings can instead be listed in the checked-in baseline
+// (tools/lint_baseline.txt) and burned down incrementally.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/tokenizer.hpp"
+
+namespace memopt::lint {
+
+struct Finding {
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string message;
+    bool baselined = false;  // matched by the suppression baseline
+
+    /// Canonical diagnostic rendering: `file:line: rule: message`.
+    std::string render() const;
+};
+
+struct RuleInfo {
+    const char* id;
+    const char* summary;
+};
+
+/// The rule catalogue, in report order.
+const std::vector<RuleInfo>& rule_catalogue();
+
+/// Member-style names (trailing '_') declared as unordered containers in
+/// `file`. The driver unions these across all scanned files so that a
+/// container member declared in a header is recognized when its .cpp
+/// iterates it (rule D1's cross-file case).
+std::set<std::string> collect_unordered_members(const SourceFile& file);
+
+/// Run every rule against one tokenized file, appending findings.
+/// `cross_file_members` is the union of collect_unordered_members() over
+/// the whole scan (pass {} to lint a file in isolation). Findings
+/// suppressed by annotations are dropped here; baseline matching is the
+/// driver's job (see lint.hpp).
+void check_file(const SourceFile& file, const std::set<std::string>& cross_file_members,
+                std::vector<Finding>& findings);
+
+}  // namespace memopt::lint

@@ -1,0 +1,319 @@
+#include "tools/lint/tokenizer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace memopt::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_header_path(std::string_view path) {
+    for (std::string_view ext : {".hpp", ".h", ".hh", ".hxx", ".inl"}) {
+        if (path.size() > ext.size() && path.substr(path.size() - ext.size()) == ext) return true;
+    }
+    return false;
+}
+
+/// Operators the rules care about seeing as one token. `>>` is deliberately
+/// absent: keeping `>` single-character makes template-argument depth
+/// counting trivial for the declaration scans.
+constexpr std::string_view kFusedOps[] = {
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "::", "->",
+    "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+};
+
+/// Parse the words of a `memopt-lint:` annotation out of comment text.
+/// Words run until a `--` separator (free-form rationale) or end of text.
+void record_annotation(std::string_view comment, int line,
+                       std::map<int, std::vector<std::string>>& annotations) {
+    const std::string_view tag = "memopt-lint:";
+    const std::size_t pos = comment.find(tag);
+    if (pos == std::string_view::npos) return;
+    std::string_view rest = comment.substr(pos + tag.size());
+    std::vector<std::string>& words = annotations[line];
+    std::string word;
+    for (std::size_t i = 0; i <= rest.size(); ++i) {
+        const char c = i < rest.size() ? rest[i] : ' ';
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+            if (word == "--") break;  // rationale separator: stop collecting
+            if (!word.empty()) words.push_back(word);
+            word.clear();
+        } else {
+            word += c;
+        }
+    }
+}
+
+class Tokenizer {
+public:
+    Tokenizer(std::string_view path, std::string_view src) : src_(src) {
+        out_.path = std::string(path);
+        out_.is_header = is_header_path(path);
+    }
+
+    SourceFile run() {
+        while (pos_ < src_.size()) step();
+        out_.last_line = line_;
+        propagate_annotations();
+        return std::move(out_);
+    }
+
+private:
+    char peek(std::size_t ahead = 0) const {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+
+    void advance() {
+        if (src_[pos_] == '\n') ++line_;
+        ++pos_;
+    }
+
+    void push(TokKind kind, std::string text, int line) {
+        out_.tokens.push_back(Token{kind, std::move(text), line});
+    }
+
+    void step() {
+        const char c = peek();
+        if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+            at_line_start_ = c == '\n' || (at_line_start_ && c != '\n');
+            advance();
+            return;
+        }
+        if (c == '/' && peek(1) == '/') {
+            line_comment();
+            return;
+        }
+        if (c == '/' && peek(1) == '*') {
+            block_comment();
+            return;
+        }
+        if (c == '#' && at_line_start_) {
+            directive();
+            return;
+        }
+        at_line_start_ = false;
+        if (c == '"') {
+            if (!out_.tokens.empty() && out_.tokens.back().kind == TokKind::Identifier &&
+                !out_.tokens.back().text.empty() && out_.tokens.back().text.back() == 'R') {
+                raw_string();
+            } else {
+                quoted('"', TokKind::String);
+            }
+            return;
+        }
+        if (c == '\'') {
+            quoted('\'', TokKind::CharLit);
+            return;
+        }
+        if (is_ident_start(c)) {
+            identifier();
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            number();
+            return;
+        }
+        punct();
+    }
+
+    void line_comment() {
+        const int start = line_;
+        std::string text;
+        while (pos_ < src_.size() && peek() != '\n') {
+            text += peek();
+            advance();
+        }
+        record_annotation(text, start, out_.annotations);
+    }
+
+    void block_comment() {
+        const int start = line_;
+        std::string text;
+        advance();  // '/'
+        advance();  // '*'
+        while (pos_ < src_.size() && !(peek() == '*' && peek(1) == '/')) {
+            text += peek();
+            advance();
+        }
+        if (pos_ < src_.size()) {
+            advance();
+            advance();
+        }
+        record_annotation(text, start, out_.annotations);
+    }
+
+    /// A whole preprocessor logical line, backslash continuations folded in.
+    /// Comments inside the directive are skipped (annotations still apply).
+    void directive() {
+        const int start = line_;
+        std::string text;
+        while (pos_ < src_.size()) {
+            const char c = peek();
+            if (c == '\\' && peek(1) == '\n') {
+                advance();
+                advance();
+                text += ' ';
+                continue;
+            }
+            if (c == '\n') break;
+            if (c == '/' && peek(1) == '/') {
+                line_comment();
+                break;
+            }
+            if (c == '/' && peek(1) == '*') {
+                block_comment();
+                text += ' ';
+                continue;
+            }
+            text += c;
+            advance();
+        }
+        push(TokKind::PPDirective, std::move(text), start);
+        at_line_start_ = true;
+    }
+
+    void quoted(char delim, TokKind kind) {
+        const int start = line_;
+        advance();  // opening delimiter
+        while (pos_ < src_.size()) {
+            const char c = peek();
+            if (c == '\\') {
+                advance();
+                if (pos_ < src_.size()) advance();
+                continue;
+            }
+            advance();
+            if (c == delim) break;
+        }
+        push(kind, "", start);
+    }
+
+    /// R"delim( ... )delim" — the preceding R identifier token has already
+    /// been emitted; drop it and emit one String token in its place.
+    void raw_string() {
+        const int start = out_.tokens.back().line;
+        std::string& prev = out_.tokens.back().text;
+        if (prev == "R" || prev == "u8R" || prev == "uR" || prev == "UR" || prev == "LR") {
+            out_.tokens.pop_back();
+        } else {
+            // Identifier merely ends in R (e.g. `VAR"..."` macro paste);
+            // treat as an ordinary string start.
+            quoted('"', TokKind::String);
+            return;
+        }
+        advance();  // '"'
+        std::string delim;
+        while (pos_ < src_.size() && peek() != '(') {
+            delim += peek();
+            advance();
+        }
+        const std::string close = ")" + delim + "\"";
+        while (pos_ < src_.size() && src_.compare(pos_, close.size(), close) != 0) advance();
+        for (std::size_t i = 0; i < close.size() && pos_ < src_.size(); ++i) advance();
+        push(TokKind::String, "", start);
+    }
+
+    void identifier() {
+        const int start = line_;
+        std::string text;
+        while (pos_ < src_.size() && is_ident_char(peek())) {
+            text += peek();
+            advance();
+        }
+        push(TokKind::Identifier, std::move(text), start);
+    }
+
+    void number() {
+        const int start = line_;
+        std::string text;
+        while (pos_ < src_.size()) {
+            const char c = peek();
+            if (is_ident_char(c) || c == '.' || c == '\'') {
+                text += c;
+                advance();
+                // Exponent signs: 1e-5, 0x1p+3
+                if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+                    (peek() == '+' || peek() == '-') && !text.starts_with("0x") &&
+                    !text.starts_with("0X")) {
+                    text += peek();
+                    advance();
+                } else if ((c == 'p' || c == 'P') && (peek() == '+' || peek() == '-')) {
+                    text += peek();
+                    advance();
+                }
+            } else {
+                break;
+            }
+        }
+        push(TokKind::Number, std::move(text), start);
+    }
+
+    void punct() {
+        const int start = line_;
+        for (std::string_view op : kFusedOps) {
+            if (src_.compare(pos_, op.size(), op) == 0) {
+                advance();
+                advance();
+                push(TokKind::Punct, std::string(op), start);
+                return;
+            }
+        }
+        std::string text(1, peek());
+        advance();
+        push(TokKind::Punct, std::move(text), start);
+    }
+
+    /// An annotation covers its own line and the next *code* line, however
+    /// many comment-only rationale lines sit in between. Comment lines
+    /// produce no tokens, so "first token line after the annotation" is
+    /// exactly the code line the comment is attached to.
+    void propagate_annotations() {
+        std::vector<int> token_lines;
+        token_lines.reserve(out_.tokens.size());
+        for (const Token& t : out_.tokens) token_lines.push_back(t.line);
+        std::sort(token_lines.begin(), token_lines.end());
+        std::vector<std::pair<int, std::vector<std::string>>> extra;
+        for (const auto& [line, words] : out_.annotations) {
+            const auto it =
+                std::upper_bound(token_lines.begin(), token_lines.end(), line);
+            if (it != token_lines.end()) extra.emplace_back(*it, words);
+        }
+        for (auto& [line, words] : extra) {
+            std::vector<std::string>& dst = out_.annotations[line];
+            dst.insert(dst.end(), words.begin(), words.end());
+        }
+    }
+
+    std::string_view src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    bool at_line_start_ = true;
+    SourceFile out_;
+};
+
+}  // namespace
+
+bool SourceFile::annotated(int line, std::string_view word) const {
+    for (int l : {line, line - 1}) {
+        const auto it = annotations.find(l);
+        if (it == annotations.end()) continue;
+        if (std::find(it->second.begin(), it->second.end(), word) != it->second.end())
+            return true;
+    }
+    return false;
+}
+
+SourceFile tokenize(std::string_view path, std::string_view content) {
+    return Tokenizer(path, content).run();
+}
+
+}  // namespace memopt::lint

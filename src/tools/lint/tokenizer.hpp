@@ -1,0 +1,62 @@
+// Lightweight C++ tokenizer for memopt_lint.
+//
+// This is not a compiler front-end: it splits a translation unit into the
+// token categories the lint rules pattern-match against (identifiers,
+// numbers, string/char literals, punctuation, whole preprocessor
+// directives) while discarding the things that produce false positives in
+// grep-style linting — comments and the *contents* of string literals.
+// Lines are tracked per token so diagnostics are clickable.
+//
+// Comments are not discarded entirely: a comment of the form
+//     // memopt-lint: <word> [<word>...]
+// (or its /* ... */ equivalent) is recorded as a suppression annotation on
+// the line it starts on. The rule engine treats an annotation as covering
+// its own line and the line that follows, so both trailing and preceding
+// annotation styles work:
+//     for (const auto& [k, v] : map) {    // memopt-lint: order-independent
+//     // memopt-lint: order-independent -- exact integer sums, see below
+//     for (const auto& [k, v] : map) {
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace memopt::lint {
+
+enum class TokKind {
+    Identifier,   // identifiers and keywords (no distinction needed)
+    Number,       // numeric literal (integer or floating, any base)
+    String,       // string literal, text not retained
+    CharLit,      // character literal, text not retained
+    Punct,        // operator/punctuation; common two-char operators fused
+    PPDirective,  // whole preprocessor logical line, continuations folded
+};
+
+struct Token {
+    TokKind kind;
+    std::string text;  // identifier/number/punct spelling; directive text for PPDirective
+    int line = 0;      // 1-based line of the token's first character
+};
+
+/// A tokenized source file plus the lint annotations found in its comments.
+struct SourceFile {
+    std::string path;  // diagnostic path (relative to the lint root)
+    bool is_header = false;
+    std::vector<Token> tokens;
+    /// line -> annotation words from `memopt-lint:` comments on that line.
+    std::map<int, std::vector<std::string>> annotations;
+    int last_line = 0;
+
+    /// True when annotation `word` covers `line` (present on the line
+    /// itself or on the line immediately above).
+    bool annotated(int line, std::string_view word) const;
+};
+
+/// Tokenize `content`. `path` is stored verbatim for diagnostics; headers
+/// are recognized by extension (.hpp/.h/.hh/.hxx/.inl).
+SourceFile tokenize(std::string_view path, std::string_view content);
+
+}  // namespace memopt::lint

@@ -226,6 +226,10 @@ void AffinityAccumulator::merge(const AffinityAccumulator& other) {
     if (dense_) {
         for (std::size_t i = 0; i < tri_.size(); ++i) tri_[i] += other.tri_[i];
     } else {
+        // memopt-lint: order-independent -- keys are unique within other.pairs_,
+        // so each target slot receives exactly one += per merge; the per-key sum
+        // is the same whatever order the source map is walked in. (Cross-shard
+        // merge order is fixed by the callers' in-shard-order reduction.)
         for (const auto& [key, w] : other.pairs_) pairs_[key] += w;
     }
 }
@@ -244,6 +248,8 @@ AffinityMatrix AffinityAccumulator::finalize(std::size_t dense_max_blocks) {
             tri_.clear();
         } else {
             m.tri_.assign(n_ * (n_ + 1) / 2, 0.0);
+            // memopt-lint: order-independent -- pure scatter: each unique key
+            // writes (not accumulates) its own triangular slot exactly once.
             for (const auto& [key, w] : pairs_) {
                 const auto a = static_cast<std::size_t>(key >> 32);
                 const auto b = static_cast<std::size_t>(key & 0xFFFFFFFFu);
@@ -273,6 +279,9 @@ AffinityMatrix AffinityAccumulator::finalize(std::size_t dense_max_blocks) {
         tri_.clear();
     } else {
         sorted.reserve(pairs_.size());
+        // memopt-lint: order-independent -- collection order is erased by the
+        // std::sort on the (unique) packed keys before any emission; pinned by
+        // Affinity.SparseAccumulatorInvariantUnderInsertOrder.
         for (const auto& [key, w] : pairs_) {
             if (w != 0.0) sorted.emplace_back(key, w);
         }

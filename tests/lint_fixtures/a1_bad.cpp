@@ -1,0 +1,7 @@
+// Fixture: rule A1 — raw assert() vanishes under NDEBUG.
+#include <cassert>
+
+int clamp_positive(int v) {
+    assert(v >= 0);
+    return v;
+}

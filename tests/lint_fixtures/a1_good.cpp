@@ -1,0 +1,13 @@
+// Fixture: rule A1 — clean patterns: the project macros, static_assert, and
+// mentions of assert in comments or strings (assert(this) is a comment).
+#include <string>
+
+#define MEMOPT_ASSERT(cond) ((void)(cond))
+
+int clamp_positive(int v) {
+    MEMOPT_ASSERT(v >= 0);
+    static_assert(sizeof(int) >= 4, "ILP32 or wider");
+    return v;
+}
+
+bool string_mention(const std::string& s) { return s == "assert(x)"; }

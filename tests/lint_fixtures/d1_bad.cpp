@@ -1,0 +1,15 @@
+// Fixture: rule D1 — unordered-container iteration feeding results with no
+// sort and no annotation. Never compiled; tokenized by test_lint only.
+#include <unordered_map>
+#include <vector>
+
+int collect() {
+    std::unordered_map<int, int> histogram;
+    histogram[3] = 1;
+    int checksum = 0;
+    for (const auto& [k, v] : histogram) {
+        checksum = checksum * 31 + k + v;
+    }
+    std::vector<std::pair<int, int>> ranked(histogram.begin(), histogram.end());
+    return checksum + static_cast<int>(ranked.size());
+}

@@ -1,0 +1,24 @@
+// Fixture: rule D1 — clean patterns: annotated collection with a rationale,
+// sorted consumption, and non-iterating lookups.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+int collect_sorted() {
+    std::unordered_map<int, int> histogram;
+    histogram[3] = 1;
+    std::vector<std::pair<int, int>> ranked;
+    // memopt-lint: order-independent -- ranked is sorted by key immediately
+    // below, before any order-sensitive consumption.
+    for (const auto& [k, v] : histogram) ranked.emplace_back(k, v);
+    std::sort(ranked.begin(), ranked.end());
+    int checksum = 0;
+    for (const auto& [k, v] : ranked) checksum = checksum * 31 + k + v;
+    return checksum;
+}
+
+int lookup_only(int key) {
+    std::unordered_map<int, int> cache;
+    cache[1] = 2;
+    return cache.count(key) != 0 ? cache.at(key) : 0;
+}

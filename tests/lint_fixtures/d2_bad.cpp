@@ -1,0 +1,11 @@
+// Fixture: rule D2 — ambient entropy sources outside support/rng.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned ambient_seed() {
+    std::random_device rd;
+    unsigned seed = static_cast<unsigned>(rd()) ^ static_cast<unsigned>(time(nullptr));
+    srand(seed);
+    return seed ^ static_cast<unsigned>(rand());
+}

@@ -1,0 +1,23 @@
+// Fixture: rule D2 — clean patterns: explicit seeds, string-literal mentions,
+// and member calls that merely share a name with the C seed functions.
+#include <cstdint>
+#include <string>
+
+struct FixtureRng {
+    explicit FixtureRng(std::uint64_t seed) : state_(seed) {}
+    std::uint64_t next_u64() { return state_ += 0x9E3779B97F4A7C15ULL; }
+    std::uint64_t state_;
+};
+
+std::uint64_t seeded(std::uint64_t seed) {
+    FixtureRng rng(seed);
+    return rng.next_u64();
+}
+
+bool mentions_in_strings(const std::string& s) {
+    return s == "expected 'rand(seed)' or 'srand(x)' or 'time(now)'";
+}
+
+// Member calls that merely share a name with the C seed functions are
+// unrelated APIs (the Clock type lives elsewhere; fixtures never compile).
+double member_call(const ExternalClock& c) { return c.time(3); }

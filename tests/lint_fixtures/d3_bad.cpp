@@ -1,0 +1,13 @@
+// Fixture: rule D3 — floating-point accumulation into captured state inside
+// a parallel region: the summation order depends on thread scheduling.
+#include <cstddef>
+
+void parallel_for(std::size_t n, void (*fn)(std::size_t));
+
+double racy_sum(std::size_t n, const double* values) {
+    double total = 0.0;
+    parallel_for(n, [&](std::size_t i) {
+        total += values[i];
+    });
+    return total;
+}

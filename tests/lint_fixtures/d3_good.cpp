@@ -1,0 +1,16 @@
+// Fixture: rule D3 — clean pattern: shard-local partials inside the lambda,
+// reduced in shard order after the parallel region completes.
+#include <cstddef>
+
+void parallel_for(std::size_t n, void (*fn)(std::size_t));
+
+double sharded_sum(std::size_t n, const double* values, double* partials) {
+    parallel_for(n, [&](std::size_t shard) {
+        double partial = 0.0;
+        partial += values[shard];
+        partials[shard] = partial;
+    });
+    double total = 0.0;
+    for (std::size_t s = 0; s < n; ++s) total += partials[s];
+    return total;
+}

@@ -1,0 +1,9 @@
+// Fixture: rule D4 — atomic floating point accumulates in scheduling order
+// by construction. Integer atomics remain fine.
+#include <atomic>
+
+std::atomic<double> racy_energy{0.0};
+std::atomic<float> racy_ratio{0.0f};
+std::atomic<long double> racy_wide{0.0L};
+std::atomic<int> fine_counter{0};
+std::atomic<unsigned long> fine_wide_counter{0};

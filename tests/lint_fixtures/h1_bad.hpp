@@ -1,0 +1,7 @@
+// Fixture: rule H1 — header with no include guard and a header-scope
+// using namespace.
+#include <vector>
+
+using namespace std;
+
+inline vector<int> empty_vec() { return {}; }

@@ -1,0 +1,6 @@
+// Fixture: rule H1 — clean header: #pragma once, fully qualified names.
+#pragma once
+
+#include <vector>
+
+inline std::vector<int> empty_vec() { return {}; }

@@ -1,0 +1,9 @@
+// Fixture: rule H1 — classic #ifndef include guard is accepted too.
+#ifndef MEMOPT_TESTS_LINT_FIXTURES_H1_GUARD_GOOD_HPP
+#define MEMOPT_TESTS_LINT_FIXTURES_H1_GUARD_GOOD_HPP
+
+#include <vector>
+
+inline std::vector<int> guarded_vec() { return {}; }
+
+#endif  // MEMOPT_TESTS_LINT_FIXTURES_H1_GUARD_GOOD_HPP

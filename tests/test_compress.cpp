@@ -343,6 +343,28 @@ TEST(Memsys, EmptyTraceRejected) {
     EXPECT_THROW(sim.run(MemTrace{}, {}, 0), Error);
 }
 
+TEST(DictionaryCodec, TrainingInvariantUnderInsertOrder) {
+    // Regression for the unordered value-frequency map in train(): the same
+    // multiset of words presented in different stream orders populates the
+    // map in different insert orders (and with different rehash points), but
+    // the trained dictionary must be identical — ranking is a total order
+    // (count desc, then word asc), so hash order must never reach the
+    // truncation. The count distribution below puts the cut line inside a
+    // large tie region to make any hash-order leak visible.
+    std::vector<std::uint32_t> words;
+    for (std::uint32_t v = 0; v < 300; ++v) {
+        for (std::uint32_t c = 0; c <= v % 7; ++c) words.push_back(0x1000u + v);
+    }
+    const DictionaryCodec base = DictionaryCodec::train(words, 16);
+
+    std::vector<std::uint32_t> shuffled = words;
+    Rng rng(77);
+    rng.shuffle(shuffled);
+    const std::vector<std::uint32_t> reversed(words.rbegin(), words.rend());
+    EXPECT_EQ(DictionaryCodec::train(shuffled, 16).dictionary(), base.dictionary());
+    EXPECT_EQ(DictionaryCodec::train(reversed, 16).dictionary(), base.dictionary());
+}
+
 TEST(Platforms, HaveDistinctRealisticConfigs) {
     const PlatformModel vliw = vliw_platform();
     const PlatformModel risc = risc_platform();

@@ -251,6 +251,45 @@ TEST(GrayCode, DecodeInvertsEncode) {
     }
 }
 
+TEST(Search, InvariantUnderDiffOrder) {
+    // Regression for the unordered difference histogram in search_transform:
+    // two streams whose consecutive-XOR-difference *multisets* are equal but
+    // arrive in different orders fill the value-frequency map in different
+    // insert orders (different bucket layouts, different rehash points).
+    // The histogram is consumed purely as a multiset — exact integer sums
+    // and a fixed gate scan order — so the greedy search must select the
+    // identical transform and counts from both streams.
+    Rng rng(5);
+    std::vector<std::uint32_t> diffs;
+    for (int i = 0; i < 5000; ++i) {
+        diffs.push_back(static_cast<std::uint32_t>(rng.next_below(64)) << (i % 3));
+    }
+    auto words_from_diffs = [](const std::vector<std::uint32_t>& d) {
+        std::vector<std::uint32_t> words;
+        words.reserve(d.size());
+        std::uint32_t prev = 0;  // params.initial defaults to 0
+        for (std::uint32_t diff : d) {
+            prev ^= diff;
+            words.push_back(prev);
+        }
+        return words;
+    };
+    const std::vector<std::uint32_t> words_a = words_from_diffs(diffs);
+    std::vector<std::uint32_t> permuted = diffs;
+    rng.shuffle(permuted);
+    const std::vector<std::uint32_t> words_b = words_from_diffs(permuted);
+
+    const TransformSearchParams params{.max_gates = 8, .initial = 0};
+    const TransformSearchResult a = search_transform(words_a, params);
+    const TransformSearchResult b = search_transform(words_b, params);
+    EXPECT_EQ(a.original_transitions, b.original_transitions);
+    EXPECT_EQ(a.encoded_transitions, b.encoded_transitions);
+    ASSERT_EQ(a.transform.gate_count(), b.transform.gate_count());
+    for (std::size_t g = 0; g < a.transform.gate_count(); ++g) {
+        EXPECT_EQ(a.transform.gates()[g], b.transform.gates()[g]) << "gate " << g;
+    }
+}
+
 TEST(GrayCode, SequentialCountersBecomeCheap) {
     std::vector<std::uint32_t> counter;
     for (std::uint32_t i = 0; i < 1024; ++i) counter.push_back(i);

@@ -1,0 +1,318 @@
+// memopt_lint self-tests: tokenizer behaviour, per-rule fixtures with
+// expected-diagnostics golden files, annotation semantics, the suppression
+// baseline, and the memopt.lint.v1 JSON report.
+//
+// The fixture sources live in tests/lint_fixtures/ (excluded from the real
+// tree scan); each bad fixture has a `<name>.expected` golden holding the
+// exact `file:line: rule: message` diagnostics the linter must emit for it.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/json.hpp"
+#include "tools/lint/lint.hpp"
+#include "tools/lint/rules.hpp"
+#include "tools/lint/tokenizer.hpp"
+
+#ifndef MEMOPT_LINT_FIXTURES_DIR
+#error "MEMOPT_LINT_FIXTURES_DIR must point at tests/lint_fixtures"
+#endif
+
+namespace memopt::lint {
+namespace {
+
+std::vector<std::string> lint_fixture(const std::string& file) {
+    LintOptions options;
+    options.root = MEMOPT_LINT_FIXTURES_DIR;
+    options.paths = {file};
+    const LintReport report = run_lint(options);
+    std::vector<std::string> rendered;
+    for (const Finding& f : report.findings) rendered.push_back(f.render());
+    return rendered;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot read " << path;
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty()) lines.push_back(line);
+    }
+    return lines;
+}
+
+/// Findings for an in-memory snippet linted as `path` in isolation.
+std::vector<Finding> check_snippet(const std::string& path, const std::string& code) {
+    const SourceFile sf = tokenize(path, code);
+    std::vector<Finding> findings;
+    check_file(sf, collect_unordered_members(sf), findings);
+    return findings;
+}
+
+// ---------------------------------------------------------------------------
+// Fixture goldens
+
+class LintFixture : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LintFixture, BadFixtureMatchesGolden) {
+    const std::string name = GetParam();
+    const std::vector<std::string> expected =
+        read_lines(std::string(MEMOPT_LINT_FIXTURES_DIR) + "/" + name + ".expected");
+    ASSERT_FALSE(expected.empty());
+    const std::string ext = name[0] == 'h' ? ".hpp" : ".cpp";
+    EXPECT_EQ(lint_fixture(name + ext), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRules, LintFixture,
+                         ::testing::Values("d1_bad", "d2_bad", "d3_bad", "d4_bad", "a1_bad",
+                                           "h1_bad"));
+
+class LintGoodFixture : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LintGoodFixture, GoodFixtureIsClean) {
+    EXPECT_EQ(lint_fixture(GetParam()), std::vector<std::string>{});
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRules, LintGoodFixture,
+                         ::testing::Values("d1_good.cpp", "d2_good.cpp", "d3_good.cpp",
+                                           "a1_good.cpp", "h1_good.hpp",
+                                           "h1_guard_good.hpp"));
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+
+TEST(LintTokenizer, SkipsCommentsAndStringContents) {
+    const SourceFile sf = tokenize("t.cpp",
+                                   "int x = 1; // assert(rand())\n"
+                                   "const char* s = \"assert(rand())\";\n"
+                                   "/* assert( */ int y;\n");
+    for (const Token& t : sf.tokens) {
+        EXPECT_NE(t.text, "assert");
+        EXPECT_NE(t.text, "rand");
+    }
+}
+
+TEST(LintTokenizer, TracksLines) {
+    const SourceFile sf = tokenize("t.cpp", "int a;\n\nint b;\n");
+    ASSERT_GE(sf.tokens.size(), 6u);
+    EXPECT_EQ(sf.tokens[0].line, 1);  // int
+    EXPECT_EQ(sf.tokens[3].line, 3);  // int (second)
+    EXPECT_EQ(sf.last_line, 4);
+}
+
+TEST(LintTokenizer, RawStringsAreOpaque) {
+    const SourceFile sf = tokenize("t.cpp", "auto s = R\"(assert(rand()))\"; int z;\n");
+    bool saw_z = false;
+    for (const Token& t : sf.tokens) {
+        EXPECT_NE(t.text, "assert");
+        saw_z = saw_z || t.text == "z";
+    }
+    EXPECT_TRUE(saw_z);
+}
+
+TEST(LintTokenizer, DirectivesAreWholeLines) {
+    const SourceFile sf =
+        tokenize("t.hpp", "#pragma once\n#define ADD(a, b) \\\n    ((a) + (b))\nint x;\n");
+    ASSERT_GE(sf.tokens.size(), 2u);
+    EXPECT_EQ(sf.tokens[0].kind, TokKind::PPDirective);
+    EXPECT_EQ(sf.tokens[0].text, "#pragma once");
+    EXPECT_EQ(sf.tokens[1].kind, TokKind::PPDirective);
+    EXPECT_EQ(sf.tokens[1].line, 2);  // continuation folded into one token
+    EXPECT_EQ(sf.tokens[2].text, "int");
+    EXPECT_EQ(sf.tokens[2].line, 4);
+}
+
+TEST(LintTokenizer, AnnotationsCoverOwnLineAndNextCodeLine) {
+    const SourceFile sf = tokenize("t.cpp",
+                                   "// memopt-lint: order-independent -- multi-line\n"
+                                   "// rationale continues without the tag\n"
+                                   "int b;\n"
+                                   "int a;  // memopt-lint: D1 -- trailing rationale\n");
+    EXPECT_TRUE(sf.annotated(1, "order-independent"));
+    EXPECT_TRUE(sf.annotated(2, "order-independent"));  // line below the tag
+    EXPECT_TRUE(sf.annotated(3, "order-independent"));  // first code line after
+    EXPECT_FALSE(sf.annotated(3, "D1"));
+    EXPECT_TRUE(sf.annotated(4, "D1"));  // trailing annotation, own line
+    // The `--` separator keeps the rationale out of the annotation words.
+    EXPECT_FALSE(sf.annotated(4, "trailing"));
+}
+
+// ---------------------------------------------------------------------------
+// Rules on in-memory snippets
+
+TEST(LintRules, D1CrossFileMemberRecognition) {
+    // Member declared in a header, iterated in a .cpp: the cpp alone has no
+    // unordered declaration, so the cross-file member set must carry it.
+    const SourceFile hpp = tokenize(
+        "m.hpp", "#pragma once\n#include <unordered_map>\n"
+                 "struct A { std::unordered_map<int, int> pairs_; };\n");
+    const std::set<std::string> members = collect_unordered_members(hpp);
+    EXPECT_EQ(members.count("pairs_"), 1u);
+
+    const std::string cpp = "void A::walk() { for (const auto& [k, v] : pairs_) use(k, v); }\n";
+    std::vector<Finding> findings;
+    check_file(tokenize("m.cpp", cpp), members, findings);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "D1");
+
+    findings.clear();
+    check_file(tokenize("m.cpp", cpp), {}, findings);  // without the union: missed
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRules, D1AnnotationByRuleIdAlsoSuppresses) {
+    const auto findings = check_snippet(
+        "t.cpp",
+        "#include <unordered_map>\n"
+        "int f() {\n"
+        "    std::unordered_map<int, int> m;\n"
+        "    int s = 0;\n"
+        "    for (const auto& [k, v] : m) s += k + v;  // memopt-lint: D1 -- exact sums\n"
+        "    return s;\n"
+        "}\n");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRules, D2ExemptInsideSupportRng) {
+    const std::string code = "unsigned s() { return static_cast<unsigned>(time(nullptr)); }\n";
+    EXPECT_TRUE(check_snippet("src/support/rng_host_entropy.cpp", code).empty());
+    EXPECT_EQ(check_snippet("src/sched/scheduler.cpp", code).size(), 1u);
+}
+
+TEST(LintRules, D3ShardLocalPartialIsClean) {
+    const auto findings = check_snippet(
+        "t.cpp",
+        "void parallel_for(unsigned long, int);\n"
+        "double f(const double* v) {\n"
+        "    double out = 0.0;\n"
+        "    parallel_for(8, [&](unsigned long i) { double p = 0.0; p += v[i]; use(p); });\n"
+        "    return out;\n"
+        "}\n");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRules, A1IgnoresMemberAndDistinctIdentifiers) {
+    const auto findings = check_snippet("t.cpp",
+                                        "void f(Checker& c) {\n"
+                                        "    c.assert(true);\n"
+                                        "    static_assert(1 + 1 == 2);\n"
+                                        "    my_assert(true);\n"
+                                        "}\n");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRules, H1OnlyAppliesToHeaders) {
+    const std::string code = "using namespace std;\nint x;\n";
+    EXPECT_TRUE(check_snippet("t.cpp", code).empty());
+    const auto findings = check_snippet("t.hpp", code);
+    ASSERT_EQ(findings.size(), 2u);  // missing guard + using namespace
+    EXPECT_EQ(findings[0].rule, "H1");
+    EXPECT_EQ(findings[1].rule, "H1");
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+
+TEST(LintBaseline, ParsesEntriesCommentsAndBlanks) {
+    std::istringstream in(
+        "# comment\n"
+        "\n"
+        "src/a.cpp:12:D1\n"
+        "src/b.hpp:1:H1   # trailing comment\n");
+    const auto entries = parse_baseline(in, "test");
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].file, "src/a.cpp");
+    EXPECT_EQ(entries[0].line, 12);
+    EXPECT_EQ(entries[0].rule, "D1");
+    EXPECT_EQ(entries[1].file, "src/b.hpp");
+    EXPECT_EQ(entries[1].rule, "H1");
+}
+
+TEST(LintBaseline, RejectsMalformedEntries) {
+    std::istringstream bad1("not-an-entry\n");
+    EXPECT_THROW(parse_baseline(bad1, "test"), Error);
+    std::istringstream bad2("file:notaline:D1\n");
+    EXPECT_THROW(parse_baseline(bad2, "test"), Error);
+}
+
+TEST(LintBaseline, SuppressesMatchedAndReportsStale) {
+    // Baseline with one matching entry (d2_bad.cpp:7:D2), one stale.
+    const std::string path = ::testing::TempDir() + "/lint_baseline_test.txt";
+    {
+        std::ofstream out(path);
+        out << "d2_bad.cpp:7:D2\n";
+        out << "d2_bad.cpp:999:D2  # stale\n";
+    }
+    LintOptions options;
+    options.root = MEMOPT_LINT_FIXTURES_DIR;
+    options.paths = {"d2_bad.cpp"};
+    options.baseline_path = path;
+    const LintReport report = run_lint(options);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(report.findings.size(), 4u);
+    EXPECT_EQ(report.baselined_count(), 1u);
+    EXPECT_EQ(report.active_count(), 3u);
+    ASSERT_EQ(report.stale_baseline.size(), 1u);
+    EXPECT_EQ(report.stale_baseline[0], "d2_bad.cpp:999:D2");
+    for (const Finding& f : report.findings) {
+        EXPECT_EQ(f.baselined, f.line == 7) << f.render();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver & JSON report
+
+TEST(LintDriver, ThrowsOnMissingPathAndBadRoot) {
+    LintOptions missing;
+    missing.root = MEMOPT_LINT_FIXTURES_DIR;
+    missing.paths = {"no_such_file.cpp"};
+    EXPECT_THROW(run_lint(missing), Error);
+
+    LintOptions bad_root;
+    bad_root.root = std::string(MEMOPT_LINT_FIXTURES_DIR) + "/d1_bad.cpp";
+    EXPECT_THROW(run_lint(bad_root), Error);
+}
+
+TEST(LintDriver, ScanIsDeterministic) {
+    LintOptions options;
+    options.root = MEMOPT_LINT_FIXTURES_DIR;
+    options.paths = {"."};
+    const LintReport a = run_lint(options);
+    const LintReport b = run_lint(options);
+    ASSERT_EQ(a.findings.size(), b.findings.size());
+    for (std::size_t i = 0; i < a.findings.size(); ++i) {
+        EXPECT_EQ(a.findings[i].render(), b.findings[i].render());
+    }
+    // All bad fixtures, none suppressed: 2 + 4 + 1 + 3 + 1 + 2.
+    EXPECT_EQ(a.active_count(), 13u);
+}
+
+TEST(LintJson, ReportIsCompleteAndCarriesSchema) {
+    LintOptions options;
+    options.root = MEMOPT_LINT_FIXTURES_DIR;
+    options.paths = {"d4_bad.cpp"};
+    const LintReport report = run_lint(options);
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    write_json(w, options, report);
+    EXPECT_TRUE(w.complete());
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("\"schema\": \"memopt.lint.v1\""), std::string::npos);
+    EXPECT_NE(doc.find("\"rule\": \"D4\""), std::string::npos);
+    EXPECT_NE(doc.find("\"files_scanned\": 1"), std::string::npos);
+    // One entry per rule in the catalogue.
+    for (const RuleInfo& r : rule_catalogue()) {
+        EXPECT_NE(doc.find("\"id\": \"" + std::string(r.id) + "\""), std::string::npos);
+    }
+}
+
+}  // namespace
+}  // namespace memopt::lint

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "support/assert.hpp"
+#include "support/rng.hpp"
 #include "trace/affinity.hpp"
 #include "trace/profile.hpp"
 #include "trace/synthetic.hpp"
@@ -655,6 +656,41 @@ TEST(AffinityCsr, SparseMatchesDense) {
         dense.for_each_neighbor(a, [&](std::size_t b, double w) { nd.emplace_back(b, w); });
         sparse.for_each_neighbor(a, [&](std::size_t b, double w) { ns.emplace_back(b, w); });
         ASSERT_EQ(nd, ns) << "row " << a;
+    }
+}
+
+TEST(Affinity, SparseAccumulatorInvariantUnderInsertOrder) {
+    // Regression for the unordered pair map inside AffinityAccumulator: above
+    // kAffinityDenseMaxBlocks the accumulator collects (block, block) weights
+    // in an unordered_map, and finalize() must erase its hash order via the
+    // packed-key sort before emitting CSR. Feeding the same pair multiset in
+    // forward and reversed order must therefore produce identical matrices.
+    const std::size_t n = kAffinityDenseMaxBlocks + 64;
+    Rng rng(9);
+    std::vector<std::pair<std::size_t, std::size_t>> adds;
+    for (int i = 0; i < 4000; ++i) {
+        adds.emplace_back(static_cast<std::size_t>(rng.next_below(n)),
+                          static_cast<std::size_t>(rng.next_below(n)));
+    }
+    AffinityAccumulator fwd(n);
+    AffinityAccumulator rev(n);
+    for (const auto& [a, b] : adds) fwd.add(a, b, 1.0);
+    for (auto it = adds.rbegin(); it != adds.rend(); ++it) rev.add(it->first, it->second, 1.0);
+
+    const AffinityMatrix ma = fwd.finalize();
+    const AffinityMatrix mb = rev.finalize();
+    ASSERT_TRUE(ma.is_sparse());
+    ASSERT_TRUE(mb.is_sparse());
+    EXPECT_EQ(ma.stored_pairs(), mb.stored_pairs());
+    EXPECT_EQ(ma.total(), mb.total());
+    for (const auto& [a, b] : adds) {
+        ASSERT_EQ(ma.at(a, b), mb.at(a, b)) << a << "," << b;
+    }
+    for (std::size_t row = 0; row < n; row += 97) {
+        std::vector<std::pair<std::size_t, double>> na, nb;
+        ma.for_each_neighbor(row, [&](std::size_t b, double w) { na.emplace_back(b, w); });
+        mb.for_each_neighbor(row, [&](std::size_t b, double w) { nb.emplace_back(b, w); });
+        ASSERT_EQ(na, nb) << "row " << row;
     }
 }
 

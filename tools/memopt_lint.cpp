@@ -1,0 +1,124 @@
+// memopt_lint — determinism & invariant static analysis for the memopt tree.
+//
+// Usage:
+//   memopt_lint [paths...] [--root DIR] [--baseline FILE] [--json FILE]
+//               [--list-rules] [--help]
+//
+// Walks the given paths (default: src bench tests, relative to --root),
+// tokenizes every C++ source file, and enforces the project's determinism
+// and hygiene invariants as named rules (see src/tools/lint/rules.hpp for
+// the catalogue). Findings print as `file:line: rule: message`; `--json`
+// additionally writes a memopt.lint.v1 report for CI artifacts.
+//
+// Exit codes: 0 clean (no unsuppressed findings), 1 findings, 2 usage or
+// environment error.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/json.hpp"
+#include "tools/lint/lint.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: memopt_lint [paths...] [--root DIR] [--baseline FILE] [--json FILE]\n"
+    "                   [--list-rules] [--help]\n"
+    "\n"
+    "Determinism & invariant static analysis over the memopt sources.\n"
+    "Paths default to `src bench tests` relative to --root (default: .).\n"
+    "\n"
+    "  --root DIR       tree root; scan paths and diagnostics are relative to it\n"
+    "  --baseline FILE  suppression baseline (file:line:rule entries); matched\n"
+    "                   findings are reported but do not fail the run\n"
+    "  --json FILE      write a memopt.lint.v1 JSON report\n"
+    "  --list-rules     print the rule catalogue and exit\n"
+    "\n"
+    "Suppress a single finding in source with `// memopt-lint: <rule-id>` (or a\n"
+    "rule's named allowance, e.g. `order-independent`) on the finding's line or\n"
+    "the line above, with a rationale after `--`.\n"
+    "\n"
+    "exit codes: 0 clean, 1 findings, 2 usage/environment error\n";
+
+int usage_error(const std::string& msg) {
+    std::cerr << "memopt_lint: " << msg << "\n\n" << kUsage;
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    memopt::lint::LintOptions options;
+    options.paths.clear();
+    std::string json_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) return nullptr;
+            (void)flag;
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            std::cout << kUsage;
+            return 0;
+        } else if (arg == "--list-rules") {
+            for (const memopt::lint::RuleInfo& r : memopt::lint::rule_catalogue()) {
+                std::cout << r.id << "  " << r.summary << "\n";
+            }
+            return 0;
+        } else if (arg == "--root") {
+            const char* v = value("--root");
+            if (!v) return usage_error("--root requires a directory argument");
+            options.root = v;
+        } else if (arg == "--baseline") {
+            const char* v = value("--baseline");
+            if (!v) return usage_error("--baseline requires a file argument");
+            options.baseline_path = v;
+        } else if (arg == "--json") {
+            const char* v = value("--json");
+            if (!v) return usage_error("--json requires a file argument");
+            json_path = v;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage_error("unknown option '" + arg + "'");
+        } else {
+            options.paths.push_back(arg);
+        }
+    }
+    if (options.paths.empty()) options.paths = {"src", "bench", "tests"};
+
+    memopt::lint::LintReport report;
+    try {
+        report = memopt::lint::run_lint(options);
+    } catch (const std::exception& e) {
+        std::cerr << "memopt_lint: " << e.what() << "\n";
+        return 2;
+    }
+
+    for (const memopt::lint::Finding& f : report.findings) {
+        if (f.baselined) continue;
+        std::cout << f.render() << "\n";
+    }
+    for (const std::string& s : report.stale_baseline) {
+        std::cerr << "memopt_lint: warning: stale baseline entry (matches nothing): " << s
+                  << "\n";
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::cerr << "memopt_lint: cannot write " << json_path << "\n";
+            return 2;
+        }
+        memopt::JsonWriter w(out);
+        memopt::lint::write_json(w, options, report);
+        out << "\n";
+    }
+
+    const std::size_t active = report.active_count();
+    std::cerr << "memopt_lint: " << report.files_scanned << " files, " << active
+              << " finding(s), " << report.baselined_count() << " baselined\n";
+    return active == 0 ? 0 : 1;
+}
