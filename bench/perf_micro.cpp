@@ -5,6 +5,8 @@
 // interactive speed on one core — and scales with MEMOPT_JOBS beyond it.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -19,6 +21,8 @@
 #include "encoding/search.hpp"
 #include "partition/solver.hpp"
 #include "sim/kernels.hpp"
+#include "trace/source.hpp"
+#include "trace/stream_file.hpp"
 #include "trace/synthetic.hpp"
 
 namespace {
@@ -174,6 +178,63 @@ void BM_AffinityClustering(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_AffinityClustering)->Arg(512)->Arg(4096);
+
+// Streaming-pipeline paths: the chunked replay driver feeding the profile
+// builder from a generator source (no materialized trace), the fused
+// streamed profile+affinity build, and the mmap zero-copy container read.
+void BM_StreamReplay(benchmark::State& state) {
+    const SyntheticSpec spec = parse_synthetic_spec(
+        "hotspot,span=1048576,n=400000,seed=5,write=0.3,hotspots=8,"
+        "hotspot-bytes=1024,hot-frac=0.9");
+    std::uint64_t accesses = 0;
+    for (auto _ : state) {
+        SyntheticSource source(spec);
+        const BlockProfile profile = BlockProfile::from_source(source, 256);
+        accesses += profile.total_accesses();
+        benchmark::DoNotOptimize(profile.total_accesses());
+    }
+    state.counters["accesses/s"] =
+        benchmark::Counter(static_cast<double>(accesses), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StreamReplay);
+
+void BM_StreamProfileAndAffinity(benchmark::State& state) {
+    const SyntheticSpec spec = parse_synthetic_spec(
+        "hotspot,span=1048576,n=200000,seed=5,write=0.3,hotspots=8,"
+        "hotspot-bytes=1024,hot-frac=0.9");
+    for (auto _ : state) {
+        SyntheticSource source(spec);
+        const ProfileAffinity pa = build_profile_and_affinity(source, 256, 8);
+        benchmark::DoNotOptimize(pa.affinity.total());
+        benchmark::DoNotOptimize(pa.profile.total_accesses());
+    }
+}
+BENCHMARK(BM_StreamProfileAndAffinity);
+
+void BM_MmapRead(benchmark::State& state) {
+    const std::string path =
+        "/tmp/memopt_bm_mmap_" + std::to_string(::getpid()) + ".mtsc";
+    {
+        SyntheticSource source(parse_synthetic_spec(
+            "stride,span=1048576,n=400000,seed=7,write=0.3,stride=16"));
+        write_trace_stream(path, source);
+    }
+    std::uint64_t accesses = 0;
+    for (auto _ : state) {
+        MmapBinarySource source(path);
+        TraceChunk chunk;
+        std::uint64_t sum = 0;
+        while (source.next(chunk)) {
+            for (std::size_t i = 0; i < chunk.size(); ++i) sum += chunk.addrs[i];
+        }
+        accesses += source.size();
+        benchmark::DoNotOptimize(sum);
+    }
+    std::remove(path.c_str());
+    state.counters["accesses/s"] =
+        benchmark::Counter(static_cast<double>(accesses), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MmapRead);
 
 void BM_TransformSearch(benchmark::State& state) {
     CpuConfig cfg;

@@ -6,9 +6,12 @@
 //   memopt_cli run <kernel>
 //   memopt_cli disasm <kernel>
 //   memopt_cli cc <file.arc> [--emit asm|run]
-//   memopt_cli trace <kernel> <out-file>          (.mtrc = binary, else text)
+//   memopt_cli trace <source> <out-file>          (.mtsc = stream container,
+//                        .mtrc = binary, else text; `source` is a kernel, a
+//                        trace file, or "synthetic:<kind>[,k=v]...")
 //   memopt_cli partition <kernel|trace-file> [--banks N] [--block BYTES]
 //                        [--cluster none|frequency|affinity]
+//                        [--trace-stream SPEC] [--chunk-size N]
 //   memopt_cli compress <kernel> [--platform vliw|risc]
 //                        [--codec diff|zero-run|bdi|dictionary]
 //   memopt_cli encode <kernel> [--gates N]
@@ -25,6 +28,11 @@
 // Every command accepts a global `--jobs N` option bounding the worker
 // threads of the parallel runtime (equivalent to MEMOPT_JOBS=N; jobs=1 is
 // fully serial). Results are bit-identical at any job count.
+//
+// `partition --trace-stream SPEC` replays a chunked trace stream (a
+// synthetic: spec, an .mtsc/.mtrc file, or a kernel) without materializing
+// it — out-of-core traces run in O(chunk) memory and the report is
+// bit-identical to the materialized run at any --jobs.
 //
 // `run`, `partition`, `compress`, `encode` and `study` also accept
 // `--json FILE`: the command's results are exported as one
@@ -66,6 +74,8 @@
 #include "support/string_util.hpp"
 #include "support/table.hpp"
 #include "trace/io.hpp"
+#include "trace/source.hpp"
+#include "trace/stream_file.hpp"
 #include "trace/symbolize.hpp"
 
 namespace {
@@ -132,9 +142,12 @@ int usage() {
               "  run <kernel>                           simulate and print stats\n"
               "  disasm <kernel>                        annotated program listing\n"
               "  cc <file.arc> [--emit asm|run]         compile arclang and emit/run\n"
-              "  trace <kernel> <file>                  dump the data trace\n"
+              "  trace <source> <file>                  dump a data trace; source is a\n"
+              "        [--trace-format mtsc|bin|text]   kernel, a trace file, or\n"
+              "        [--chunk-size N] [--compress 1]  synthetic:<kind>[,k=v]...\n"
               "  partition <kernel|file> [--banks N] [--block BYTES]\n"
               "            [--cluster none|frequency|affinity]\n"
+              "            [--trace-stream SPEC] [--chunk-size N]\n"
               "  compress <kernel> [--platform vliw|risc]\n"
               "            [--codec diff|zero-run|bdi|dictionary]\n"
               "  encode <kernel> [--gates N]\n"
@@ -159,6 +172,8 @@ int usage() {
 
 MemTrace trace_of(const std::string& source) {
     // A kernel name, or a trace file path for anything containing a dot/slash.
+    if (source.size() >= 5 && source.compare(source.size() - 5, 5, ".mtsc") == 0)
+        return read_trace_stream(source);
     if (source.find('.') != std::string::npos || source.find('/') != std::string::npos)
         return load_trace(source);
     return WorkloadRepository::instance().run(source)->result.data_trace;
@@ -245,17 +260,50 @@ int cmd_cc(const Args& args) {
 }
 
 int cmd_trace(const Args& args) {
-    usage_require(args.positional.size() >= 2, "trace: need <kernel> <file>");
-    const MemTrace& trace =
-        WorkloadRepository::instance().run(args.positional[0])->result.data_trace;
-    save_trace(args.positional[1], trace);
-    std::printf("wrote %zu accesses to %s\n", trace.size(), args.positional[1].c_str());
+    usage_require(args.positional.size() >= 2, "trace: need <source> <file>");
+    const std::string& out = args.positional[1];
+    const std::int64_t chunk = args.get_int("chunk-size", 0);
+    usage_require(chunk >= 0, "trace: --chunk-size expects a non-negative count");
+    // The source is never materialized: a synthetic:... spec of 10^8
+    // accesses streams straight into the output file in O(chunk) memory.
+    const std::unique_ptr<TraceSource> source =
+        WorkloadRepository::instance().open_trace_source(args.positional[0],
+                                                         static_cast<std::size_t>(chunk));
+
+    const auto ends_with = [&](const char* suffix) {
+        const std::string s(suffix);
+        return out.size() >= s.size() && out.compare(out.size() - s.size(), s.size(), s) == 0;
+    };
+    std::string fmt = args.get("trace-format", "");
+    if (fmt.empty()) fmt = ends_with(".mtsc") ? "mtsc" : ends_with(".mtrc") ? "bin" : "text";
+
+    if (fmt == "mtsc" || fmt == "mmap") {
+        StreamWriteOptions opts;
+        if (chunk > 0) opts.chunk_accesses = static_cast<std::size_t>(chunk);
+        opts.compress = args.get_int("compress", 0) != 0;
+        const TraceSummary sum = write_trace_stream(out, *source, opts);
+        std::printf("wrote %llu accesses to %s (mtsc%s)\n",
+                    (unsigned long long)sum.accesses, out.c_str(),
+                    opts.compress ? ", compressed" : "");
+        return 0;
+    }
+    usage_require(fmt == "bin" || fmt == "mtrc" || fmt == "text",
+                  "trace: --trace-format must be mtsc, bin or text");
+    const bool binary = fmt != "text";
+    std::ofstream os(out, binary ? std::ios::binary : std::ios::out);
+    require(os.is_open(), "trace: cannot open '" + out + "'");
+    if (binary) write_trace_binary(os, *source);
+    else write_trace_text(os, *source);
+    require(os.good(), "trace: write failed for '" + out + "'");
+    std::printf("wrote %llu accesses to %s (%s)\n", (unsigned long long)source->size(),
+                out.c_str(), binary ? "binary" : "text");
     return 0;
 }
 
 int cmd_partition(const Args& args, JsonWriter* jw) {
-    usage_require(!args.positional.empty(), "partition: missing kernel or trace file");
-    const MemTrace trace = trace_of(args.positional[0]);
+    const std::string stream_spec = args.get("trace-stream", "");
+    usage_require(!args.positional.empty() || !stream_spec.empty(),
+                  "partition: missing kernel or trace file (or --trace-stream SPEC)");
 
     FlowParams fp;
     fp.block_size = static_cast<std::uint64_t>(args.get_int("block", 256));
@@ -270,13 +318,33 @@ int cmd_partition(const Args& args, JsonWriter* jw) {
     else throw UsageError("partition: unknown clustering method '" + method_name + "'");
 
     if (method == ClusterMethod::None) {
-        const FlowResult result = flow.run(trace, method);
+        FlowResult result;
+        if (!stream_spec.empty()) {
+            const std::int64_t chunk = args.get_int("chunk-size", 0);
+            usage_require(chunk >= 0, "partition: --chunk-size expects a non-negative count");
+            const std::unique_ptr<TraceSource> source =
+                WorkloadRepository::instance().open_trace_source(
+                    stream_spec, static_cast<std::size_t>(chunk));
+            result = flow.run(*source, method);
+        } else {
+            result = flow.run(trace_of(args.positional[0]), method);
+        }
         result.energy.print(std::cout, "partitioned energy:");
         std::printf("banks: %zu\n", result.solution.arch.num_banks());
         if (jw != nullptr) to_json(*jw, result);
         return 0;
     }
-    const FlowComparison cmp = flow.compare(trace, method);
+    FlowComparison cmp;
+    if (!stream_spec.empty()) {
+        const std::int64_t chunk = args.get_int("chunk-size", 0);
+        usage_require(chunk >= 0, "partition: --chunk-size expects a non-negative count");
+        const std::unique_ptr<TraceSource> source =
+            WorkloadRepository::instance().open_trace_source(
+                stream_spec, static_cast<std::size_t>(chunk));
+        cmp = flow.compare(*source, method);
+    } else {
+        cmp = flow.compare(trace_of(args.positional[0]), method);
+    }
     if (jw != nullptr) to_json(*jw, cmp);
     energy_comparison_table({
                                 {"monolithic", cmp.monolithic},

@@ -1,6 +1,7 @@
 #include "cache/hierarchy.hpp"
 
 #include "support/assert.hpp"
+#include "trace/source.hpp"
 
 namespace memopt {
 
@@ -27,6 +28,19 @@ void CacheHierarchy::access(std::uint64_t addr, AccessKind kind) {
     if (r.fill_line) l2_access(*r.fill_line, AccessKind::Read);
     // Write-through traffic from L1 goes into L2 as a word write.
     if (r.write_through_addr) l2_access(*r.write_through_addr, AccessKind::Write);
+}
+
+void CacheHierarchy::replay(TraceSource& source) {
+    source.reset();
+    TraceChunk chunk;
+    while (source.next(chunk)) {
+        for (std::size_t i = 0; i < chunk.size(); ++i) access(chunk.addrs[i], chunk.kinds[i]);
+    }
+}
+
+void CacheHierarchy::replay(const MemTrace& trace) {
+    MaterializedSource source(trace);
+    replay(source);
 }
 
 void CacheHierarchy::flush() {

@@ -12,6 +12,9 @@
 
 namespace memopt {
 
+class MemTrace;
+class TraceSource;
+
 /// Traffic seen by main memory after the hierarchy filters the trace.
 struct MemoryTraffic {
     std::uint64_t line_fetches = 0;   ///< L2-line reads from memory
@@ -27,6 +30,14 @@ public:
 
     /// Simulate one CPU access; updates both levels and the traffic counts.
     void access(std::uint64_t addr, AccessKind kind);
+
+    /// Replay a whole chunked trace stream through the hierarchy (does not
+    /// flush). Sequential and stateful, so chunking is invisible:
+    /// bit-identical to calling access() per trace entry.
+    void replay(TraceSource& source);
+
+    /// Convenience overload over an in-memory trace.
+    void replay(const MemTrace& trace);
 
     /// Flush both levels (dirty L1 lines propagate into L2 first).
     void flush();

@@ -8,6 +8,7 @@
 #include "support/assert.hpp"
 #include "support/json.hpp"
 #include "support/rng.hpp"
+#include "trace/source.hpp"
 
 namespace memopt {
 
@@ -27,11 +28,18 @@ CompressedMemorySim::CompressedMemorySim(const CompressedMemConfig& config,
 CompressedMemReport CompressedMemorySim::run(const MemTrace& trace,
                                              std::span<const std::uint8_t> image,
                                              std::uint64_t image_base) {
-    require(!trace.empty(), "CompressedMemorySim: empty trace");
+    MaterializedSource source(trace);
+    return run(source, image, image_base);
+}
+
+CompressedMemReport CompressedMemorySim::run(TraceSource& source,
+                                             std::span<const std::uint8_t> image,
+                                             std::uint64_t image_base) {
+    require(source.size() > 0, "CompressedMemorySim: empty trace");
 
     const unsigned line_bytes = config_.cache.line_bytes;
     const std::uint64_t span =
-        std::max(ceil_pow2(std::max(trace.max_addr() + 1, image_base + image.size())),
+        std::max(ceil_pow2(std::max(source.summary().max_addr + 1, image_base + image.size())),
                  static_cast<std::uint64_t>(line_bytes));
 
     // Shadow memory: the current value of every byte. It reflects the
@@ -169,25 +177,26 @@ CompressedMemReport CompressedMemorySim::run(const MemTrace& trace,
         cache_pj += cache_sram.write_energy() * static_cast<double>(words_per_line);
     };
 
-    // Columnar replay over the four columns this simulation reads.
-    const auto addrs = trace.addrs();
-    const auto values = trace.values();
-    const auto acc_sizes = trace.sizes();
-    const auto kinds = trace.kinds();
-    for (std::size_t i = 0; i < trace.size(); ++i) {
-        const std::uint64_t addr = addrs[i];
-        const AccessKind kind = kinds[i];
-        require(addr + acc_sizes[i] <= span, "CompressedMemorySim: access outside span");
-        const CacheAccessResult r = cache.access(addr, kind);
-        // The CPU-side cache access itself.
-        cache_pj += kind == AccessKind::Read ? cache_sram.read_energy()
-                                             : cache_sram.write_energy();
-        if (r.writeback_line) do_writeback(*r.writeback_line);
-        if (r.fill_line) do_fill(*r.fill_line);
-        // Update the shadow after the geometric simulation.
-        if (kind == AccessKind::Write) {
-            for (unsigned b = 0; b < acc_sizes[i]; ++b)
-                shadow[addr + b] = static_cast<std::uint8_t>(values[i] >> (8 * b));
+    // Chunked columnar replay over the four columns this simulation reads.
+    // The cache and shadow state carry across chunk boundaries untouched.
+    source.reset();
+    TraceChunk chunk;
+    while (source.next(chunk)) {
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+            const std::uint64_t addr = chunk.addrs[i];
+            const AccessKind kind = chunk.kinds[i];
+            require(addr + chunk.sizes[i] <= span, "CompressedMemorySim: access outside span");
+            const CacheAccessResult r = cache.access(addr, kind);
+            // The CPU-side cache access itself.
+            cache_pj += kind == AccessKind::Read ? cache_sram.read_energy()
+                                                 : cache_sram.write_energy();
+            if (r.writeback_line) do_writeback(*r.writeback_line);
+            if (r.fill_line) do_fill(*r.fill_line);
+            // Update the shadow after the geometric simulation.
+            if (kind == AccessKind::Write) {
+                for (unsigned b = 0; b < chunk.sizes[i]; ++b)
+                    shadow[addr + b] = static_cast<std::uint8_t>(chunk.values[i] >> (8 * b));
+            }
         }
     }
 

@@ -24,6 +24,7 @@
 namespace memopt {
 
 class JsonWriter;
+class TraceSource;
 
 /// Fault injection into compressed lines between write-back and refill.
 struct MemFaultParams {
@@ -95,6 +96,14 @@ public:
     /// (addresses outside it start as zero). Dirty lines are flushed at the
     /// end so both configurations account for all traffic.
     CompressedMemReport run(const MemTrace& trace, std::span<const std::uint8_t> image,
+                            std::uint64_t image_base);
+
+    /// Streaming variant: replay `source` chunk by chunk. The replay is
+    /// sequential (cache + shadow memory are stateful), so results are
+    /// bit-identical to the MemTrace overload, which delegates here. Memory
+    /// is O(chunk + address span) — the shadow memory still covers the
+    /// span, which the source's summary provides without materializing.
+    CompressedMemReport run(TraceSource& source, std::span<const std::uint8_t> image,
                             std::uint64_t image_base);
 
 private:

@@ -1,5 +1,7 @@
 #include "core/flow.hpp"
 
+#include <optional>
+
 #include "cluster/frequency.hpp"
 #include "support/assert.hpp"
 #include "support/json.hpp"
@@ -65,6 +67,22 @@ FlowResult MemoryOptimizationFlow::run(const MemTrace& trace, ClusterMethod meth
         return BlockProfile::from_trace(trace, params_.block_size);
     }();
     return run(profile, method, &trace);
+}
+
+FlowResult MemoryOptimizationFlow::run(TraceSource& source, ClusterMethod method) const {
+    if (method == ClusterMethod::Affinity) {
+        ProfileAffinity pa = [&] {
+            const ScopedTimer scope(profile_timer());
+            return build_profile_and_affinity(source, params_.block_size,
+                                              params_.affinity_window);
+        }();
+        return run_prepared(pa.profile, method, nullptr, &pa.affinity);
+    }
+    const BlockProfile profile = [&] {
+        const ScopedTimer scope(profile_timer());
+        return BlockProfile::from_source(source, params_.block_size);
+    }();
+    return run_prepared(profile, method, nullptr, nullptr);
 }
 
 FlowResult MemoryOptimizationFlow::run(const BlockProfile& profile, ClusterMethod method,
@@ -143,6 +161,35 @@ FlowComparison MemoryOptimizationFlow::compare(const MemTrace& trace,
         std::move(monolithic),
         run(profile, ClusterMethod::None, &trace),
         run(profile, method, &trace),
+    };
+    return cmp;
+}
+
+FlowComparison MemoryOptimizationFlow::compare(TraceSource& source,
+                                               ClusterMethod method) const {
+    require(method != ClusterMethod::None, "compare: pick a real clustering method");
+    static MetricCounter& compares = MetricsRegistry::instance().counter("flow.compares");
+    compares.add();
+    const BlockProfile profile = [&] {
+        const ScopedTimer scope(profile_timer());
+        return BlockProfile::from_source(source, params_.block_size);
+    }();
+    EnergyBreakdown monolithic = [&] {
+        const ScopedTimer scope(evaluate_timer());
+        return evaluate_monolithic(profile, params_.energy);
+    }();
+    // Affinity needs the trace a second time; re-replay the source instead
+    // of materializing. The builder is the same one the MemTrace path uses,
+    // so the comparison stays bit-identical to compare() on the trace.
+    std::optional<AffinityMatrix> built;
+    if (method == ClusterMethod::Affinity) {
+        const ScopedTimer scope(cluster_timer());
+        built.emplace(windowed_affinity(source, profile, params_.affinity_window));
+    }
+    FlowComparison cmp{
+        std::move(monolithic),
+        run_prepared(profile, ClusterMethod::None, nullptr, nullptr),
+        run_prepared(profile, method, nullptr, built ? &*built : nullptr),
     };
     return cmp;
 }

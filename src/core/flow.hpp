@@ -81,6 +81,12 @@ public:
     /// Run one configuration on a trace.
     FlowResult run(const MemTrace& trace, ClusterMethod method) const;
 
+    /// Streaming variant: run one configuration off a chunked trace stream
+    /// in O(chunk) trace memory (the profile and affinity builders replay
+    /// the source; the trace is never materialized). Bit-identical to the
+    /// MemTrace overload on the materialized equivalent.
+    FlowResult run(TraceSource& source, ClusterMethod method) const;
+
     /// Run one configuration on a pre-built profile (no affinity methods:
     /// Affinity requires the trace; throws if requested).
     FlowResult run(const BlockProfile& profile, ClusterMethod method,
@@ -88,6 +94,10 @@ public:
 
     /// Monolithic / partitioned / clustered comparison on one trace.
     FlowComparison compare(const MemTrace& trace,
+                           ClusterMethod method = ClusterMethod::Frequency) const;
+
+    /// Streaming variant of compare() (see the streaming run() overload).
+    FlowComparison compare(TraceSource& source,
                            ClusterMethod method = ClusterMethod::Frequency) const;
 
     /// Batch compare(): evaluate many traces concurrently on the parallel

@@ -30,6 +30,8 @@
 
 namespace memopt {
 
+class TraceSource;
+
 /// A kernel together with its simulation artifacts.
 struct KernelRun {
     std::string name;
@@ -61,6 +63,21 @@ public:
     /// Artifacts for the whole bundled suite, in canonical suite order.
     /// First-touch simulations run concurrently (jobs 0 = default_jobs()).
     std::vector<KernelRunPtr> suite(bool fetch = false, std::size_t jobs = 0);
+
+    /// Open a chunked trace stream for a source spec (the CLI's trace
+    /// syntax). Resolution order:
+    ///
+    ///   "synthetic:<kind>[,k=v]..."  on-the-fly generator, never materialized
+    ///   "*.mtsc"                     memory-mapped stream container
+    ///   "*.mtrc"                     chunked reader over the binary format
+    ///   contains '.' or '/'          text/binary trace file, materialized
+    ///   anything else                bundled kernel (cached artifact; the
+    ///                                source aliases it, no trace copy)
+    ///
+    /// `chunk_accesses == 0` picks the default chunk size. Throws
+    /// memopt::Error for unknown kernels or unreadable/corrupt files.
+    std::unique_ptr<TraceSource> open_trace_source(const std::string& spec,
+                                                   std::size_t chunk_accesses = 0);
 
     /// Number of CPU simulations performed so far — the "suite simulated
     /// exactly once" certificate.

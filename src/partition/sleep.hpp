@@ -26,6 +26,8 @@
 
 namespace memopt {
 
+class TraceSource;
+
 /// Sleep-controller parameters.
 struct SleepParams {
     std::uint64_t idle_cycles = 200;    ///< idle time before a bank sleeps
@@ -57,6 +59,15 @@ struct SleepReport {
 /// cycle stamps (the last access's cycle is the run length).
 SleepReport evaluate_partition_sleepy(const MemoryArchitecture& arch, const AddressMap& map,
                                       const MemTrace& trace,
+                                      const PartitionEnergyParams& energy_params,
+                                      const SleepParams& sleep);
+
+/// Streaming variant: replay `source` chunk by chunk in O(chunk) memory.
+/// The replay is inherently sequential (the sleep controller is a state
+/// machine over cycle time), so chunking changes nothing: results are
+/// bit-identical to the MemTrace overload, which delegates here.
+SleepReport evaluate_partition_sleepy(const MemoryArchitecture& arch, const AddressMap& map,
+                                      TraceSource& source,
                                       const PartitionEnergyParams& energy_params,
                                       const SleepParams& sleep);
 

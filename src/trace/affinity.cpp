@@ -5,25 +5,11 @@
 
 #include "support/assert.hpp"
 #include "support/parallel.hpp"
+#include "trace/source.hpp"
 
 namespace memopt {
 
 namespace {
-
-/// Shards shorter than this replay serially: below ~64Ki accesses the pool
-/// dispatch overhead beats the replay itself.
-constexpr std::size_t kMinAccessesPerShard = std::size_t{1} << 16;
-
-std::size_t replay_shard_count(std::size_t num_accesses, std::size_t jobs) {
-    if (jobs == 0) jobs = default_jobs();
-    if (jobs <= 1 || num_accesses < 2 * kMinAccessesPerShard) return 1;
-    return std::min(jobs, num_accesses / kMinAccessesPerShard);
-}
-
-std::pair<std::size_t, std::size_t> shard_range(std::size_t n, std::size_t shard,
-                                                std::size_t shards) {
-    return {n * shard / shards, n * (shard + 1) / shards};
-}
 
 std::size_t block_of_checked(std::uint64_t addr, unsigned shift, std::size_t num_blocks) {
     const auto block = static_cast<std::size_t>(addr >> shift);
@@ -31,11 +17,11 @@ std::size_t block_of_checked(std::uint64_t addr, unsigned shift, std::size_t num
     return block;
 }
 
-/// Replay addrs[begin, end) through the sliding co-access window, counting
-/// pairs formed with the newest access. The window is pre-warmed from the
-/// `window - 1` accesses preceding `begin`, so a shard's first pairs are
-/// exactly the ones the serial replay forms at the same positions.
-void windowed_pairs(std::span<const std::uint64_t> addrs, std::size_t begin, std::size_t end,
+/// Sliding co-access window over a chunked replay: pre-warmed from the
+/// up-to-`window - 1` addresses preceding the chunk (`context`), so the
+/// pairs a chunk forms are exactly the ones the serial replay forms at the
+/// same positions — chunk boundaries are invisible in the pair multiset.
+void windowed_chunk(const TraceChunk& chunk, std::span<const std::uint64_t> context,
                     std::size_t window, unsigned shift, std::size_t num_blocks,
                     AffinityAccumulator& acc) {
     const std::size_t cap = window - 1;
@@ -47,10 +33,11 @@ void windowed_pairs(std::span<const std::uint64_t> addrs, std::size_t begin, std
         next = (next + 1) % cap;
         if (count < cap) ++count;
     };
-    for (std::size_t i = begin > cap ? begin - cap : 0; i < begin; ++i)
-        push(block_of_checked(addrs[i], shift, num_blocks));
-    for (std::size_t i = begin; i < end; ++i) {
-        const std::size_t block = block_of_checked(addrs[i], shift, num_blocks);
+    const std::size_t skip = context.size() > cap ? context.size() - cap : 0;
+    for (std::size_t i = skip; i < context.size(); ++i)
+        push(block_of_checked(context[i], shift, num_blocks));
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+        const std::size_t block = block_of_checked(chunk.addrs[i], shift, num_blocks);
         for (std::size_t k = 0; k < count; ++k) {
             if (ring[k] != block) acc.add(ring[k], block, 1.0);
         }
@@ -58,52 +45,25 @@ void windowed_pairs(std::span<const std::uint64_t> addrs, std::size_t begin, std
     }
 }
 
-/// Replay addrs[begin, end) counting consecutive-access block transitions.
-/// The predecessor of access `begin` is read from the previous shard's last
-/// access, making the sharded pair set identical to the serial one.
-void transition_pairs(std::span<const std::uint64_t> addrs, std::size_t begin, std::size_t end,
+/// Consecutive-access block transitions over a chunked replay. The
+/// predecessor of the chunk's first access is the last context address
+/// (empty context = start of the trace).
+void transition_chunk(const TraceChunk& chunk, std::span<const std::uint64_t> context,
                       unsigned shift, std::size_t num_blocks, AffinityAccumulator& acc) {
-    if (end == 0) return;
-    std::size_t i = begin;
+    if (chunk.empty()) return;
+    std::size_t i = 0;
     std::size_t prev;
-    if (begin == 0) {
-        prev = block_of_checked(addrs[0], shift, num_blocks);
+    if (context.empty()) {
+        prev = block_of_checked(chunk.addrs[0], shift, num_blocks);
         i = 1;
     } else {
-        prev = block_of_checked(addrs[begin - 1], shift, num_blocks);
+        prev = block_of_checked(context.back(), shift, num_blocks);
     }
-    for (; i < end; ++i) {
-        const std::size_t block = block_of_checked(addrs[i], shift, num_blocks);
+    for (; i < chunk.size(); ++i) {
+        const std::size_t block = block_of_checked(chunk.addrs[i], shift, num_blocks);
         if (block != prev) acc.add(prev, block, 1.0);
         prev = block;
     }
-}
-
-/// Run `shard_fn(begin, end, acc)` over every shard of [0, n) and reduce
-/// the per-shard accumulators in shard order.
-template <typename ShardFn>
-AffinityAccumulator sharded_accumulate(std::size_t n, std::size_t num_blocks, std::size_t jobs,
-                                       const ShardFn& shard_fn) {
-    const std::size_t shards = replay_shard_count(n, jobs);
-    if (shards == 1) {
-        AffinityAccumulator acc(num_blocks);
-        shard_fn(std::size_t{0}, n, acc);
-        return acc;
-    }
-    std::vector<std::size_t> ids(shards);
-    for (std::size_t s = 0; s < shards; ++s) ids[s] = s;
-    std::vector<AffinityAccumulator> parts = parallel_map(
-        ids,
-        [&](std::size_t s) {
-            AffinityAccumulator acc(num_blocks);
-            const auto [begin, end] = shard_range(n, s, shards);
-            shard_fn(begin, end, acc);
-            return acc;
-        },
-        jobs);
-    AffinityAccumulator out = std::move(parts.front());
-    for (std::size_t s = 1; s < parts.size(); ++s) out.merge(parts[s]);
-    return out;
 }
 
 }  // namespace
@@ -325,102 +285,108 @@ AffinityMatrix AffinityAccumulator::finalize(std::size_t dense_max_blocks) {
 
 AffinityMatrix transition_affinity(const MemTrace& trace, const BlockProfile& profile,
                                    std::size_t jobs) {
+    MaterializedSource source(trace);
+    return transition_affinity(source, profile, jobs);
+}
+
+AffinityMatrix transition_affinity(TraceSource& source, const BlockProfile& profile,
+                                   std::size_t jobs) {
     const unsigned shift = log2_exact(profile.block_size());
     const std::size_t num_blocks = profile.num_blocks();
-    const std::span<const std::uint64_t> addrs = trace.addrs();
-    AffinityAccumulator acc = sharded_accumulate(
-        addrs.size(), num_blocks, jobs,
-        [&](std::size_t begin, std::size_t end, AffinityAccumulator& out) {
-            transition_pairs(addrs, begin, end, shift, num_blocks, out);
-        });
+    AffinityAccumulator acc = stream_accumulate(
+        source, 1, jobs, [&] { return AffinityAccumulator(num_blocks); },
+        [&](AffinityAccumulator& out, const TraceChunk& chunk,
+            std::span<const std::uint64_t> context) {
+            transition_chunk(chunk, context, shift, num_blocks, out);
+        },
+        [](AffinityAccumulator& into, const AffinityAccumulator& from) { into.merge(from); });
     return acc.finalize();
 }
 
 AffinityMatrix windowed_affinity(const MemTrace& trace, const BlockProfile& profile,
                                  std::size_t window, std::size_t jobs) {
+    MaterializedSource source(trace);
+    return windowed_affinity(source, profile, window, jobs);
+}
+
+AffinityMatrix windowed_affinity(TraceSource& source, const BlockProfile& profile,
+                                 std::size_t window, std::size_t jobs) {
     require(window >= 2, "windowed_affinity: window must be >= 2");
     const unsigned shift = log2_exact(profile.block_size());
     const std::size_t num_blocks = profile.num_blocks();
-    const std::span<const std::uint64_t> addrs = trace.addrs();
-    AffinityAccumulator acc = sharded_accumulate(
-        addrs.size(), num_blocks, jobs,
-        [&](std::size_t begin, std::size_t end, AffinityAccumulator& out) {
-            windowed_pairs(addrs, begin, end, window, shift, num_blocks, out);
-        });
+    AffinityAccumulator acc = stream_accumulate(
+        source, window - 1, jobs, [&] { return AffinityAccumulator(num_blocks); },
+        [&](AffinityAccumulator& out, const TraceChunk& chunk,
+            std::span<const std::uint64_t> context) {
+            windowed_chunk(chunk, context, window, shift, num_blocks, out);
+        },
+        [](AffinityAccumulator& into, const AffinityAccumulator& from) { into.merge(from); });
     return acc.finalize();
 }
 
 ProfileAffinity build_profile_and_affinity(const MemTrace& trace, std::uint64_t block_size,
                                            std::size_t window, std::size_t jobs) {
-    require(is_pow2(block_size), "build_profile_and_affinity: block_size must be a power of two");
-    require(!trace.empty(), "build_profile_and_affinity: empty trace");
-    require(window >= 2, "build_profile_and_affinity: window must be >= 2");
+    MaterializedSource source(trace);
+    return build_profile_and_affinity(source, block_size, window, jobs);
+}
 
-    const std::uint64_t span = std::max<std::uint64_t>(trace.address_span_pow2(), block_size);
+ProfileAffinity build_profile_and_affinity(TraceSource& source, std::uint64_t block_size,
+                                           std::size_t window, std::size_t jobs) {
+    require(is_pow2(block_size), "build_profile_and_affinity: block_size must be a power of two");
+    require(window >= 2, "build_profile_and_affinity: window must be >= 2");
+    const TraceSummary& sum = source.summary();
+    require(sum.accesses > 0, "build_profile_and_affinity: empty trace");
+
+    const std::uint64_t span = std::max<std::uint64_t>(sum.span_pow2(), block_size);
     const auto num_blocks = static_cast<std::size_t>(span / block_size);
     const unsigned shift = log2_exact(block_size);
-    const std::span<const std::uint64_t> addrs = trace.addrs();
-    const std::span<const AccessKind> kinds = trace.kinds();
-    const std::size_t n = addrs.size();
 
-    // One fused pass per shard: block counts and window pairs together, so
-    // the trace's addr column is streamed once instead of twice.
+    // One fused chunked pass: block counts and window pairs together, so
+    // the trace's addr column is streamed once instead of twice. All sums
+    // are integer-valued and reduced in task order — bit-identical at any
+    // job count and to the unfused builders.
     struct Shard {
         std::vector<std::uint64_t> reads;
         std::vector<std::uint64_t> writes;
         AffinityAccumulator acc;
     };
-    auto run_shard = [&](std::size_t begin, std::size_t end, Shard& shard) {
-        const std::size_t cap = window - 1;
-        std::vector<std::size_t> ring(cap);
-        std::size_t count = 0;
-        std::size_t next = 0;
-        auto push = [&](std::size_t block) {
-            ring[next] = block;
-            next = (next + 1) % cap;
-            if (count < cap) ++count;
-        };
-        for (std::size_t i = begin > cap ? begin - cap : 0; i < begin; ++i)
-            push(block_of_checked(addrs[i], shift, num_blocks));
-        for (std::size_t i = begin; i < end; ++i) {
-            const std::size_t block = block_of_checked(addrs[i], shift, num_blocks);
-            if (kinds[i] == AccessKind::Read) ++shard.reads[block];
-            else ++shard.writes[block];
-            for (std::size_t k = 0; k < count; ++k) {
-                if (ring[k] != block) shard.acc.add(ring[k], block, 1.0);
+    Shard merged = stream_accumulate(
+        source, window - 1, jobs,
+        [&] {
+            return Shard{std::vector<std::uint64_t>(num_blocks, 0),
+                         std::vector<std::uint64_t>(num_blocks, 0),
+                         AffinityAccumulator(num_blocks)};
+        },
+        [&](Shard& shard, const TraceChunk& chunk, std::span<const std::uint64_t> context) {
+            const std::size_t cap = window - 1;
+            std::vector<std::size_t> ring(cap);
+            std::size_t count = 0;
+            std::size_t next = 0;
+            auto push = [&](std::size_t block) {
+                ring[next] = block;
+                next = (next + 1) % cap;
+                if (count < cap) ++count;
+            };
+            const std::size_t skip = context.size() > cap ? context.size() - cap : 0;
+            for (std::size_t i = skip; i < context.size(); ++i)
+                push(block_of_checked(context[i], shift, num_blocks));
+            for (std::size_t i = 0; i < chunk.size(); ++i) {
+                const std::size_t block = block_of_checked(chunk.addrs[i], shift, num_blocks);
+                if (chunk.kinds[i] == AccessKind::Read) ++shard.reads[block];
+                else ++shard.writes[block];
+                for (std::size_t k = 0; k < count; ++k) {
+                    if (ring[k] != block) shard.acc.add(ring[k], block, 1.0);
+                }
+                push(block);
             }
-            push(block);
-        }
-    };
-
-    const std::size_t shards = replay_shard_count(n, jobs);
-    Shard merged{std::vector<std::uint64_t>(num_blocks, 0),
-                 std::vector<std::uint64_t>(num_blocks, 0), AffinityAccumulator(num_blocks)};
-    if (shards == 1) {
-        run_shard(0, n, merged);
-    } else {
-        std::vector<std::size_t> ids(shards);
-        for (std::size_t s = 0; s < shards; ++s) ids[s] = s;
-        std::vector<Shard> parts = parallel_map(
-            ids,
-            [&](std::size_t s) {
-                Shard shard{std::vector<std::uint64_t>(num_blocks, 0),
-                            std::vector<std::uint64_t>(num_blocks, 0),
-                            AffinityAccumulator(num_blocks)};
-                const auto [begin, end] = shard_range(n, s, shards);
-                run_shard(begin, end, shard);
-                return shard;
-            },
-            jobs);
-        merged = std::move(parts.front());
-        for (std::size_t s = 1; s < parts.size(); ++s) {
+        },
+        [&](Shard& into, const Shard& from) {
             for (std::size_t b = 0; b < num_blocks; ++b) {
-                merged.reads[b] += parts[s].reads[b];
-                merged.writes[b] += parts[s].writes[b];
+                into.reads[b] += from.reads[b];
+                into.writes[b] += from.writes[b];
             }
-            merged.acc.merge(parts[s].acc);
-        }
-    }
+            into.acc.merge(from.acc);
+        });
 
     BlockProfile profile(block_size, num_blocks);
     for (std::size_t b = 0; b < num_blocks; ++b) {

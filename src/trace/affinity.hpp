@@ -33,6 +33,8 @@
 
 namespace memopt {
 
+class TraceSource;
+
 /// Block counts at or below this use the dense triangular representation;
 /// larger matrices are finalized to CSR.
 inline constexpr std::size_t kAffinityDenseMaxBlocks = 1024;
@@ -145,12 +147,22 @@ private:
 AffinityMatrix transition_affinity(const MemTrace& trace, const BlockProfile& profile,
                                    std::size_t jobs = 0);
 
+/// Streaming variant: one chunked replay of `source` in O(chunk) memory.
+/// Bit-identical to the MemTrace overload on the materialized equivalent
+/// (which delegates here).
+AffinityMatrix transition_affinity(TraceSource& source, const BlockProfile& profile,
+                                   std::size_t jobs = 0);
+
 /// Build a windowed co-access affinity: for a sliding window of `window`
 /// consecutive accesses, every unordered pair of distinct blocks that
 /// co-occurs in the window gains affinity 1 (counted once per window
 /// position where the pair is formed with the newest access). `window >= 2`.
 /// Sharded like transition_affinity.
 AffinityMatrix windowed_affinity(const MemTrace& trace, const BlockProfile& profile,
+                                 std::size_t window, std::size_t jobs = 0);
+
+/// Streaming variant of windowed_affinity (see transition_affinity).
+AffinityMatrix windowed_affinity(TraceSource& source, const BlockProfile& profile,
                                  std::size_t window, std::size_t jobs = 0);
 
 /// A block profile and its windowed affinity, built together.
@@ -165,6 +177,12 @@ struct ProfileAffinity {
 /// bit-identical outputs — at roughly half the trace-replay cost. Long
 /// traces are sharded over `jobs` threads with an in-order reduction.
 ProfileAffinity build_profile_and_affinity(const MemTrace& trace, std::uint64_t block_size,
+                                           std::size_t window, std::size_t jobs = 0);
+
+/// Streaming variant of the fused builder: one chunked replay of `source`
+/// in O(chunk) memory (the profile geometry comes from the source's
+/// summary). Bit-identical to the MemTrace overload, which delegates here.
+ProfileAffinity build_profile_and_affinity(TraceSource& source, std::uint64_t block_size,
                                            std::size_t window, std::size_t jobs = 0);
 
 }  // namespace memopt

@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "support/string_util.hpp"
+#include "trace/source.hpp"
 
 namespace memopt {
 
@@ -46,18 +47,29 @@ std::uint64_t read_u64(std::istream& is) {
 
 }  // namespace
 
-void write_trace_text(std::ostream& os, const MemTrace& trace) {
-    os << "# memopt trace v1: kind addr size cycle value\n";
-    const auto addrs = trace.addrs();
-    const auto cycles = trace.cycles();
-    const auto values = trace.values();
-    const auto sizes = trace.sizes();
-    const auto kinds = trace.kinds();
-    for (std::size_t i = 0; i < trace.size(); ++i) {
-        os << (kinds[i] == AccessKind::Read ? 'R' : 'W') << " 0x" << std::hex << addrs[i]
-           << std::dec << ' ' << static_cast<unsigned>(sizes[i]) << ' ' << cycles[i] << " 0x"
-           << std::hex << values[i] << std::dec << '\n';
+namespace {
+
+void write_text_chunk(std::ostream& os, const TraceChunk& chunk) {
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+        os << (chunk.kinds[i] == AccessKind::Read ? 'R' : 'W') << " 0x" << std::hex
+           << chunk.addrs[i] << std::dec << ' ' << static_cast<unsigned>(chunk.sizes[i])
+           << ' ' << chunk.cycles[i] << " 0x" << std::hex << chunk.values[i] << std::dec
+           << '\n';
     }
+}
+
+}  // namespace
+
+void write_trace_text(std::ostream& os, const MemTrace& trace) {
+    MaterializedSource source(trace);
+    write_trace_text(os, source);
+}
+
+void write_trace_text(std::ostream& os, TraceSource& source) {
+    os << "# memopt trace v1: kind addr size cycle value\n";
+    source.reset();
+    TraceChunk chunk;
+    while (source.next(chunk)) write_text_chunk(os, chunk);
 }
 
 MemTrace read_trace_text(std::istream& is) {
@@ -112,23 +124,33 @@ MemTrace read_trace_text(std::istream& is) {
 }
 
 void write_trace_binary(std::ostream& os, const MemTrace& trace) {
+    MaterializedSource source(trace);
+    write_trace_binary(os, source);
+}
+
+void write_trace_binary(std::ostream& os, TraceSource& source) {
     os.write(kMagic, 4);
     write_u32(os, kVersion);
-    write_u64(os, trace.size());
-    const auto addrs = trace.addrs();
-    const auto cycles = trace.cycles();
-    const auto values = trace.values();
-    const auto sizes = trace.sizes();
-    const auto kinds = trace.kinds();
-    for (std::size_t i = 0; i < trace.size(); ++i) {
-        write_u64(os, addrs[i]);
-        write_u64(os, cycles[i]);
-        write_u32(os, values[i]);
-        const std::uint32_t meta =
-            static_cast<std::uint32_t>(sizes[i]) |
-            (kinds[i] == AccessKind::Write ? 0x100u : 0u);
-        write_u32(os, meta);
+    write_u64(os, source.size());
+    source.reset();
+    TraceChunk chunk;
+    std::uint64_t written = 0;
+    while (source.next(chunk)) {
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+            write_u64(os, chunk.addrs[i]);
+            write_u64(os, chunk.cycles[i]);
+            write_u32(os, chunk.values[i]);
+            const std::uint32_t meta =
+                static_cast<std::uint32_t>(chunk.sizes[i]) |
+                (chunk.kinds[i] == AccessKind::Write ? 0x100u : 0u);
+            write_u32(os, meta);
+        }
+        written += chunk.size();
     }
+    // The count field was written up front from size(); a source that lied
+    // would leave a malformed stream behind.
+    require(written == source.size(),
+            "write_trace_binary: source delivered a different access count than size()");
 }
 
 MemTrace read_trace_binary(std::istream& is) {

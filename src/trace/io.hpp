@@ -18,8 +18,15 @@
 
 namespace memopt {
 
+class TraceSource;
+
 /// Write `trace` in the text format.
 void write_trace_text(std::ostream& os, const MemTrace& trace);
+
+/// Streaming variant: write a chunked trace stream in the text format
+/// without materializing it (O(chunk) memory). Byte-identical to the
+/// MemTrace overload on the materialized equivalent.
+void write_trace_text(std::ostream& os, TraceSource& source);
 
 /// Parse the text format. Throws memopt::Error with a line number on any
 /// malformed record.
@@ -27,6 +34,9 @@ MemTrace read_trace_text(std::istream& is);
 
 /// Write `trace` in the binary format.
 void write_trace_binary(std::ostream& os, const MemTrace& trace);
+
+/// Streaming variant of the binary writer (see write_trace_text above).
+void write_trace_binary(std::ostream& os, TraceSource& source);
 
 /// Read the binary format. Throws memopt::Error on bad magic/version or a
 /// truncated stream.

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "support/parallel.hpp"
+#include "trace/source.hpp"
 
 namespace memopt {
 
@@ -17,66 +18,51 @@ BlockProfile::BlockProfile(std::uint64_t block_size, std::size_t num_blocks)
 
 BlockProfile BlockProfile::from_trace(const MemTrace& trace, std::uint64_t block_size,
                                       std::size_t jobs) {
+    MaterializedSource source(trace);
+    return from_source(source, block_size, jobs);
+}
+
+BlockProfile BlockProfile::from_source(TraceSource& source, std::uint64_t block_size,
+                                       std::size_t jobs) {
     require(is_pow2(block_size), "from_trace: block_size must be a power of two");
-    require(!trace.empty(), "from_trace: empty trace");
-    const std::uint64_t span = std::max<std::uint64_t>(trace.address_span_pow2(), block_size);
+    const TraceSummary& sum = source.summary();
+    require(sum.accesses > 0, "from_trace: empty trace");
+    const std::uint64_t span = std::max<std::uint64_t>(sum.span_pow2(), block_size);
     const auto num_blocks = static_cast<std::size_t>(span / block_size);
-    BlockProfile profile(block_size, num_blocks);
-
-    // Columnar replay: only the addr and kind columns are streamed. Every
-    // address is inside the span by construction (the span covers
-    // max_addr), so the per-access bounds check of record() is not needed.
-    const std::span<const std::uint64_t> addrs = trace.addrs();
-    const std::span<const AccessKind> kinds = trace.kinds();
     const unsigned shift = log2_exact(block_size);
-    const std::size_t n = addrs.size();
 
-    auto count_range = [&](std::size_t begin, std::size_t end, std::uint64_t* reads,
-                           std::uint64_t* writes) {
-        for (std::size_t i = begin; i < end; ++i) {
-            const auto block = static_cast<std::size_t>(addrs[i] >> shift);
-            if (kinds[i] == AccessKind::Read) ++reads[block];
-            else ++writes[block];
-        }
+    // Chunked columnar replay: only the addr and kind columns are read.
+    // Every address is inside the span by construction (the span covers the
+    // summary's max_addr), so the per-access bounds check of record() is
+    // not needed. Counts are integer sums reduced in task order, so the
+    // result is bit-identical at any job count.
+    struct Counts {
+        std::vector<std::uint64_t> reads, writes;
     };
-
-    constexpr std::size_t kMinAccessesPerShard = std::size_t{1} << 16;
-    std::size_t shards = jobs == 0 ? default_jobs() : jobs;
-    shards = (shards <= 1 || n < 2 * kMinAccessesPerShard)
-                 ? 1
-                 : std::min(shards, n / kMinAccessesPerShard);
-
-    std::vector<std::uint64_t> reads(num_blocks, 0);
-    std::vector<std::uint64_t> writes(num_blocks, 0);
-    if (shards == 1) {
-        count_range(0, n, reads.data(), writes.data());
-    } else {
-        // Shard the replay; reduce per-block integer sums in shard order —
-        // exact, so bit-identical at any job count.
-        std::vector<std::size_t> ids(shards);
-        for (std::size_t s = 0; s < shards; ++s) ids[s] = s;
-        struct Counts {
-            std::vector<std::uint64_t> reads, writes;
-        };
-        std::vector<Counts> parts = parallel_map(
-            ids,
-            [&](std::size_t s) {
-                Counts c{std::vector<std::uint64_t>(num_blocks, 0),
-                         std::vector<std::uint64_t>(num_blocks, 0)};
-                count_range(n * s / shards, n * (s + 1) / shards, c.reads.data(),
-                            c.writes.data());
-                return c;
-            },
-            jobs);
-        for (const Counts& c : parts) {
-            for (std::size_t b = 0; b < num_blocks; ++b) {
-                reads[b] += c.reads[b];
-                writes[b] += c.writes[b];
+    const Counts total = stream_accumulate(
+        source, 0, jobs,
+        [&] {
+            return Counts{std::vector<std::uint64_t>(num_blocks, 0),
+                          std::vector<std::uint64_t>(num_blocks, 0)};
+        },
+        [&](Counts& c, const TraceChunk& chunk, std::span<const std::uint64_t>) {
+            for (std::size_t i = 0; i < chunk.size(); ++i) {
+                const auto block = static_cast<std::size_t>(chunk.addrs[i] >> shift);
+                if (chunk.kinds[i] == AccessKind::Read) ++c.reads[block];
+                else ++c.writes[block];
             }
-        }
-    }
+        },
+        [&](Counts& into, const Counts& from) {
+            for (std::size_t b = 0; b < num_blocks; ++b) {
+                into.reads[b] += from.reads[b];
+                into.writes[b] += from.writes[b];
+            }
+        });
+
+    BlockProfile profile(block_size, num_blocks);
     for (std::size_t b = 0; b < num_blocks; ++b) {
-        if (reads[b] != 0 || writes[b] != 0) profile.add_counts(b, reads[b], writes[b]);
+        if (total.reads[b] != 0 || total.writes[b] != 0)
+            profile.add_counts(b, total.reads[b], total.writes[b]);
     }
     return profile;
 }

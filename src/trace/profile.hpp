@@ -14,6 +14,8 @@
 
 namespace memopt {
 
+class TraceSource;
+
 /// Per-block access counters.
 struct BlockCounts {
     std::uint64_t reads = 0;
@@ -41,6 +43,14 @@ public:
     /// count.
     static BlockProfile from_trace(const MemTrace& trace, std::uint64_t block_size,
                                    std::size_t jobs = 0);
+
+    /// Streaming counterpart of from_trace: one chunked replay of `source`
+    /// in O(chunk) memory (plus the profile itself). The covered span comes
+    /// from the source's summary, so the result is bit-identical to
+    /// from_trace on the materialized equivalent — from_trace itself
+    /// delegates here through a MaterializedSource.
+    static BlockProfile from_source(TraceSource& source, std::uint64_t block_size,
+                                    std::size_t jobs = 0);
 
     std::uint64_t block_size() const { return block_size_; }
     std::size_t num_blocks() const { return counts_.size(); }

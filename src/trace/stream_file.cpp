@@ -1,0 +1,569 @@
+#include "trace/stream_file.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+
+#include "compress/codec.hpp"
+#include "compress/diff_codec.hpp"
+#include "compress/zero_run.hpp"
+#include "support/string_util.hpp"
+
+#if defined(__unix__) || (defined(__APPLE__) && defined(__MACH__))
+#define MEMOPT_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace memopt {
+
+namespace {
+
+constexpr char kStreamMagic[4] = {'M', 'T', 'S', 'C'};
+constexpr char kBlockMagic[4] = {'M', 'T', 'S', 'B'};
+constexpr std::uint32_t kStreamVersion = 1;
+constexpr std::uint32_t kFlagCompressed = 1u;
+constexpr std::size_t kHeaderBytes = 64;
+constexpr std::size_t kBlockHeaderBytes = 24;
+constexpr std::size_t kBytesPerAccess = 22;  // 8 addr + 8 cycle + 4 value + 1 size + 1 kind
+
+// Line codec ids inside a compressed payload.
+constexpr std::uint8_t kLineRaw = 0;
+constexpr std::uint8_t kLineDiff = 1;
+constexpr std::uint8_t kLineZeroRun = 2;
+
+void require_little_endian() {
+    require(std::endian::native == std::endian::little,
+            "stream trace: the '.mtsc' zero-copy layout requires a little-endian host");
+}
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+// Endianness-independent little-endian loads/stores (byte assembly, same
+// technique as the '.mtrc' reader).
+std::uint32_t le_u32(const std::uint8_t* p) {
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+}
+
+std::uint64_t le_u64(const std::uint8_t* p) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+}
+
+void store_u32(std::uint8_t* p, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void store_u64(std::uint8_t* p, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::size_t pad8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+
+// Split the raw column image into 4 KiB lines and store each as the
+// smallest of {raw, diff-coded, zero-run-coded}. Line framing: u8 codec id,
+// u32 stored length, then the stored bytes.
+std::vector<std::uint8_t> compress_image(std::span<const std::uint8_t> image) {
+    const DiffCodec diff;
+    const ZeroRunCodec zero;
+    std::vector<std::uint8_t> out;
+    for (std::size_t off = 0; off < image.size(); off += kMaxLineBytes) {
+        const std::size_t len = std::min(kMaxLineBytes, image.size() - off);
+        const auto line = image.subspan(off, len);
+        const std::vector<std::uint8_t> d = diff.encode(line).bytes();
+        const std::vector<std::uint8_t> z = zero.encode(line).bytes();
+        std::uint8_t id = kLineRaw;
+        std::span<const std::uint8_t> stored = line;
+        if (d.size() < stored.size()) {
+            id = kLineDiff;
+            stored = d;
+        }
+        if (z.size() < stored.size()) {
+            id = kLineZeroRun;
+            stored = z;
+        }
+        std::uint8_t frame[5];
+        frame[0] = id;
+        store_u32(frame + 1, static_cast<std::uint32_t>(stored.size()));
+        out.insert(out.end(), frame, frame + 5);
+        out.insert(out.end(), stored.begin(), stored.end());
+    }
+    return out;
+}
+
+// Inverse of compress_image: decode `payload` into the `image_bytes`-byte
+// raw image at `image`. Throws memopt::Error on any structural corruption.
+void decode_image(std::span<const std::uint8_t> payload, std::uint8_t* image,
+                  std::size_t image_bytes, std::uint32_t block) {
+    const DiffCodec diff;
+    const ZeroRunCodec zero;
+    std::size_t pos = 0;
+    std::size_t out = 0;
+    while (out < image_bytes) {
+        require(pos + 5 <= payload.size(),
+                format("stream trace: block %u: truncated compressed payload", block));
+        const std::uint8_t id = payload[pos];
+        const std::uint32_t len = le_u32(payload.data() + pos + 1);
+        pos += 5;
+        require(len <= payload.size() - pos,
+                format("stream trace: block %u: truncated compressed payload", block));
+        const std::size_t line_bytes = std::min(kMaxLineBytes, image_bytes - out);
+        const auto stored = payload.subspan(pos, len);
+        switch (id) {
+            case kLineRaw:
+                require(len == line_bytes,
+                        format("stream trace: block %u: bad raw line length", block));
+                std::memcpy(image + out, stored.data(), line_bytes);
+                break;
+            case kLineDiff:
+            case kLineZeroRun: {
+                const LineCodec& codec =
+                    id == kLineDiff ? static_cast<const LineCodec&>(diff)
+                                    : static_cast<const LineCodec&>(zero);
+                const std::vector<std::uint8_t> line = codec.decode(stored, line_bytes);
+                require(line.size() == line_bytes,
+                        format("stream trace: block %u: bad decoded line length", block));
+                std::memcpy(image + out, line.data(), line_bytes);
+                break;
+            }
+            default:
+                throw Error(format("stream trace: block %u: unknown line codec id %u", block,
+                                   static_cast<unsigned>(id)));
+        }
+        pos += len;
+        out += line_bytes;
+    }
+    require(pos == payload.size(),
+            format("stream trace: block %u: trailing bytes in compressed payload", block));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Writer
+
+TraceSummary write_trace_stream(const std::string& path, TraceSource& source,
+                                const StreamWriteOptions& opts) {
+    require_little_endian();
+    require(opts.chunk_accesses > 0 && opts.chunk_accesses <= kMaxStreamChunkAccesses,
+            "write_trace_stream: chunk_accesses out of range");
+    const std::uint64_t count = source.size();
+    const std::uint64_t blocks64 =
+        count == 0 ? 0 : (count + opts.chunk_accesses - 1) / opts.chunk_accesses;
+    require(blocks64 <= 0xFFFFFFFFULL, "write_trace_stream: too many blocks");
+    const auto block_count = static_cast<std::uint32_t>(blocks64);
+
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    require(os.is_open(), "write_trace_stream: cannot open '" + path + "'");
+
+    // Header + offset table placeholders; rewritten once the summary and
+    // the block offsets are known.
+    {
+        const std::vector<char> zeros(kHeaderBytes + std::size_t{block_count} * 8, 0);
+        os.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+    }
+    std::uint64_t file_off = kHeaderBytes + std::uint64_t{block_count} * 8;
+    std::vector<std::uint64_t> offsets;
+    offsets.reserve(block_count);
+
+    TraceSummary s;
+    // Staging columns: the source's chunking need not match the container's.
+    std::vector<std::uint64_t> addrs;
+    std::vector<std::uint64_t> cycles;
+    std::vector<std::uint32_t> values;
+    std::vector<std::uint8_t> sizes;
+    std::vector<AccessKind> kinds;
+
+    const auto emit_block = [&](std::size_t n) {
+        const std::size_t raw = n * kBytesPerAccess;
+        std::vector<std::uint8_t> image(pad8(raw), 0);
+        std::memcpy(image.data(), addrs.data(), n * 8);
+        std::memcpy(image.data() + n * 8, cycles.data(), n * 8);
+        std::memcpy(image.data() + n * 16, values.data(), n * 4);
+        std::memcpy(image.data() + n * 20, sizes.data(), n);
+        std::memcpy(image.data() + n * 21, kinds.data(), n);
+
+        std::vector<std::uint8_t> compressed;
+        if (opts.compress) compressed = compress_image(image);
+        const std::uint8_t* payload = opts.compress ? compressed.data() : image.data();
+        const std::size_t payload_bytes = opts.compress ? compressed.size() : raw;
+
+        std::uint8_t head[kBlockHeaderBytes];
+        std::memcpy(head, kBlockMagic, 4);
+        store_u32(head + 4, static_cast<std::uint32_t>(n));
+        store_u64(head + 8, payload_bytes);
+        store_u64(head + 16, fnv1a64(payload, payload_bytes));
+        os.write(reinterpret_cast<const char*>(head), kBlockHeaderBytes);
+        os.write(reinterpret_cast<const char*>(payload),
+                 static_cast<std::streamsize>(payload_bytes));
+        const std::size_t pad = pad8(payload_bytes) - payload_bytes;
+        const char zeros[8] = {0};
+        os.write(zeros, static_cast<std::streamsize>(pad));
+
+        offsets.push_back(file_off);
+        file_off += kBlockHeaderBytes + payload_bytes + pad;
+
+        const auto dn = static_cast<std::ptrdiff_t>(n);
+        addrs.erase(addrs.begin(), addrs.begin() + dn);
+        cycles.erase(cycles.begin(), cycles.begin() + dn);
+        values.erase(values.begin(), values.begin() + dn);
+        sizes.erase(sizes.begin(), sizes.begin() + dn);
+        kinds.erase(kinds.begin(), kinds.begin() + dn);
+    };
+
+    source.reset();
+    TraceChunk c;
+    while (source.next(c)) {
+        for (std::size_t i = 0; i < c.size(); ++i) {
+            const std::uint64_t lo = c.addrs[i];
+            const std::uint64_t hi = lo + c.sizes[i] - 1;
+            if (s.accesses == 0) {
+                s.min_addr = lo;
+                s.max_addr = hi;
+            } else {
+                s.min_addr = std::min(s.min_addr, lo);
+                s.max_addr = std::max(s.max_addr, hi);
+            }
+            if (c.kinds[i] == AccessKind::Read) ++s.reads;
+            else ++s.writes;
+            ++s.accesses;
+        }
+        addrs.insert(addrs.end(), c.addrs.begin(), c.addrs.end());
+        cycles.insert(cycles.end(), c.cycles.begin(), c.cycles.end());
+        values.insert(values.end(), c.values.begin(), c.values.end());
+        sizes.insert(sizes.end(), c.sizes.begin(), c.sizes.end());
+        kinds.insert(kinds.end(), c.kinds.begin(), c.kinds.end());
+        while (addrs.size() >= opts.chunk_accesses) emit_block(opts.chunk_accesses);
+    }
+    if (!addrs.empty()) emit_block(addrs.size());
+
+    require(s.accesses == count,
+            "write_trace_stream: source delivered a different access count than size()");
+    MEMOPT_ASSERT(offsets.size() == block_count);
+
+    std::uint8_t head[kHeaderBytes] = {};
+    std::memcpy(head, kStreamMagic, 4);
+    store_u32(head + 4, kStreamVersion);
+    store_u64(head + 8, count);
+    store_u32(head + 16, static_cast<std::uint32_t>(opts.chunk_accesses));
+    store_u32(head + 20, block_count);
+    store_u32(head + 24, opts.compress ? kFlagCompressed : 0u);
+    store_u64(head + 32, s.min_addr);
+    store_u64(head + 40, s.max_addr);
+    store_u64(head + 48, s.reads);
+    store_u64(head + 56, s.writes);
+    os.seekp(0);
+    os.write(reinterpret_cast<const char*>(head), kHeaderBytes);
+    std::vector<std::uint8_t> table(std::size_t{block_count} * 8);
+    for (std::uint32_t b = 0; b < block_count; ++b) store_u64(table.data() + 8 * b, offsets[b]);
+    os.write(reinterpret_cast<const char*>(table.data()),
+             static_cast<std::streamsize>(table.size()));
+    require(os.good(), "write_trace_stream: write failed for '" + path + "'");
+    return s;
+}
+
+TraceSummary write_trace_stream(const std::string& path, const MemTrace& trace,
+                                const StreamWriteOptions& opts) {
+    MaterializedSource source(trace, std::max<std::size_t>(opts.chunk_accesses, 1));
+    return write_trace_stream(path, source, opts);
+}
+
+MemTrace read_trace_stream(const std::string& path) {
+    MmapBinarySource source(path);
+    MemTrace trace;
+    // The header count was validated against the file size, so it is safe
+    // to size the trace from it.
+    trace.reserve(static_cast<std::size_t>(source.size()));
+    TraceChunk chunk;
+    while (source.next(chunk)) {
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+            MemAccess a;
+            a.addr = chunk.addrs[i];
+            a.cycle = chunk.cycles[i];
+            a.value = chunk.values[i];
+            a.size = chunk.sizes[i];
+            a.kind = chunk.kinds[i];
+            trace.add(a);
+        }
+    }
+    return trace;
+}
+
+// ---------------------------------------------------------------------------
+// MmapBinarySource
+
+MmapBinarySource::MmapBinarySource(const std::string& path) : path_(path) {
+    require_little_endian();
+    open_file();
+    try {
+        parse_header();
+    } catch (...) {
+        // The destructor does not run when the constructor throws.
+        close_file();
+        throw;
+    }
+}
+
+MmapBinarySource::~MmapBinarySource() { close_file(); }
+
+void MmapBinarySource::open_file() {
+#if MEMOPT_HAS_MMAP
+    fd_ = ::open(path_.c_str(), O_RDONLY);
+    require(fd_ >= 0, "stream trace: cannot open '" + path_ + "'");
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0 || st.st_size < 0) {
+        close_file();
+        throw Error("stream trace: cannot stat '" + path_ + "'");
+    }
+    map_bytes_ = static_cast<std::size_t>(st.st_size);
+    if (map_bytes_ > 0) {
+        void* p = ::mmap(nullptr, map_bytes_, PROT_READ, MAP_PRIVATE, fd_, 0);
+        if (p == MAP_FAILED) {
+            close_file();
+            throw Error("stream trace: mmap failed for '" + path_ + "'");
+        }
+        map_ = static_cast<const std::uint8_t*>(p);
+        mapped_ = true;
+    }
+#else
+    // No mmap on this platform: read the whole file (same semantics, not
+    // out-of-core).
+    std::ifstream is(path_, std::ios::binary);
+    require(is.is_open(), "stream trace: cannot open '" + path_ + "'");
+    is.seekg(0, std::ios::end);
+    const std::streamoff end = is.tellg();
+    is.seekg(0, std::ios::beg);
+    fallback_.resize(end > 0 ? static_cast<std::size_t>(end) : 0);
+    if (!fallback_.empty()) {
+        is.read(reinterpret_cast<char*>(fallback_.data()),
+                static_cast<std::streamsize>(fallback_.size()));
+        require(is.gcount() == static_cast<std::streamsize>(fallback_.size()),
+                "stream trace: short read for '" + path_ + "'");
+    }
+    map_ = fallback_.data();
+    map_bytes_ = fallback_.size();
+#endif
+}
+
+void MmapBinarySource::close_file() {
+#if MEMOPT_HAS_MMAP
+    if (mapped_ && map_ != nullptr) {
+        ::munmap(const_cast<std::uint8_t*>(map_), map_bytes_);
+    }
+    if (fd_ >= 0) ::close(fd_);
+#endif
+    map_ = nullptr;
+    mapped_ = false;
+    fd_ = -1;
+}
+
+void MmapBinarySource::parse_header() {
+    require(map_bytes_ >= kHeaderBytes, "stream trace: truncated header");
+    require(std::memcmp(map_, kStreamMagic, 4) == 0, "stream trace: bad magic");
+    require(le_u32(map_ + 4) == kStreamVersion, "stream trace: unsupported version");
+    count_ = le_u64(map_ + 8);
+    chunk_accesses_ = le_u32(map_ + 16);
+    block_count_ = le_u32(map_ + 20);
+    const std::uint32_t flags = le_u32(map_ + 24);
+    require((flags & ~kFlagCompressed) == 0, "stream trace: unknown flags");
+    compressed_ = (flags & kFlagCompressed) != 0;
+    require(chunk_accesses_ > 0 && chunk_accesses_ <= kMaxStreamChunkAccesses,
+            "stream trace: invalid chunk size");
+    const std::uint64_t expected =
+        count_ == 0 ? 0 : (count_ + chunk_accesses_ - 1) / chunk_accesses_;
+    require(block_count_ == expected, "stream trace: block count mismatch");
+    // Bound the table against the file size BEFORE sizing anything from it.
+    require(std::uint64_t{block_count_} * 8 <= map_bytes_ - kHeaderBytes,
+            "stream trace: truncated block table");
+    offset_table_ = map_ + kHeaderBytes;
+    verified_.assign(block_count_, false);
+
+    const std::uint64_t min_addr = le_u64(map_ + 32);
+    const std::uint64_t max_addr = le_u64(map_ + 40);
+    const std::uint64_t reads = le_u64(map_ + 48);
+    require(reads <= count_, "stream trace: corrupt summary counts");
+    const std::uint64_t writes = le_u64(map_ + 56);
+    require(writes == count_ - reads, "stream trace: corrupt summary counts");
+    require(count_ == 0 || min_addr <= max_addr, "stream trace: corrupt summary range");
+    TraceSummary s;
+    s.accesses = count_;
+    s.reads = reads;
+    s.writes = writes;
+    s.min_addr = min_addr;
+    s.max_addr = max_addr;
+    set_summary(s);
+}
+
+std::uint32_t MmapBinarySource::expected_block_accesses(std::uint32_t block) const {
+    if (block + 1 < block_count_) return chunk_accesses_;
+    return static_cast<std::uint32_t>(count_ - std::uint64_t{block} * chunk_accesses_);
+}
+
+const std::uint8_t* MmapBinarySource::validate_block(std::uint32_t block,
+                                                     std::uint32_t* out_count,
+                                                     std::uint64_t* out_payload_bytes) {
+    const std::uint64_t off = le_u64(offset_table_ + std::size_t{block} * 8);
+    const std::uint64_t blocks_start = kHeaderBytes + std::uint64_t{block_count_} * 8;
+    require(off >= blocks_start && off % 8 == 0 && off <= map_bytes_ &&
+                map_bytes_ - off >= kBlockHeaderBytes,
+            format("stream trace: block %u: bad offset", block));
+    const std::uint8_t* p = map_ + off;
+    require(std::memcmp(p, kBlockMagic, 4) == 0,
+            format("stream trace: block %u: bad block magic", block));
+    const std::uint32_t n = le_u32(p + 4);
+    require(n == expected_block_accesses(block),
+            format("stream trace: block %u: access count mismatch", block));
+    const std::uint64_t payload_bytes = le_u64(p + 8);
+    require(payload_bytes <= map_bytes_ - off - kBlockHeaderBytes,
+            format("stream trace: block %u: truncated payload", block));
+    if (!compressed_) {
+        require(payload_bytes == std::uint64_t{n} * kBytesPerAccess,
+                format("stream trace: block %u: bad payload size", block));
+    }
+    if (!verified_[block]) {
+        const std::uint64_t want = le_u64(p + 16);
+        const std::uint64_t got =
+            fnv1a64(p + kBlockHeaderBytes, static_cast<std::size_t>(payload_bytes));
+        require(got == want, format("stream trace: block %u: checksum mismatch", block));
+    }
+    *out_count = n;
+    *out_payload_bytes = payload_bytes;
+    return p + kBlockHeaderBytes;
+}
+
+bool MmapBinarySource::next(TraceChunk& chunk) {
+    if (block_ >= block_count_) {
+        chunk = TraceChunk{};
+        return false;
+    }
+    const std::uint32_t b = block_;
+    std::uint32_t n = 0;
+    std::uint64_t payload_bytes = 0;
+    const std::uint8_t* payload = validate_block(b, &n, &payload_bytes);
+
+    const std::uint8_t* image = payload;
+    if (compressed_) {
+        const std::size_t raw = std::size_t{n} * kBytesPerAccess;
+        // uint64_t backing guarantees the 8-byte alignment the column
+        // reinterpret_casts below rely on.
+        decoded_.assign(pad8(raw) / 8, 0);
+        decode_image({payload, static_cast<std::size_t>(payload_bytes)},
+                     reinterpret_cast<std::uint8_t*>(decoded_.data()), pad8(raw), b);
+        image = reinterpret_cast<const std::uint8_t*>(decoded_.data());
+    }
+
+    const auto* a = reinterpret_cast<const std::uint64_t*>(image);
+    const auto* cy = reinterpret_cast<const std::uint64_t*>(image + std::size_t{n} * 8);
+    const auto* v = reinterpret_cast<const std::uint32_t*>(image + std::size_t{n} * 16);
+    const std::uint8_t* sz = image + std::size_t{n} * 20;
+    const auto* kd = reinterpret_cast<const AccessKind*>(image + std::size_t{n} * 21);
+
+    if (!verified_[b]) {
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const std::uint8_t size = sz[i];
+            const auto kind = static_cast<std::uint8_t>(kd[i]);
+            // Branch first so the happy path never materializes a message.
+            if ((size != 1 && size != 2 && size != 4 && size != 8) || kind > 1) {
+                require(size == 1 || size == 2 || size == 4 || size == 8,
+                        format("stream trace: block %u: record %u has invalid access size %u", b,
+                               i, static_cast<unsigned>(size)));
+                throw Error(
+                    format("stream trace: block %u: record %u has invalid access kind", b, i));
+            }
+        }
+        verified_[b] = true;
+    }
+
+    chunk = TraceChunk(std::uint64_t{b} * chunk_accesses_, std::span(a, n), std::span(cy, n),
+                       std::span(v, n), std::span(sz, n), std::span(kd, n));
+    ++block_;
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// BinaryFileSource
+
+struct BinaryFileSource::Stream {
+    std::ifstream is;
+};
+
+BinaryFileSource::BinaryFileSource(const std::string& path, std::size_t chunk_accesses)
+    : path_(path), chunk_(chunk_accesses), stream_(std::make_shared<Stream>()) {
+    require(chunk_ > 0 && chunk_ <= kMaxStreamChunkAccesses,
+            "BinaryFileSource: chunk_accesses out of range");
+    stream_->is.open(path_, std::ios::binary);
+    require(stream_->is.is_open(), "BinaryFileSource: cannot open '" + path_ + "'");
+    char magic[4];
+    stream_->is.read(magic, 4);
+    require(stream_->is.gcount() == 4 && std::memcmp(magic, "MTRC", 4) == 0,
+            "trace: bad binary magic");
+    std::uint8_t word[8];
+    stream_->is.read(reinterpret_cast<char*>(word), 4);
+    require(stream_->is.gcount() == 4, "trace: truncated binary stream");
+    require(le_u32(word) == 1, "trace: unsupported binary version");
+    stream_->is.read(reinterpret_cast<char*>(word), 8);
+    require(stream_->is.gcount() == 8, "trace: truncated binary stream");
+    count_ = le_u64(word);
+    data_start_ = 16;
+    buffer_.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(chunk_, count_)));
+}
+
+bool BinaryFileSource::next(TraceChunk& chunk) {
+    if (pos_ >= count_) {
+        chunk = TraceChunk{};
+        return false;
+    }
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(chunk_, count_ - pos_));
+    raw_.resize(n * 24);
+    stream_->is.read(reinterpret_cast<char*>(raw_.data()),
+                     static_cast<std::streamsize>(raw_.size()));
+    require(stream_->is.gcount() == static_cast<std::streamsize>(raw_.size()),
+            "trace: truncated binary stream");
+    buffer_.begin(pos_);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t* r = raw_.data() + i * 24;
+        MemAccess a;
+        a.addr = le_u64(r);
+        a.cycle = le_u64(r + 8);
+        a.value = le_u32(r + 16);
+        const std::uint32_t meta = le_u32(r + 20);
+        const std::uint32_t size = meta & 0xFF;
+        // Branch first so the happy path never materializes a message.
+        if ((size != 1 && size != 2 && size != 4 && size != 8) || (meta & ~0x1FFu) != 0) {
+            require(size == 1 || size == 2 || size == 4 || size == 8,
+                    format("trace: record %llu has invalid access size %u",
+                           static_cast<unsigned long long>(pos_ + i), size));
+            throw Error(format("trace: record %llu has unknown meta bits set",
+                               static_cast<unsigned long long>(pos_ + i)));
+        }
+        a.size = static_cast<std::uint8_t>(size);
+        a.kind = (meta & 0x100u) ? AccessKind::Write : AccessKind::Read;
+        buffer_.push_back(a);
+    }
+    pos_ += n;
+    chunk = buffer_.view();
+    return true;
+}
+
+void BinaryFileSource::reset() {
+    stream_->is.clear();
+    stream_->is.seekg(static_cast<std::streamoff>(data_start_));
+    require(stream_->is.good(), "BinaryFileSource: seek failed for '" + path_ + "'");
+    pos_ = 0;
+}
+
+}  // namespace memopt

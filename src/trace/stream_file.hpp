@@ -1,0 +1,151 @@
+// Block-structured streaming trace container (".mtsc") and its readers.
+//
+// The ".mtrc" binary format (trace/io.hpp) is a flat record stream: compact,
+// but reading it means parsing every record. The ".mtsc" container stores
+// the same trace as a sequence of SoA *blocks* so that a reader can
+//  * memory-map the file and hand out zero-copy column spans per block
+//    (MmapBinarySource — the out-of-core replay path), and
+//  * verify integrity per block (checksum + structural validation) instead
+//    of trusting the whole file.
+//
+// On-disk layout (fixed little-endian; the zero-copy reader additionally
+// requires a little-endian host):
+//
+//   header (64 bytes):
+//     "MTSC" magic | u32 version | u64 count | u32 chunk_accesses |
+//     u32 block_count | u32 flags (bit0 = compressed) | u32 reserved |
+//     u64 min_addr | u64 max_addr | u64 reads | u64 writes
+//   block offset table: block_count x u64 absolute file offsets
+//   blocks, each 8-byte aligned:
+//     "MTSB" magic | u32 count | u64 payload_bytes | u64 checksum (FNV-1a
+//     over the stored payload) | payload | zero padding to 8 bytes
+//
+// An uncompressed payload is the raw column image
+//   addrs[count*8] cycles[count*8] values[count*4] sizes[count] kinds[count]
+// whose columns are all naturally aligned relative to the 8-aligned payload
+// start — that is what makes the mmap spans zero-copy. A compressed payload
+// (flags bit0) is the same image cut into 4 KiB lines, each stored as the
+// smallest of {raw, diff codec, zero-run codec}: the in-tree cache-line
+// codecs self-host the container's compression. The header carries the
+// whole-trace summary, so opening a container never needs a summary pass.
+//
+// All header/block fields are validated against the file size BEFORE any
+// allocation they would size (mirroring the ".mtrc" reader hardening): a
+// corrupt count or block table fails with a diagnostic, not in the
+// allocator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/source.hpp"
+
+namespace memopt {
+
+/// Hard cap on accesses per block: bounds every count-driven allocation a
+/// (possibly corrupt) header can request. 16Mi accesses/block is far above
+/// any useful chunking.
+inline constexpr std::size_t kMaxStreamChunkAccesses = std::size_t{1} << 24;
+
+/// Options for write_trace_stream().
+struct StreamWriteOptions {
+    std::size_t chunk_accesses = kDefaultTraceChunk;  ///< accesses per block
+    bool compress = false;  ///< block-compress payloads (diff / zero-run)
+};
+
+/// Stream `source` into a ".mtsc" container at `path` (O(chunk) memory).
+/// Returns the whole-trace summary that was written into the header.
+/// Throws memopt::Error on I/O failure or if the source delivers a
+/// different number of accesses than its size() promised.
+TraceSummary write_trace_stream(const std::string& path, TraceSource& source,
+                                const StreamWriteOptions& opts = {});
+
+/// Convenience wrapper over an in-memory trace.
+TraceSummary write_trace_stream(const std::string& path, const MemTrace& trace,
+                                const StreamWriteOptions& opts = {});
+
+/// Materialize an ".mtsc" container into an in-memory trace (for consumers
+/// that genuinely need random access; replay loops should stream through
+/// MmapBinarySource instead). Throws memopt::Error on corruption.
+MemTrace read_trace_stream(const std::string& path);
+
+/// Memory-mapped reader for the ".mtsc" container. Uncompressed containers
+/// deliver zero-copy chunks straight out of the mapping (stable for the
+/// source's lifetime); compressed containers decode each block into an
+/// owned buffer (valid until the next next()/reset()). Each block is
+/// structurally validated and checksum-verified before its first delivery.
+/// On platforms without mmap the file is read into memory instead (same
+/// semantics, no longer out-of-core).
+class MmapBinarySource final : public TraceSource {
+public:
+    explicit MmapBinarySource(const std::string& path);
+    ~MmapBinarySource() override;
+
+    MmapBinarySource(const MmapBinarySource&) = delete;
+    MmapBinarySource& operator=(const MmapBinarySource&) = delete;
+
+    std::uint64_t size() const override { return count_; }
+    bool stable_chunks() const override { return !compressed_; }
+    bool next(TraceChunk& chunk) override;
+    void reset() override { block_ = 0; }
+
+    bool compressed() const { return compressed_; }
+    std::uint32_t chunk_accesses() const { return chunk_accesses_; }
+    std::uint32_t block_count() const { return block_count_; }
+
+private:
+    void open_file();
+    void close_file();
+    void parse_header();
+    std::uint32_t expected_block_accesses(std::uint32_t block) const;
+    /// Validate block `b`'s header, bounds and checksum; returns the
+    /// payload pointer. Throws memopt::Error on any corruption.
+    const std::uint8_t* validate_block(std::uint32_t block, std::uint32_t* out_count,
+                                       std::uint64_t* out_payload_bytes);
+
+    std::string path_;
+    // Mapping (or fallback buffer when mmap is unavailable).
+    const std::uint8_t* map_ = nullptr;
+    std::size_t map_bytes_ = 0;
+    int fd_ = -1;
+    bool mapped_ = false;
+    std::vector<std::uint8_t> fallback_;
+
+    std::uint64_t count_ = 0;
+    std::uint32_t chunk_accesses_ = 0;
+    std::uint32_t block_count_ = 0;
+    bool compressed_ = false;
+    const std::uint8_t* offset_table_ = nullptr;
+    std::vector<bool> verified_;        ///< per-block one-time validation
+    std::vector<std::uint64_t> decoded_;  ///< 8-aligned decode buffer
+    std::uint32_t block_ = 0;           ///< cursor
+};
+
+/// Streaming reader for the flat ".mtrc" binary format: O(chunk) memory
+/// where load_trace() materializes the whole trace. Record validation is
+/// identical to read_trace_binary().
+class BinaryFileSource final : public TraceSource {
+public:
+    explicit BinaryFileSource(const std::string& path,
+                              std::size_t chunk_accesses = kDefaultTraceChunk);
+
+    std::uint64_t size() const override { return count_; }
+    bool next(TraceChunk& chunk) override;
+    void reset() override;
+
+private:
+    std::string path_;
+    std::vector<std::uint8_t> raw_;  ///< staging bytes for one chunk of records
+    ChunkBuffer buffer_;
+    std::size_t chunk_;
+    std::uint64_t count_ = 0;
+    std::uint64_t pos_ = 0;
+    std::uint64_t data_start_ = 0;
+    // The stream handle lives in the implementation (pimpl-free: a shared
+    // ifstream would drag <fstream> into this header).
+    struct Stream;
+    std::shared_ptr<Stream> stream_;
+};
+
+}  // namespace memopt

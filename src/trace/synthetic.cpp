@@ -1,6 +1,10 @@
 #include "trace/synthetic.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "support/string_util.hpp"
 
 namespace memopt {
 
@@ -24,87 +28,181 @@ std::uint64_t pick_addr(Rng& rng, std::uint64_t base, std::uint64_t len) {
 }
 }  // namespace
 
-MemTrace uniform_trace(const SyntheticParams& p) {
-    validate(p);
-    Rng rng(p.seed);
-    MemTrace t;
-    t.reserve(p.num_accesses);
-    for (std::size_t i = 0; i < p.num_accesses; ++i) {
-        t.add(MemAccess{.addr = pick_addr(rng, 0, p.span_bytes), .cycle = i,
-                        .size = 4, .kind = pick_kind(rng, p.write_fraction)});
+std::string synthetic_kind_name(SyntheticKind kind) {
+    switch (kind) {
+        case SyntheticKind::Uniform: return "uniform";
+        case SyntheticKind::Hotspot: return "hotspot";
+        case SyntheticKind::Stride: return "stride";
+        case SyntheticKind::TwoPhase: return "two-phase";
     }
+    MEMOPT_ASSERT_MSG(false, "invalid SyntheticKind");
+    return "?";
+}
+
+SyntheticSpec parse_synthetic_spec(std::string_view text) {
+    const std::vector<std::string_view> fields = split(text, ',');
+    require(!fields.empty() && !trim(fields[0]).empty(),
+            "synthetic spec: missing kind (uniform|hotspot|stride|two-phase)");
+
+    SyntheticSpec spec;
+    const std::string kind = to_lower(trim(fields[0]));
+    if (kind == "uniform") spec.kind = SyntheticKind::Uniform;
+    else if (kind == "hotspot") spec.kind = SyntheticKind::Hotspot;
+    else if (kind == "stride") spec.kind = SyntheticKind::Stride;
+    else if (kind == "two-phase") spec.kind = SyntheticKind::TwoPhase;
+    else throw Error("synthetic spec: unknown kind '" + kind + "'");
+
+    auto parse_u64 = [](std::string_view key, std::string_view value) {
+        const auto v = parse_int(value);
+        require(v.has_value() && *v >= 0,
+                "synthetic spec: key '" + std::string(key) +
+                    "' expects a non-negative integer");
+        return static_cast<std::uint64_t>(*v);
+    };
+    auto parse_f64 = [](std::string_view key, std::string_view value) {
+        const std::string s(value);
+        char* end = nullptr;
+        const double v = std::strtod(s.c_str(), &end);
+        require(end != s.c_str() && *end == '\0',
+                "synthetic spec: key '" + std::string(key) + "' expects a number");
+        return v;
+    };
+
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+        const std::string_view field = trim(fields[i]);
+        if (field.empty()) continue;
+        const auto eq = field.find('=');
+        require(eq != std::string_view::npos,
+                "synthetic spec: expected key=value, got '" + std::string(field) + "'");
+        const std::string_view key = trim(field.substr(0, eq));
+        const std::string_view value = trim(field.substr(eq + 1));
+        if (key == "span") spec.base.span_bytes = parse_u64(key, value);
+        else if (key == "n") spec.base.num_accesses =
+            static_cast<std::size_t>(parse_u64(key, value));
+        else if (key == "seed") spec.base.seed = parse_u64(key, value);
+        else if (key == "write") spec.base.write_fraction = parse_f64(key, value);
+        else if (key == "hotspots") spec.num_hotspots =
+            static_cast<std::size_t>(parse_u64(key, value));
+        else if (key == "hotspot-bytes") spec.hotspot_bytes = parse_u64(key, value);
+        else if (key == "hot-frac") spec.hot_fraction = parse_f64(key, value);
+        else if (key == "stride") spec.stride = parse_u64(key, value);
+        else throw Error("synthetic spec: unknown key '" + std::string(key) + "'");
+    }
+    return spec;
+}
+
+SyntheticGenerator::SyntheticGenerator(const SyntheticSpec& spec)
+    : spec_(spec), rng_(spec.base.seed), rng_start_(spec.base.seed) {
+    validate(spec_.base);
+    switch (spec_.kind) {
+        case SyntheticKind::Uniform:
+        case SyntheticKind::TwoPhase:
+            break;
+        case SyntheticKind::Hotspot: {
+            require(spec_.num_hotspots > 0,
+                    "scattered_hotspot_trace: need at least one hotspot");
+            require(spec_.hotspot_bytes >= 16, "scattered_hotspot_trace: hotspot too small");
+            require(spec_.hot_fraction >= 0.0 && spec_.hot_fraction <= 1.0,
+                    "scattered_hotspot_trace: hot_fraction must be in [0,1]");
+            require(spec_.num_hotspots * spec_.hotspot_bytes <= spec_.base.span_bytes / 2,
+                    "scattered_hotspot_trace: hotspots must cover at most half of the span");
+            // Spread hotspot bases across the span: divide the span into
+            // num_hotspots slices and place one hotspot at a random offset
+            // inside each slice. This guarantees the hot data is maximally
+            // non-contiguous.
+            const std::uint64_t slice = spec_.base.span_bytes / spec_.num_hotspots;
+            bases_.reserve(spec_.num_hotspots);
+            for (std::size_t h = 0; h < spec_.num_hotspots; ++h) {
+                const std::uint64_t max_off =
+                    slice - std::min<std::uint64_t>(slice, spec_.hotspot_bytes);
+                const std::uint64_t off =
+                    max_off == 0 ? 0 : rng_.next_below(max_off + 1) & ~std::uint64_t{3};
+                bases_.push_back(static_cast<std::uint64_t>(h) * slice + off);
+            }
+            break;
+        }
+        case SyntheticKind::Stride:
+            require(spec_.stride >= 4 && spec_.stride % 4 == 0,
+                    "strided_trace: stride must be a multiple of 4");
+            break;
+    }
+    rng_start_ = rng_;  // replay point: seed mixing + precomputation done
+}
+
+MemAccess SyntheticGenerator::next() {
+    MEMOPT_ASSERT_MSG(!done(), "SyntheticGenerator::next past the end");
+    MemAccess a;
+    a.cycle = i_;
+    a.size = 4;
+    // RNG consumption order per access is part of the format: address draws
+    // first, then the kind draw (matching the evaluation order of the
+    // original materializing generators).
+    switch (spec_.kind) {
+        case SyntheticKind::Uniform:
+            a.addr = pick_addr(rng_, 0, spec_.base.span_bytes);
+            a.kind = pick_kind(rng_, spec_.base.write_fraction);
+            break;
+        case SyntheticKind::Hotspot:
+            if (rng_.next_bool(spec_.hot_fraction)) {
+                // Skewed choice across hotspots (hotspot 0 hottest).
+                const std::uint64_t h = rng_.next_zipf_like(spec_.num_hotspots, 0.35);
+                a.addr = pick_addr(rng_, bases_[h], spec_.hotspot_bytes);
+            } else {
+                a.addr = pick_addr(rng_, 0, spec_.base.span_bytes);
+            }
+            a.kind = pick_kind(rng_, spec_.base.write_fraction);
+            break;
+        case SyntheticKind::Stride:
+            a.addr = stride_addr_;
+            a.kind = pick_kind(rng_, spec_.base.write_fraction);
+            stride_addr_ += spec_.stride;
+            if (stride_addr_ >= spec_.base.span_bytes) stride_addr_ = 0;
+            break;
+        case SyntheticKind::TwoPhase: {
+            const std::uint64_t half = spec_.base.span_bytes / 2;
+            const bool phase2 = i_ >= spec_.base.num_accesses / 2;
+            a.addr = pick_addr(rng_, phase2 ? half : 0, half);
+            a.kind = pick_kind(rng_, spec_.base.write_fraction);
+            break;
+        }
+    }
+    ++i_;
+    return a;
+}
+
+void SyntheticGenerator::reset() {
+    rng_ = rng_start_;
+    i_ = 0;
+    stride_addr_ = 0;
+}
+
+MemTrace materialize_synthetic(const SyntheticSpec& spec) {
+    SyntheticGenerator gen(spec);
+    MemTrace t;
+    t.reserve(static_cast<std::size_t>(gen.size()));
+    while (!gen.done()) t.add(gen.next());
     return t;
+}
+
+MemTrace uniform_trace(const SyntheticParams& p) {
+    return materialize_synthetic(SyntheticSpec{.kind = SyntheticKind::Uniform, .base = p});
 }
 
 MemTrace scattered_hotspot_trace(const HotspotParams& p) {
-    validate(p.base);
-    require(p.num_hotspots > 0, "scattered_hotspot_trace: need at least one hotspot");
-    require(p.hotspot_bytes >= 16, "scattered_hotspot_trace: hotspot too small");
-    require(p.hot_fraction >= 0.0 && p.hot_fraction <= 1.0,
-            "scattered_hotspot_trace: hot_fraction must be in [0,1]");
-    require(p.num_hotspots * p.hotspot_bytes <= p.base.span_bytes / 2,
-            "scattered_hotspot_trace: hotspots must cover at most half of the span");
-
-    Rng rng(p.base.seed);
-
-    // Spread hotspot bases across the span: divide the span into num_hotspots
-    // slices and place one hotspot at a random offset inside each slice. This
-    // guarantees the hot data is maximally non-contiguous.
-    const std::uint64_t slice = p.base.span_bytes / p.num_hotspots;
-    std::vector<std::uint64_t> bases;
-    bases.reserve(p.num_hotspots);
-    for (std::size_t h = 0; h < p.num_hotspots; ++h) {
-        const std::uint64_t max_off = slice - std::min<std::uint64_t>(slice, p.hotspot_bytes);
-        const std::uint64_t off = max_off == 0 ? 0 : rng.next_below(max_off + 1) & ~std::uint64_t{3};
-        bases.push_back(static_cast<std::uint64_t>(h) * slice + off);
-    }
-
-    MemTrace t;
-    t.reserve(p.base.num_accesses);
-    for (std::size_t i = 0; i < p.base.num_accesses; ++i) {
-        std::uint64_t addr = 0;
-        if (rng.next_bool(p.hot_fraction)) {
-            // Skewed choice across hotspots (hotspot 0 hottest).
-            const std::uint64_t h = rng.next_zipf_like(p.num_hotspots, 0.35);
-            addr = pick_addr(rng, bases[h], p.hotspot_bytes);
-        } else {
-            addr = pick_addr(rng, 0, p.base.span_bytes);
-        }
-        t.add(MemAccess{.addr = addr, .cycle = i, .size = 4,
-                        .kind = pick_kind(rng, p.base.write_fraction)});
-    }
-    return t;
+    return materialize_synthetic(SyntheticSpec{.kind = SyntheticKind::Hotspot,
+                                               .base = p.base,
+                                               .num_hotspots = p.num_hotspots,
+                                               .hotspot_bytes = p.hotspot_bytes,
+                                               .hot_fraction = p.hot_fraction});
 }
 
 MemTrace strided_trace(const StrideParams& p) {
-    validate(p.base);
-    require(p.stride >= 4 && p.stride % 4 == 0, "strided_trace: stride must be a multiple of 4");
-    Rng rng(p.base.seed);
-    MemTrace t;
-    t.reserve(p.base.num_accesses);
-    std::uint64_t addr = 0;
-    for (std::size_t i = 0; i < p.base.num_accesses; ++i) {
-        t.add(MemAccess{.addr = addr, .cycle = i, .size = 4,
-                        .kind = pick_kind(rng, p.base.write_fraction)});
-        addr += p.stride;
-        if (addr >= p.base.span_bytes) addr = 0;
-    }
-    return t;
+    return materialize_synthetic(
+        SyntheticSpec{.kind = SyntheticKind::Stride, .base = p.base, .stride = p.stride});
 }
 
 MemTrace two_phase_trace(const SyntheticParams& p) {
-    validate(p);
-    Rng rng(p.seed);
-    MemTrace t;
-    t.reserve(p.num_accesses);
-    const std::uint64_t half = p.span_bytes / 2;
-    for (std::size_t i = 0; i < p.num_accesses; ++i) {
-        const bool phase2 = i >= p.num_accesses / 2;
-        const std::uint64_t base = phase2 ? half : 0;
-        t.add(MemAccess{.addr = pick_addr(rng, base, half), .cycle = i, .size = 4,
-                        .kind = pick_kind(rng, p.write_fraction)});
-    }
-    return t;
+    return materialize_synthetic(SyntheticSpec{.kind = SyntheticKind::TwoPhase, .base = p});
 }
 
 std::vector<std::uint32_t> smooth_word_stream(std::size_t n, double smooth_prob,

@@ -3,9 +3,17 @@
 // These produce address traces with controlled locality properties. They are
 // used by unit tests (known ground truth) and by benches that sweep profile
 // shapes beyond what the bundled AR32 kernels produce.
+//
+// All four trace families share one per-access engine, SyntheticGenerator:
+// the materializing helpers (uniform_trace, ...) and the streaming
+// SyntheticSource (trace/source.hpp) both drain the same generator, so the
+// chunked stream is bit-identical to the materialized trace by
+// construction — the RNG consumption order per access is defined exactly
+// once.
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "support/rng.hpp"
@@ -20,6 +28,69 @@ struct SyntheticParams {
     double write_fraction = 0.3;           ///< probability an access is a write
     std::uint64_t seed = 1;                ///< RNG seed (deterministic output)
 };
+
+/// The four synthetic trace families.
+enum class SyntheticKind {
+    Uniform,   ///< uniform random addresses over the span
+    Hotspot,   ///< scattered hotspots over a uniform background
+    Stride,    ///< sequential strided sweep
+    TwoPhase,  ///< disjoint working sets in two program phases
+};
+
+/// Full description of one synthetic trace: the family plus every knob.
+/// Kind-specific fields are ignored by the other kinds.
+struct SyntheticSpec {
+    SyntheticKind kind = SyntheticKind::Uniform;
+    SyntheticParams base;
+    // Hotspot only:
+    std::size_t num_hotspots = 8;
+    std::uint64_t hotspot_bytes = 1024;
+    double hot_fraction = 0.9;
+    // Stride only:
+    std::uint64_t stride = 4;
+};
+
+/// Display name ("uniform", "hotspot", "stride", "two-phase").
+std::string synthetic_kind_name(SyntheticKind kind);
+
+/// Parse a spec string of the form
+///   "<kind>[,key=value]..."
+/// with kind in {uniform, hotspot, stride, two-phase} and keys
+/// span, n, seed, write, hotspots, hotspot-bytes, hot-frac, stride —
+/// e.g. "uniform,span=16777216,n=100000000,seed=7". Throws memopt::Error
+/// on malformed input. Parameter validity itself is checked when the
+/// generator is constructed.
+SyntheticSpec parse_synthetic_spec(std::string_view text);
+
+/// Per-access synthetic trace engine. The i-th next() call returns access i
+/// of the deterministic sequence the spec describes; reset() rewinds to
+/// access 0. Construction validates the spec (memopt::Error on bad
+/// parameters).
+class SyntheticGenerator {
+public:
+    explicit SyntheticGenerator(const SyntheticSpec& spec);
+
+    const SyntheticSpec& spec() const { return spec_; }
+    std::uint64_t size() const { return spec_.base.num_accesses; }
+    bool done() const { return i_ >= spec_.base.num_accesses; }
+
+    /// Produce the next access. Must not be called when done().
+    MemAccess next();
+
+    /// Rewind to access 0 (the replay is bit-identical).
+    void reset();
+
+private:
+    SyntheticSpec spec_;
+    Rng rng_;
+    Rng rng_start_;  ///< RNG state after construction-time precomputation
+    std::vector<std::uint64_t> bases_;  ///< hotspot base addresses
+    std::size_t i_ = 0;
+    std::uint64_t stride_addr_ = 0;
+};
+
+/// Materialize the full trace a spec describes (drains one generator).
+MemTrace materialize_synthetic(const SyntheticSpec& spec);
 
 /// Uniform random addresses over the span. The least informative profile:
 /// partitioning gains little, clustering gains nothing.

@@ -1,0 +1,642 @@
+// Streaming trace pipeline tests: source equivalence (streamed results are
+// bit-identical to materialized ones at any job count), the .mtsc container
+// round-trip, and corruption handling of the mmap reader.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "compress/diff_codec.hpp"
+#include "compress/memsys.hpp"
+#include "core/flow.hpp"
+#include "core/workload.hpp"
+#include "partition/sleep.hpp"
+#include "support/assert.hpp"
+#include "trace/affinity.hpp"
+#include "trace/io.hpp"
+#include "trace/profile.hpp"
+#include "trace/source.hpp"
+#include "trace/stream_file.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/trace.hpp"
+
+namespace memopt {
+namespace {
+
+std::string temp_path(const std::string& name) {
+    return ::testing::TempDir() + "stream_" + name;
+}
+
+/// Replay a source to completion and materialize the delivered columns.
+MemTrace drain(TraceSource& source) {
+    source.reset();
+    MemTrace out;
+    TraceChunk chunk;
+    std::uint64_t expected_first = 0;
+    while (source.next(chunk)) {
+        EXPECT_EQ(chunk.first_index, expected_first);
+        expected_first += chunk.size();
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+            MemAccess a;
+            a.addr = chunk.addrs[i];
+            a.cycle = chunk.cycles[i];
+            a.value = chunk.values[i];
+            a.size = chunk.sizes[i];
+            a.kind = chunk.kinds[i];
+            out.add(a);
+        }
+    }
+    EXPECT_EQ(expected_first, source.size());
+    return out;
+}
+
+void expect_traces_equal(const MemTrace& a, const MemTrace& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a.addrs()[i], b.addrs()[i]) << "access " << i;
+        ASSERT_EQ(a.cycles()[i], b.cycles()[i]) << "access " << i;
+        ASSERT_EQ(a.values()[i], b.values()[i]) << "access " << i;
+        ASSERT_EQ(a.sizes()[i], b.sizes()[i]) << "access " << i;
+        ASSERT_EQ(a.kinds()[i], b.kinds()[i]) << "access " << i;
+    }
+}
+
+void expect_profiles_equal(const BlockProfile& a, const BlockProfile& b) {
+    ASSERT_EQ(a.block_size(), b.block_size());
+    ASSERT_EQ(a.num_blocks(), b.num_blocks());
+    for (std::size_t i = 0; i < a.num_blocks(); ++i) {
+        EXPECT_EQ(a.counts(i).reads, b.counts(i).reads) << "block " << i;
+        EXPECT_EQ(a.counts(i).writes, b.counts(i).writes) << "block " << i;
+    }
+}
+
+void expect_matrices_equal(const AffinityMatrix& a, const AffinityMatrix& b) {
+    ASSERT_EQ(a.num_blocks(), b.num_blocks());
+    EXPECT_EQ(a.total(), b.total());
+    EXPECT_EQ(a.stored_pairs(), b.stored_pairs());
+    for (std::size_t i = 0; i < a.num_blocks(); ++i) {
+        std::vector<std::pair<std::size_t, double>> ra, rb;
+        a.for_each_neighbor(i, [&](std::size_t j, double w) { ra.emplace_back(j, w); });
+        b.for_each_neighbor(i, [&](std::size_t j, double w) { rb.emplace_back(j, w); });
+        ASSERT_EQ(ra, rb) << "row " << i;
+        EXPECT_EQ(a.at(i, i), b.at(i, i)) << "diagonal " << i;
+    }
+}
+
+void expect_energy_equal(const EnergyBreakdown& a, const EnergyBreakdown& b) {
+    ASSERT_EQ(a.components().size(), b.components().size());
+    for (std::size_t i = 0; i < a.components().size(); ++i) {
+        EXPECT_EQ(a.components()[i].first, b.components()[i].first);
+        EXPECT_EQ(a.components()[i].second, b.components()[i].second)
+            << "component " << a.components()[i].first;
+    }
+}
+
+// A value-carrying trace with mixed sizes for the simulators.
+MemTrace mixed_trace(std::size_t n) {
+    const SyntheticSpec spec =
+        parse_synthetic_spec("hotspot,span=16384,n=" + std::to_string(n) +
+                             ",seed=11,write=0.4,hotspots=3,hotspot-bytes=512,hot-frac=0.85");
+    return materialize_synthetic(spec);
+}
+
+// ------------------------------------------------------------- sources ----
+
+TEST(TraceChunkTest, ColumnMismatchThrows) {
+    const std::vector<std::uint64_t> two64(2), one64(1);
+    const std::vector<std::uint32_t> two32(2);
+    const std::vector<std::uint8_t> two8(2);
+    const std::vector<AccessKind> twok(2, AccessKind::Read);
+    EXPECT_NO_THROW(TraceChunk(0, two64, two64, two32, two8, twok));
+    EXPECT_THROW(TraceChunk(0, two64, one64, two32, two8, twok), Error);
+    EXPECT_THROW(TraceChunk(0, two64, two64, {}, two8, twok), Error);
+}
+
+TEST(MaterializedSourceTest, ChunksAreZeroCopyViews) {
+    const MemTrace trace = mixed_trace(1000);
+    MaterializedSource source(trace, 256);
+    EXPECT_TRUE(source.stable_chunks());
+    TraceChunk chunk;
+    ASSERT_TRUE(source.next(chunk));
+    EXPECT_EQ(chunk.size(), 256u);
+    // Spans point straight into the trace's columns — no copy was made.
+    EXPECT_EQ(chunk.addrs.data(), trace.addrs().data());
+    EXPECT_EQ(chunk.kinds.data(), trace.kinds().data());
+    ASSERT_TRUE(source.next(chunk));
+    EXPECT_EQ(chunk.addrs.data(), trace.addrs().data() + 256);
+    EXPECT_EQ(chunk.first_index, 256u);
+}
+
+TEST(MaterializedSourceTest, SummarySeededFromTraceCounters) {
+    const MemTrace trace = mixed_trace(500);
+    MaterializedSource source(trace);
+    const TraceSummary& sum = source.summary();
+    EXPECT_EQ(sum.accesses, trace.size());
+    EXPECT_EQ(sum.reads, trace.read_count());
+    EXPECT_EQ(sum.writes, trace.write_count());
+    EXPECT_EQ(sum.min_addr, trace.min_addr());
+    EXPECT_EQ(sum.span_pow2(), trace.address_span_pow2());
+}
+
+TEST(MaterializedSourceTest, ZeroChunkSizeThrows) {
+    const MemTrace trace = mixed_trace(10);
+    EXPECT_THROW(MaterializedSource(trace, 0), Error);
+}
+
+TEST(SyntheticSourceTest, MatchesMaterializedGenerator) {
+    const char* specs[] = {
+        "uniform,span=8192,n=5000,seed=3,write=0.25",
+        "hotspot,span=8192,n=5000,seed=4,hotspots=2,hotspot-bytes=256,hot-frac=0.9",
+        "stride,span=8192,n=5000,seed=5,stride=64",
+        "two-phase,span=8192,n=5000,seed=6",
+    };
+    for (const char* text : specs) {
+        const SyntheticSpec spec = parse_synthetic_spec(text);
+        const MemTrace expected = materialize_synthetic(spec);
+        SyntheticSource source(spec, 777);  // chunk size not dividing n
+        EXPECT_EQ(source.size(), expected.size());
+        expect_traces_equal(drain(source), expected);
+        // summary() takes its own pass, then replay restarts cleanly.
+        EXPECT_EQ(source.summary().accesses, expected.size());
+        expect_traces_equal(drain(source), expected);
+    }
+}
+
+TEST(SyntheticSourceTest, ResetMidStreamRestartsExactly) {
+    const SyntheticSpec spec = parse_synthetic_spec("uniform,span=4096,n=3000,seed=9");
+    const MemTrace expected = materialize_synthetic(spec);
+    SyntheticSource source(spec, 100);
+    TraceChunk chunk;
+    ASSERT_TRUE(source.next(chunk));
+    ASSERT_TRUE(source.next(chunk));
+    source.reset();
+    expect_traces_equal(drain(source), expected);
+}
+
+// ------------------------------------------- profile/affinity equality ----
+
+TEST(StreamEquivalenceTest, ProfileMatchesAtAnyJobCount) {
+    // Big enough that the parallel replay actually shards (> 2 * 64Ki).
+    const SyntheticSpec spec = parse_synthetic_spec("uniform,span=65536,n=200000,seed=2");
+    const MemTrace trace = materialize_synthetic(spec);
+    const BlockProfile expected = BlockProfile::from_trace(trace, 256, 1);
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+        SyntheticSource source(spec, 10000);
+        expect_profiles_equal(BlockProfile::from_source(source, 256, jobs), expected);
+        MaterializedSource mat(trace, 10000);
+        expect_profiles_equal(BlockProfile::from_source(mat, 256, jobs), expected);
+    }
+}
+
+TEST(StreamEquivalenceTest, AffinityMatchesAtAnyJobCount) {
+    const SyntheticSpec spec =
+        parse_synthetic_spec("two-phase,span=32768,n=200000,seed=13");
+    const MemTrace trace = materialize_synthetic(spec);
+    const BlockProfile profile = BlockProfile::from_trace(trace, 256, 1);
+    const AffinityMatrix t_expected = transition_affinity(trace, profile, 1);
+    const AffinityMatrix w_expected = windowed_affinity(trace, profile, 16, 1);
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+        SyntheticSource source(spec, 10000);
+        expect_matrices_equal(transition_affinity(source, profile, jobs), t_expected);
+        expect_matrices_equal(windowed_affinity(source, profile, 16, jobs), w_expected);
+    }
+}
+
+TEST(StreamEquivalenceTest, SparseAffinityMatchesOnLargeSpans) {
+    // > 1024 blocks at 256 B forces the CSR representation.
+    const SyntheticSpec spec = parse_synthetic_spec("uniform,span=1048576,n=150000,seed=21");
+    const MemTrace trace = materialize_synthetic(spec);
+    const BlockProfile profile = BlockProfile::from_trace(trace, 256, 1);
+    ASSERT_GT(profile.num_blocks(), kAffinityDenseMaxBlocks);
+    const AffinityMatrix expected = windowed_affinity(trace, profile, 8, 1);
+    ASSERT_TRUE(expected.is_sparse());
+    SyntheticSource source(spec, 10000);
+    expect_matrices_equal(windowed_affinity(source, profile, 8, 8), expected);
+}
+
+TEST(StreamEquivalenceTest, FusedBuilderMatchesTwoPass) {
+    const SyntheticSpec spec =
+        parse_synthetic_spec("hotspot,span=32768,n=200000,seed=5,hotspots=4,"
+                             "hotspot-bytes=1024,hot-frac=0.8");
+    const MemTrace trace = materialize_synthetic(spec);
+    const BlockProfile p_expected = BlockProfile::from_trace(trace, 256, 1);
+    const AffinityMatrix a_expected = windowed_affinity(trace, p_expected, 32, 1);
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+        SyntheticSource source(spec, 10000);
+        const ProfileAffinity pa = build_profile_and_affinity(source, 256, 32, jobs);
+        expect_profiles_equal(pa.profile, p_expected);
+        expect_matrices_equal(pa.affinity, a_expected);
+    }
+}
+
+// ----------------------------------------------- replay-engine equality ----
+
+TEST(StreamEquivalenceTest, SleepReplayMatches) {
+    const MemTrace trace = mixed_trace(50000);
+    FlowParams fp;
+    fp.constraints.max_banks = 4;
+    const FlowResult fr = MemoryOptimizationFlow(fp).run(trace, ClusterMethod::Frequency);
+    const SleepReport expected = evaluate_partition_sleepy(fr.solution.arch, fr.map, trace,
+                                                           fp.energy, SleepParams{});
+    MaterializedSource source(trace, 4096);
+    const SleepReport streamed = evaluate_partition_sleepy(fr.solution.arch, fr.map, source,
+                                                           fp.energy, SleepParams{});
+    expect_energy_equal(streamed.energy, expected.energy);
+    ASSERT_EQ(streamed.banks.size(), expected.banks.size());
+    for (std::size_t i = 0; i < expected.banks.size(); ++i) {
+        EXPECT_EQ(streamed.banks[i].accesses, expected.banks[i].accesses);
+        EXPECT_EQ(streamed.banks[i].wakeups, expected.banks[i].wakeups);
+        EXPECT_EQ(streamed.banks[i].asleep_cycles, expected.banks[i].asleep_cycles);
+    }
+}
+
+TEST(StreamEquivalenceTest, CompressedMemoryReplayMatches) {
+    const MemTrace trace = mixed_trace(30000);
+    const DiffCodec codec;
+    CompressedMemConfig config;
+    config.cache.size_bytes = 1024;
+    config.cache.line_bytes = 32;
+    const CompressedMemReport expected =
+        CompressedMemorySim(config, &codec).run(trace, {}, 0);
+    MaterializedSource source(trace, 4096);
+    const CompressedMemReport streamed =
+        CompressedMemorySim(config, &codec).run(source, {}, 0);
+    EXPECT_EQ(streamed.writeback_lines, expected.writeback_lines);
+    EXPECT_EQ(streamed.fill_lines, expected.fill_lines);
+    EXPECT_EQ(streamed.raw_traffic_bytes, expected.raw_traffic_bytes);
+    EXPECT_EQ(streamed.actual_traffic_bytes, expected.actual_traffic_bytes);
+    expect_energy_equal(streamed.energy, expected.energy);
+}
+
+TEST(StreamEquivalenceTest, CacheHierarchyReplayMatches) {
+    const MemTrace trace = mixed_trace(30000);
+    CacheConfig l1, l2;
+    l1.size_bytes = 512;
+    l1.line_bytes = 16;
+    l2.size_bytes = 4096;
+    l2.line_bytes = 32;
+    CacheHierarchy expected(l1, l2);
+    expected.replay(trace);
+    CacheHierarchy streamed(l1, l2);
+    MaterializedSource source(trace, 4096);
+    streamed.replay(source);
+    EXPECT_EQ(streamed.traffic().line_fetches, expected.traffic().line_fetches);
+    EXPECT_EQ(streamed.traffic().line_writes, expected.traffic().line_writes);
+    EXPECT_EQ(streamed.traffic().word_writes, expected.traffic().word_writes);
+    EXPECT_EQ(streamed.l1().stats().read_hits, expected.l1().stats().read_hits);
+    EXPECT_EQ(streamed.l2().stats().read_misses, expected.l2().stats().read_misses);
+}
+
+TEST(StreamEquivalenceTest, FlowRunAndCompareMatch) {
+    const SyntheticSpec spec =
+        parse_synthetic_spec("hotspot,span=16384,n=120000,seed=7,hotspots=3,"
+                             "hotspot-bytes=512,hot-frac=0.85");
+    const MemTrace trace = materialize_synthetic(spec);
+    FlowParams fp;
+    fp.constraints.max_banks = 4;
+    const MemoryOptimizationFlow flow(fp);
+    for (const ClusterMethod method :
+         {ClusterMethod::None, ClusterMethod::Frequency, ClusterMethod::Affinity}) {
+        const FlowResult expected = flow.run(trace, method);
+        SyntheticSource source(spec, 10000);
+        const FlowResult streamed = flow.run(source, method);
+        expect_energy_equal(streamed.energy, expected.energy);
+        ASSERT_EQ(streamed.solution.arch.num_banks(), expected.solution.arch.num_banks());
+        for (std::size_t b = 0; b < expected.solution.arch.num_banks(); ++b) {
+            EXPECT_EQ(streamed.solution.arch.banks()[b].first_block,
+                      expected.solution.arch.banks()[b].first_block);
+            EXPECT_EQ(streamed.solution.arch.banks()[b].num_blocks,
+                      expected.solution.arch.banks()[b].num_blocks);
+        }
+    }
+    const FlowComparison expected = flow.compare(trace, ClusterMethod::Affinity);
+    SyntheticSource source(spec, 10000);
+    const FlowComparison streamed = flow.compare(source, ClusterMethod::Affinity);
+    expect_energy_equal(streamed.monolithic, expected.monolithic);
+    expect_energy_equal(streamed.partitioned.energy, expected.partitioned.energy);
+    expect_energy_equal(streamed.clustered.energy, expected.clustered.energy);
+}
+
+// ------------------------------------------------------ mtsc container ----
+
+class StreamFileTest : public ::testing::Test {
+protected:
+    void TearDown() override {
+        for (const std::string& path : cleanup_) std::remove(path.c_str());
+    }
+
+    std::string path(const std::string& name) {
+        const std::string p = temp_path(name);
+        cleanup_.push_back(p);
+        return p;
+    }
+
+    std::vector<std::string> cleanup_;
+};
+
+TEST_F(StreamFileTest, RoundTripUncompressed) {
+    const MemTrace trace = mixed_trace(10000);
+    const std::string file = path("plain.mtsc");
+    StreamWriteOptions opts;
+    opts.chunk_accesses = 1024;
+    const TraceSummary written = write_trace_stream(file, trace, opts);
+    EXPECT_EQ(written.accesses, trace.size());
+    EXPECT_EQ(written.reads, trace.read_count());
+
+    MmapBinarySource source(file);
+    EXPECT_FALSE(source.compressed());
+    EXPECT_TRUE(source.stable_chunks());
+    EXPECT_EQ(source.chunk_accesses(), 1024u);
+    EXPECT_EQ(source.size(), trace.size());
+    // The summary comes straight from the header — no replay needed.
+    EXPECT_EQ(source.summary().reads, trace.read_count());
+    EXPECT_EQ(source.summary().max_addr, written.max_addr);
+    expect_traces_equal(drain(source), trace);
+    expect_traces_equal(drain(source), trace);  // second pass after reset
+}
+
+TEST_F(StreamFileTest, RoundTripCompressed) {
+    const MemTrace trace = mixed_trace(10000);
+    const std::string file = path("packed.mtsc");
+    StreamWriteOptions opts;
+    opts.chunk_accesses = 2048;
+    opts.compress = true;
+    write_trace_stream(file, trace, opts);
+    MmapBinarySource source(file);
+    EXPECT_TRUE(source.compressed());
+    EXPECT_FALSE(source.stable_chunks());
+    expect_traces_equal(drain(source), trace);
+    expect_traces_equal(drain(source), trace);
+}
+
+TEST_F(StreamFileTest, CompressionShrinksRegularTraces) {
+    // A strided trace has small address deltas — the diff codec should win.
+    const MemTrace trace =
+        materialize_synthetic(parse_synthetic_spec("stride,span=65536,n=20000,stride=4"));
+    const std::string plain = path("a.mtsc"), packed = path("b.mtsc");
+    write_trace_stream(plain, trace);
+    StreamWriteOptions opts;
+    opts.compress = true;
+    write_trace_stream(packed, trace, opts);
+    std::ifstream pa(plain, std::ios::ate | std::ios::binary);
+    std::ifstream pb(packed, std::ios::ate | std::ios::binary);
+    EXPECT_LT(pb.tellg(), pa.tellg());
+}
+
+TEST_F(StreamFileTest, WriterRechunksArbitrarySourceChunks) {
+    const MemTrace trace = mixed_trace(5000);
+    const std::string file = path("rechunk.mtsc");
+    MaterializedSource source(trace, 333);  // deliberately != container chunk
+    StreamWriteOptions opts;
+    opts.chunk_accesses = 1000;
+    write_trace_stream(file, source, opts);
+    MmapBinarySource reader(file);
+    EXPECT_EQ(reader.chunk_accesses(), 1000u);
+    EXPECT_EQ(reader.block_count(), 5u);
+    expect_traces_equal(drain(reader), trace);
+}
+
+TEST_F(StreamFileTest, ReadTraceStreamMaterializes) {
+    const MemTrace trace = mixed_trace(3000);
+    const std::string file = path("mat.mtsc");
+    write_trace_stream(file, trace);
+    expect_traces_equal(read_trace_stream(file), trace);
+}
+
+TEST_F(StreamFileTest, EmptyTraceRoundTrips) {
+    const std::string file = path("empty.mtsc");
+    write_trace_stream(file, MemTrace{});
+    MmapBinarySource source(file);
+    EXPECT_EQ(source.size(), 0u);
+    TraceChunk chunk;
+    EXPECT_FALSE(source.next(chunk));
+}
+
+TEST_F(StreamFileTest, InvalidWriteOptionsThrow) {
+    const MemTrace trace = mixed_trace(10);
+    StreamWriteOptions opts;
+    opts.chunk_accesses = 0;
+    EXPECT_THROW(write_trace_stream(path("bad0.mtsc"), trace, opts), Error);
+    opts.chunk_accesses = kMaxStreamChunkAccesses + 1;
+    EXPECT_THROW(write_trace_stream(path("bad1.mtsc"), trace, opts), Error);
+}
+
+// ------------------------------------------------- corruption handling ----
+
+// Byte-patching helpers for the fuzz cases below.
+std::vector<std::uint8_t> slurp(const std::string& file) {
+    std::ifstream is(file, std::ios::binary);
+    return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(is)),
+                                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& file, const std::vector<std::uint8_t>& bytes) {
+    std::ofstream os(file, std::ios::binary | std::ios::trunc);
+    os.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+}
+
+void store_le64(std::vector<std::uint8_t>& bytes, std::size_t at, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t test_fnv1a(const std::uint8_t* data, std::size_t n) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+class StreamFuzzTest : public StreamFileTest {
+protected:
+    /// Write a small valid container and return its bytes.
+    std::vector<std::uint8_t> valid_container(const std::string& name,
+                                              std::size_t n = 600,
+                                              std::size_t chunk = 256) {
+        file_ = path(name);
+        StreamWriteOptions opts;
+        opts.chunk_accesses = chunk;
+        write_trace_stream(file_, mixed_trace(n), opts);
+        return slurp(file_);
+    }
+
+    void expect_rejected(const std::vector<std::uint8_t>& bytes) {
+        spit(file_, bytes);
+        EXPECT_THROW(
+            {
+                MmapBinarySource source(file_);
+                TraceChunk chunk;
+                while (source.next(chunk)) {
+                }
+            },
+            Error);
+    }
+
+    std::string file_;
+};
+
+TEST_F(StreamFuzzTest, MissingFileThrows) {
+    EXPECT_THROW(MmapBinarySource("/nonexistent/trace.mtsc"), Error);
+}
+
+TEST_F(StreamFuzzTest, BadMagicRejected) {
+    auto bytes = valid_container("magic.mtsc");
+    bytes[0] ^= 0xFF;
+    expect_rejected(bytes);
+}
+
+TEST_F(StreamFuzzTest, BadVersionRejected) {
+    auto bytes = valid_container("version.mtsc");
+    bytes[4] = 99;
+    expect_rejected(bytes);
+}
+
+TEST_F(StreamFuzzTest, TruncatedHeaderRejected) {
+    auto bytes = valid_container("header.mtsc");
+    bytes.resize(40);
+    expect_rejected(bytes);
+}
+
+TEST_F(StreamFuzzTest, TruncatedOffsetTableRejected) {
+    auto bytes = valid_container("table.mtsc");
+    bytes.resize(64 + 4);  // header intact, table cut short
+    expect_rejected(bytes);
+}
+
+TEST_F(StreamFuzzTest, OversizedBlockCountRejectedWithoutAllocation) {
+    auto bytes = valid_container("count.mtsc");
+    // A lying block count must fail the bounded offset-table check before
+    // it can drive any count-sized allocation.
+    bytes[20] = 0xFF;
+    bytes[21] = 0xFF;
+    bytes[22] = 0xFF;
+    bytes[23] = 0x7F;
+    expect_rejected(bytes);
+}
+
+TEST_F(StreamFuzzTest, ZeroChunkSizeRejected) {
+    auto bytes = valid_container("chunk0.mtsc");
+    bytes[16] = bytes[17] = bytes[18] = bytes[19] = 0;
+    expect_rejected(bytes);
+}
+
+TEST_F(StreamFuzzTest, TruncatedBlockPayloadRejected) {
+    auto bytes = valid_container("payload.mtsc");
+    bytes.resize(bytes.size() - 16);
+    expect_rejected(bytes);
+}
+
+TEST_F(StreamFuzzTest, FlippedPayloadByteFailsChecksum) {
+    auto bytes = valid_container("flip.mtsc");
+    bytes[bytes.size() - 3] ^= 0x40;  // inside the last block's payload
+    expect_rejected(bytes);
+}
+
+TEST_F(StreamFuzzTest, CorruptSummaryCountsRejected) {
+    auto bytes = valid_container("summary.mtsc");
+    store_le64(bytes, 48, 12345);  // reads counter no longer sums with writes
+    expect_rejected(bytes);
+}
+
+TEST_F(StreamFuzzTest, InvalidSizeByteRejectedEvenWithValidChecksum) {
+    // Patch a sizes-column byte to an invalid width and re-seal the block's
+    // checksum: content validation must still reject the record.
+    auto bytes = valid_container("size.mtsc", 100, 256);  // single block
+    const std::size_t block_off = 64 + 8;                 // header + 1-entry table
+    const std::size_t payload_off = block_off + 24;
+    const std::size_t n = 100;
+    const std::size_t sizes_off = payload_off + 8 * n + 8 * n + 4 * n;
+    bytes[sizes_off + 7] = 3;  // not one of 1/2/4/8
+    const std::size_t payload_bytes = bytes.size() - payload_off;
+    store_le64(bytes, block_off + 16, test_fnv1a(bytes.data() + payload_off, payload_bytes));
+    expect_rejected(bytes);
+}
+
+TEST_F(StreamFuzzTest, InvalidKindByteRejectedEvenWithValidChecksum) {
+    auto bytes = valid_container("kind.mtsc", 100, 256);
+    const std::size_t block_off = 64 + 8;
+    const std::size_t payload_off = block_off + 24;
+    const std::size_t n = 100;
+    const std::size_t kinds_off = payload_off + 8 * n + 8 * n + 4 * n + n;
+    bytes[kinds_off + 5] = 7;  // AccessKind is 0 or 1
+    const std::size_t payload_bytes = bytes.size() - payload_off;
+    store_le64(bytes, block_off + 16, test_fnv1a(bytes.data() + payload_off, payload_bytes));
+    expect_rejected(bytes);
+}
+
+// ------------------------------------------------------- mtrc streaming ----
+
+TEST_F(StreamFileTest, BinaryFileSourceMatchesLoadTrace) {
+    const MemTrace trace = mixed_trace(5000);
+    const std::string file = path("stream.mtrc");
+    save_trace(file, trace);
+    BinaryFileSource source(file, 512);
+    EXPECT_EQ(source.size(), trace.size());
+    expect_traces_equal(drain(source), trace);
+    expect_traces_equal(drain(source), trace);  // reset + second pass
+}
+
+TEST_F(StreamFileTest, BinaryFileSourceRejectsCorruptStream) {
+    const MemTrace trace = mixed_trace(100);
+    const std::string file = path("corrupt.mtrc");
+    save_trace(file, trace);
+    auto bytes = slurp(file);
+    bytes.resize(bytes.size() - 10);
+    spit(file, bytes);
+    EXPECT_THROW(
+        {
+            BinaryFileSource source(file);
+            TraceChunk chunk;
+            while (source.next(chunk)) {
+            }
+        },
+        Error);
+}
+
+// --------------------------------------------------- streaming writers ----
+
+TEST_F(StreamFileTest, StreamingTextAndBinaryWritersMatchMaterialized) {
+    const MemTrace trace = mixed_trace(2000);
+    MaterializedSource source(trace, 300);
+    std::ostringstream text_a, text_b, bin_a, bin_b;
+    write_trace_text(text_a, trace);
+    write_trace_text(text_b, source);
+    EXPECT_EQ(text_a.str(), text_b.str());
+    write_trace_binary(bin_a, trace);
+    write_trace_binary(bin_b, source);
+    EXPECT_EQ(bin_a.str(), bin_b.str());
+}
+
+// ------------------------------------------------------ repository specs ----
+
+TEST(WorkloadStreamTest, OpenTraceSourceResolvesSpecs) {
+    WorkloadRepository repo;
+    const auto synth = repo.open_trace_source("synthetic:uniform,span=4096,n=1234,seed=1");
+    EXPECT_EQ(synth->size(), 1234u);
+    EXPECT_THROW(repo.open_trace_source("synthetic:nope"), Error);
+    EXPECT_THROW(repo.open_trace_source("no-such-kernel"), Error);
+    EXPECT_THROW(repo.open_trace_source("/nonexistent/trace.mtrc"), Error);
+}
+
+TEST(WorkloadStreamTest, KernelSourceAliasesCachedArtifact) {
+    WorkloadRepository repo;
+    const auto source = repo.open_trace_source("matmul");
+    const KernelRunPtr artifact = repo.run("matmul");
+    EXPECT_EQ(repo.simulation_count(), 1u);  // one simulation serves both
+    EXPECT_EQ(source->size(), artifact->result.data_trace.size());
+    TraceChunk chunk;
+    ASSERT_TRUE(source->next(chunk));
+    // Chunks alias the repository's trace columns — no copy was made.
+    EXPECT_EQ(chunk.addrs.data(), artifact->result.data_trace.addrs().data());
+}
+
+}  // namespace
+}  // namespace memopt
