@@ -32,10 +32,12 @@ BlockProfile BlockProfile::from_source(TraceSource& source, std::uint64_t block_
     const unsigned shift = log2_exact(block_size);
 
     // Chunked columnar replay: only the addr and kind columns are read.
-    // Every address is inside the span by construction (the span covers the
-    // summary's max_addr), so the per-access bounds check of record() is
-    // not needed. Counts are integer sums reduced in task order, so the
-    // result is bit-identical at any job count.
+    // The span covers the summary's max_addr, and the TraceSource contract
+    // guarantees every delivered access lies within the summary range
+    // (file-backed sources validate each block's addresses against the
+    // header summary before first delivery), so the per-access bounds
+    // check of record() is not needed. Counts are integer sums reduced in
+    // task order, so the result is bit-identical at any job count.
     struct Counts {
         std::vector<std::uint64_t> reads, writes;
     };

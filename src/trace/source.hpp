@@ -114,6 +114,13 @@ public:
     /// Whole-trace statistics. Computed with one streaming pass on first
     /// use (then cached) unless the source seeded them at construction;
     /// bit-identical to the counters of the materialized trace.
+    ///
+    /// Contract: every access the source delivers lies within the
+    /// summary's [min_addr, max_addr] range (inclusive of the access
+    /// width), so consumers may size address-indexed buffers from the
+    /// summary without per-access bounds checks. Sources whose summary
+    /// comes from an external header (e.g. MmapBinarySource) must enforce
+    /// this during content validation rather than trust the payload.
     const TraceSummary& summary();
 
 protected:

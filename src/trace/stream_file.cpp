@@ -284,9 +284,16 @@ TraceSummary write_trace_stream(const std::string& path, const MemTrace& trace,
 MemTrace read_trace_stream(const std::string& path) {
     MmapBinarySource source(path);
     MemTrace trace;
-    // The header count was validated against the file size, so it is safe
-    // to size the trace from it.
-    trace.reserve(static_cast<std::size_t>(source.size()));
+    // The header count is only loosely bounded at open time (a compressed
+    // container's payloads have no fixed per-access size, so a crafted
+    // block_count/chunk pair can still claim up to block_count * 2^24
+    // accesses), so it must not drive an unbounded up-front allocation.
+    // Cap the hint like the '.mtrc' reader (src/trace/io.cpp) and let the
+    // columns grow normally: a lying header fails fast on the first
+    // block's access-count mismatch instead of in the allocator.
+    constexpr std::uint64_t kMaxReserveRecords = std::uint64_t{1} << 16;
+    trace.reserve(
+        static_cast<std::size_t>(std::min<std::uint64_t>(source.size(), kMaxReserveRecords)));
     TraceChunk chunk;
     while (source.next(chunk)) {
         for (std::size_t i = 0; i < chunk.size(); ++i) {
@@ -388,6 +395,15 @@ void MmapBinarySource::parse_header() {
     // Bound the table against the file size BEFORE sizing anything from it.
     require(std::uint64_t{block_count_} * 8 <= map_bytes_ - kHeaderBytes,
             "stream trace: truncated block table");
+    // An uncompressed container stores kBytesPerAccess payload bytes per
+    // access, so the header count is bounded by the file size; reject a
+    // lying count here instead of letting it size downstream allocations.
+    // (Compressed containers have no fixed per-access size — their readers
+    // clamp count-driven reserves instead.)
+    if (!compressed_) {
+        require(count_ <= (map_bytes_ - kHeaderBytes) / kBytesPerAccess,
+                "stream trace: access count exceeds file size");
+    }
     offset_table_ = map_ + kHeaderBytes;
     verified_.assign(block_count_, false);
 
@@ -472,9 +488,19 @@ bool MmapBinarySource::next(TraceChunk& chunk) {
     const auto* kd = reinterpret_cast<const AccessKind*>(image + std::size_t{n} * 21);
 
     if (!verified_[b]) {
+        // Downstream replay loops (e.g. BlockProfile::from_source) size
+        // their buffers from the header summary and then index them by
+        // address without per-access bounds checks, so the one-time
+        // content validation must also pin every record's [addr,
+        // addr+size-1] inside the header's [min_addr, max_addr]. A block
+        // checksum only proves the payload matches its own seal — a
+        // crafted payload with a resealed FNV-1a must fail here with a
+        // block diagnostic, not corrupt memory in a consumer.
+        const TraceSummary& s = summary();
         for (std::uint32_t i = 0; i < n; ++i) {
             const std::uint8_t size = sz[i];
             const auto kind = static_cast<std::uint8_t>(kd[i]);
+            const std::uint64_t addr = a[i];
             // Branch first so the happy path never materializes a message.
             if ((size != 1 && size != 2 && size != 4 && size != 8) || kind > 1) {
                 require(size == 1 || size == 2 || size == 4 || size == 8,
@@ -482,6 +508,12 @@ bool MmapBinarySource::next(TraceChunk& chunk) {
                                i, static_cast<unsigned>(size)));
                 throw Error(
                     format("stream trace: block %u: record %u has invalid access kind", b, i));
+            }
+            if (addr < s.min_addr || addr > s.max_addr ||
+                s.max_addr - addr < std::uint64_t{size} - 1) {
+                throw Error(format(
+                    "stream trace: block %u: record %u address outside the header summary range",
+                    b, i));
             }
         }
         verified_[b] = true;

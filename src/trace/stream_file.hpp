@@ -74,9 +74,12 @@ MemTrace read_trace_stream(const std::string& path);
 /// deliver zero-copy chunks straight out of the mapping (stable for the
 /// source's lifetime); compressed containers decode each block into an
 /// owned buffer (valid until the next next()/reset()). Each block is
-/// structurally validated and checksum-verified before its first delivery.
-/// On platforms without mmap the file is read into memory instead (same
-/// semantics, no longer out-of-core).
+/// structurally validated, checksum-verified, and content-validated
+/// (access sizes, kinds, and address ranges against the header summary)
+/// before its first delivery, upholding the TraceSource summary contract
+/// even for crafted payloads with resealed checksums. On platforms
+/// without mmap the file is read into memory instead (same semantics, no
+/// longer out-of-core).
 class MmapBinarySource final : public TraceSource {
 public:
     explicit MmapBinarySource(const std::string& path);

@@ -460,10 +460,12 @@ protected:
     /// Write a small valid container and return its bytes.
     std::vector<std::uint8_t> valid_container(const std::string& name,
                                               std::size_t n = 600,
-                                              std::size_t chunk = 256) {
+                                              std::size_t chunk = 256,
+                                              bool compress = false) {
         file_ = path(name);
         StreamWriteOptions opts;
         opts.chunk_accesses = chunk;
+        opts.compress = compress;
         write_trace_stream(file_, mixed_trace(n), opts);
         return slurp(file_);
     }
@@ -558,6 +560,66 @@ TEST_F(StreamFuzzTest, InvalidSizeByteRejectedEvenWithValidChecksum) {
     const std::size_t payload_bytes = bytes.size() - payload_off;
     store_le64(bytes, block_off + 16, test_fnv1a(bytes.data() + payload_off, payload_bytes));
     expect_rejected(bytes);
+}
+
+TEST_F(StreamFuzzTest, AddressOutsideSummaryRejectedEvenWithValidChecksum) {
+    // Patch an addrs-column entry past the header's max_addr and re-seal
+    // the block checksum: the per-block FNV-1a only proves the payload
+    // matches its own seal, so content validation must still pin every
+    // address inside the header summary before delivery.
+    auto bytes = valid_container("addr.mtsc", 100, 256);  // single block
+    const std::size_t block_off = 64 + 8;                 // header + 1-entry table
+    const std::size_t payload_off = block_off + 24;
+    store_le64(bytes, payload_off + 8 * 7, std::uint64_t{1} << 60);  // addrs[7]
+    const std::size_t payload_bytes = bytes.size() - payload_off;
+    store_le64(bytes, block_off + 16, test_fnv1a(bytes.data() + payload_off, payload_bytes));
+    expect_rejected(bytes);
+}
+
+TEST_F(StreamFuzzTest, ProfileFromPatchedAddressesFailsWithDiagnostic) {
+    // BlockProfile::from_source sizes its count arrays from the source
+    // summary and indexes them without per-access bounds checks; a payload
+    // whose addresses exceed the header summary must surface as a block
+    // diagnostic from the source, never as an out-of-bounds write.
+    auto bytes = valid_container("addrprof.mtsc", 100, 256);
+    const std::size_t block_off = 64 + 8;
+    const std::size_t payload_off = block_off + 24;
+    store_le64(bytes, payload_off + 8 * 3, std::uint64_t{1} << 44);
+    const std::size_t payload_bytes = bytes.size() - payload_off;
+    store_le64(bytes, block_off + 16, test_fnv1a(bytes.data() + payload_off, payload_bytes));
+    spit(file_, bytes);
+    MmapBinarySource source(file_);
+    EXPECT_THROW(BlockProfile::from_source(source, 64, 1), Error);
+}
+
+TEST_F(StreamFuzzTest, HugeHeaderCountRejectedAgainstFileSize) {
+    // Claim block_count * 2^24 accesses with a matching chunk size: the
+    // block-count/offset-table checks all pass, but an uncompressed
+    // container cannot hold 22 bytes per claimed access, so the open-time
+    // file-size bound must reject it before any count-sized allocation.
+    auto bytes = valid_container("hugecount.mtsc", 600, 256);  // 3 blocks
+    const std::uint64_t count = std::uint64_t{3} << 24;
+    store_le64(bytes, 8, count);
+    // chunk_accesses = 2^24 (u32 at 16) and block_count = 3 (u32 at 20).
+    store_le64(bytes, 16, (std::uint64_t{3} << 32) | (std::uint64_t{1} << 24));
+    store_le64(bytes, 48, count);  // reads
+    store_le64(bytes, 56, 0);      // writes
+    expect_rejected(bytes);
+}
+
+TEST_F(StreamFuzzTest, HugeHeaderCountCompressedFailsFastOnFirstBlock) {
+    // A compressed container has no fixed per-access payload size, so the
+    // lying count survives the open-time checks; read_trace_stream must
+    // clamp its count-driven reserve and fail on the first block's
+    // access-count mismatch rather than allocate from the header.
+    auto bytes = valid_container("hugecountz.mtsc", 600, 256, /*compress=*/true);
+    const std::uint64_t count = std::uint64_t{3} << 24;
+    store_le64(bytes, 8, count);
+    store_le64(bytes, 16, (std::uint64_t{3} << 32) | (std::uint64_t{1} << 24));
+    store_le64(bytes, 48, count);
+    store_le64(bytes, 56, 0);
+    spit(file_, bytes);
+    EXPECT_THROW(read_trace_stream(file_), Error);
 }
 
 TEST_F(StreamFuzzTest, InvalidKindByteRejectedEvenWithValidChecksum) {
