@@ -13,6 +13,7 @@
 
 #include "bench_util.hpp"
 #include "cache/cache.hpp"
+#include "cache/mcache.hpp"
 #include "cluster/affinity_cluster.hpp"
 #include "cluster/frequency.hpp"
 #include "trace/affinity.hpp"
@@ -119,6 +120,33 @@ void BM_CacheSimulation(benchmark::State& state) {
         benchmark::Counter(static_cast<double>(accesses), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CacheSimulation);
+
+void BM_CoherentReplay(benchmark::State& state) {
+    // The coherent multi-core machine end to end: 4 private L1s, 4 shared
+    // L2 banks, MSI directory, round-robin replay of a producer-consumer
+    // workload (heavy sharing, so the protocol paths are on the hot path).
+    SyntheticSpec spec;
+    spec.kind = SyntheticKind::ProducerConsumer;
+    spec.base.span_bytes = 64 * 1024;
+    spec.base.num_accesses = 25000;
+    spec.base.seed = 7;
+    spec.cores = 4;
+    spec.shared_bytes = 4096;
+    spec.shared_fraction = 0.5;
+    std::uint64_t accesses = 0;
+    for (auto _ : state) {
+        MultiCoreCacheSystem system(MultiCoreConfig{});
+        std::vector<std::unique_ptr<TraceSource>> sources;
+        for (const SyntheticSpec& core_spec : per_core_specs(spec))
+            sources.push_back(std::make_unique<SyntheticSource>(core_spec));
+        system.replay(sources);
+        accesses += system.l1_totals().accesses();
+        benchmark::DoNotOptimize(system.directory().stats().invalidations);
+    }
+    state.counters["accesses/s"] =
+        benchmark::Counter(static_cast<double>(accesses), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CoherentReplay);
 
 // The tentpole paths of the trace-pipeline overhaul: single-pass windowed
 // affinity over the SoA columns (sharded when the trace is long enough),

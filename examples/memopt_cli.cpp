@@ -48,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/mcache.hpp"
 #include "compress/bdi_codec.hpp"
 #include "compress/dictionary_codec.hpp"
 #include "compress/diff_codec.hpp"
@@ -140,6 +141,10 @@ int usage() {
     std::puts("usage: memopt_cli <command> [args]\n"
               "  kernels                                list bundled kernels\n"
               "  run <kernel>                           simulate and print stats\n"
+              "  run <kernel|file|synthetic:...> --cores N\n"
+              "            [--l2-banks N] [--chunk-size N]\n"
+              "                                         N-core coherent cache replay\n"
+              "                                         (private L1s + banked L2 + MSI)\n"
               "  disasm <kernel>                        annotated program listing\n"
               "  cc <file.arc> [--emit asm|run]         compile arclang and emit/run\n"
               "  trace <source> <file>                  dump a data trace; source is a\n"
@@ -185,8 +190,56 @@ int cmd_kernels() {
     return 0;
 }
 
+// `run ... --cores N`: replay one trace stream per core through the
+// coherent multi-core cache system and report per-core stats, coherence
+// traffic, and the energy breakdown.
+int cmd_run_cores(const Args& args, JsonWriter* jw) {
+    const std::string spec = args.positional[0];
+    const std::int64_t cores = args.get_int("cores", 4);
+    usage_require(cores >= 1 && cores <= 64, "run: --cores expects a count in [1, 64]");
+    const std::int64_t banks = args.get_int("l2-banks", 4);
+    usage_require(banks >= 1, "run: --l2-banks expects a positive count");
+    const std::int64_t chunk = args.get_int("chunk-size", 0);
+    usage_require(chunk >= 0, "run: --chunk-size expects a non-negative count");
+
+    MultiCoreConfig config;
+    config.cores = static_cast<unsigned>(cores);
+    config.l2_banks = static_cast<unsigned>(banks);
+    MultiCoreCacheSystem system(config);
+    const std::vector<std::unique_ptr<TraceSource>> sources =
+        WorkloadRepository::instance().open_core_trace_sources(
+            spec, config.cores, static_cast<std::size_t>(chunk));
+    system.replay(sources);
+    system.flush();
+
+    std::printf("cores        : %u  (L2 banks: %u)\n", config.cores, config.l2_banks);
+    for (unsigned c = 0; c < system.cores(); ++c) {
+        const CacheStats& s = system.l1(c).stats();
+        std::printf("  core %-2u L1 : %8llu R / %8llu W, miss rate %5.2f%%\n", c,
+                    (unsigned long long)(s.read_hits + s.read_misses),
+                    (unsigned long long)(s.write_hits + s.write_misses),
+                    100.0 * s.miss_rate());
+    }
+    const CacheStats l2 = system.l2_totals();
+    std::printf("L2 (all banks): %llu accesses, miss rate %5.2f%%\n",
+                (unsigned long long)l2.accesses(), 100.0 * l2.miss_rate());
+    const CoherenceStats& cs = system.directory().stats();
+    std::printf("coherence    : %llu invalidations, %llu downgrades, %llu upgrades,\n"
+                "               %llu owner flushes (%llu messages, %llu dirty transfers)\n",
+                (unsigned long long)cs.invalidations, (unsigned long long)cs.downgrades,
+                (unsigned long long)cs.upgrades, (unsigned long long)cs.owner_flushes,
+                (unsigned long long)cs.messages(), (unsigned long long)cs.dirty_transfers());
+    std::printf("memory       : %llu line fetches, %llu line writes\n",
+                (unsigned long long)system.traffic().line_fetches,
+                (unsigned long long)system.traffic().line_writes);
+    system.energy().print(std::cout, "energy:");
+    if (jw != nullptr) to_json(*jw, system);
+    return 0;
+}
+
 int cmd_run(const Args& args, JsonWriter* jw) {
     usage_require(!args.positional.empty(), "run: missing kernel name");
+    if (args.options.count("cores") != 0) return cmd_run_cores(args, jw);
     const KernelRunPtr artifact =
         WorkloadRepository::instance().run(args.positional[0], /*fetch=*/true);
     const AssembledProgram& program = artifact->program;

@@ -1,6 +1,7 @@
 #include "cache/cache.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "support/assert.hpp"
 
@@ -33,14 +34,56 @@ std::uint64_t CacheModel::tag_of(std::uint64_t addr) const {
     return addr / config_.line_bytes / sets_;
 }
 
-bool CacheModel::contains(std::uint64_t addr) const {
+CacheModel::Way* CacheModel::find_way(std::uint64_t addr) {
     const std::size_t set = set_of(addr);
     const std::uint64_t tag = tag_of(addr);
-    const Way* base = &ways_[set * config_.associativity];
+    Way* base = &ways_[set * config_.associativity];
     for (unsigned w = 0; w < config_.associativity; ++w) {
-        if (base[w].valid && base[w].tag == tag) return true;
+        if (base[w].valid && base[w].tag == tag) return &base[w];
     }
-    return false;
+    return nullptr;
+}
+
+const CacheModel::Way* CacheModel::find_way(std::uint64_t addr) const {
+    return const_cast<CacheModel*>(this)->find_way(addr);
+}
+
+bool CacheModel::contains(std::uint64_t addr) const { return find_way(addr) != nullptr; }
+
+std::optional<bool> CacheModel::probe(std::uint64_t addr) const {
+    const Way* way = find_way(addr);
+    if (way == nullptr) return std::nullopt;
+    return way->dirty;
+}
+
+std::optional<bool> CacheModel::invalidate(std::uint64_t addr) {
+    Way* way = find_way(addr);
+    if (way == nullptr) return std::nullopt;
+    const bool dirty = way->dirty;
+    *way = Way{};
+    return dirty;
+}
+
+bool CacheModel::downgrade(std::uint64_t addr) {
+    Way* way = find_way(addr);
+    if (way == nullptr || !way->dirty) return false;
+    way->dirty = false;
+    return true;
+}
+
+std::size_t CacheModel::resident_lines() const {
+    std::size_t count = 0;
+    for (const Way& way : ways_)
+        if (way.valid) ++count;
+    return count;
+}
+
+std::uint64_t CacheModel::next_rand() {
+    // xorshift64*: deterministic across runs, uniform enough here.
+    rng_state_ ^= rng_state_ >> 12;
+    rng_state_ ^= rng_state_ << 25;
+    rng_state_ ^= rng_state_ >> 27;
+    return rng_state_ * 0x2545F4914F6CDD1DULL;
 }
 
 CacheAccessResult CacheModel::access(std::uint64_t addr, AccessKind kind) {
@@ -92,11 +135,20 @@ CacheAccessResult CacheModel::access(std::uint64_t addr, AccessKind kind) {
     }
     if (victim == nullptr) {
         if (config_.replacement == Replacement::Random) {
-            // xorshift64*: deterministic across runs, uniform enough here.
-            rng_state_ ^= rng_state_ >> 12;
-            rng_state_ ^= rng_state_ << 25;
-            rng_state_ ^= rng_state_ >> 27;
-            victim = &base[(rng_state_ * 0x2545F4914F6CDD1DULL) % config_.associativity];
+            // Unbiased victim index: draw the next power-of-two's worth of
+            // bits and reject values >= associativity (expected < 2 draws).
+            // A plain `% associativity` would favour low way indices for
+            // non-power-of-two way counts (bias up to 1/ways). Today's
+            // geometry checks (pow2 size and line) force a pow2 way count,
+            // where the mask never rejects and this reduces to the old
+            // modulo — but the reduction stays exact if that ever relaxes.
+            const std::uint64_t mask =
+                std::bit_ceil<std::uint64_t>(config_.associativity) - 1;
+            std::uint64_t idx;
+            do {
+                idx = next_rand() & mask;
+            } while (idx >= config_.associativity);
+            victim = &base[idx];
         } else {  // Lru and Fifo both evict the smallest age stamp
             victim = base;
             for (unsigned w = 1; w < config_.associativity; ++w) {
@@ -105,12 +157,15 @@ CacheAccessResult CacheModel::access(std::uint64_t addr, AccessKind kind) {
         }
     }
 
-    if (victim->valid && victim->dirty) {
-        ++stats_.writebacks;
+    if (victim->valid) {
         // Reconstruct the victim's base address from tag and set.
         const std::uint64_t victim_addr =
             (victim->tag * sets_ + set) * config_.line_bytes;
-        result.writeback_line = victim_addr;
+        result.evicted_line = victim_addr;
+        if (victim->dirty) {
+            ++stats_.writebacks;
+            result.writeback_line = victim_addr;
+        }
     }
 
     ++stats_.fills;
@@ -142,6 +197,10 @@ void CacheModel::reset() {
     std::fill(ways_.begin(), ways_.end(), Way{});
     tick_ = 0;
     stats_ = CacheStats{};
+    // Reseed the Random-replacement RNG: without this a replay after
+    // reset() diverges from a fresh model as soon as a random victim is
+    // drawn (the stream would continue where the previous run left off).
+    rng_state_ = kRngSeed;
 }
 
 }  // namespace memopt

@@ -48,6 +48,8 @@ struct CacheStats {
     std::uint64_t writebacks = 0;      ///< dirty lines evicted to the next level
     std::uint64_t write_throughs = 0;  ///< accesses forwarded by write-through
 
+    bool operator==(const CacheStats&) const = default;
+
     std::uint64_t accesses() const {
         return read_hits + read_misses + write_hits + write_misses;
     }
@@ -63,6 +65,10 @@ struct CacheAccessResult {
     std::optional<std::uint64_t> fill_line;       ///< line base addr fetched
     std::optional<std::uint64_t> writeback_line;  ///< dirty line base addr evicted
     std::optional<std::uint64_t> write_through_addr;  ///< word written through
+    /// Base address of any valid line the fill replaced, dirty or clean.
+    /// writeback_line covers only the dirty case; coherence controllers
+    /// need clean replacements too to keep sharer sets precise.
+    std::optional<std::uint64_t> evicted_line;
 };
 
 /// The cache model (true LRU replacement).
@@ -84,7 +90,28 @@ public:
     /// True if the line containing `addr` is resident.
     bool contains(std::uint64_t addr) const;
 
-    /// Reset tags and statistics.
+    /// Residency probe: nullopt when the line containing `addr` is absent,
+    /// otherwise its dirty flag. Touches neither statistics nor
+    /// replacement state (unlike access()).
+    std::optional<bool> probe(std::uint64_t addr) const;
+
+    /// Remove the line containing `addr` (remote invalidation). Returns
+    /// the line's dirtiness before removal, or nullopt when it was not
+    /// resident. Statistics untouched: the coherence controller owns the
+    /// accounting of protocol-induced traffic.
+    std::optional<bool> invalidate(std::uint64_t addr);
+
+    /// Clear the dirty flag of the line containing `addr` (remote-read
+    /// downgrade: the owner keeps a now-clean copy). Returns true when the
+    /// line was resident and dirty, i.e. a write-back of its data is due.
+    bool downgrade(std::uint64_t addr);
+
+    /// Number of valid lines currently resident.
+    std::size_t resident_lines() const;
+
+    /// Reset tags, statistics, and the replacement RNG: a replay after
+    /// reset() is bit-identical to a fresh model (also under
+    /// Replacement::Random).
     void reset();
 
     /// Line base address of `addr` under this geometry.
@@ -98,14 +125,21 @@ private:
         bool dirty = false;
     };
 
+    /// Seed of the Random-replacement RNG; reset() restores it so replays
+    /// after reset() match a fresh model bit for bit.
+    static constexpr std::uint64_t kRngSeed = 0x9E3779B97F4A7C15ULL;
+
     std::size_t set_of(std::uint64_t addr) const;
     std::uint64_t tag_of(std::uint64_t addr) const;
+    Way* find_way(std::uint64_t addr);
+    const Way* find_way(std::uint64_t addr) const;
+    std::uint64_t next_rand();
 
     CacheConfig config_;
     std::size_t sets_;
     std::vector<Way> ways_;  // sets_ * associativity, row-major by set
     std::uint64_t tick_ = 0;
-    std::uint64_t rng_state_ = 0x9E3779B97F4A7C15ULL;  // Random replacement
+    std::uint64_t rng_state_ = kRngSeed;  // Random replacement
     CacheStats stats_;
 };
 

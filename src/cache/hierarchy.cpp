@@ -1,5 +1,7 @@
 #include "cache/hierarchy.hpp"
 
+#include <algorithm>
+
 #include "support/assert.hpp"
 #include "trace/source.hpp"
 
@@ -32,9 +34,22 @@ void CacheHierarchy::access(std::uint64_t addr, AccessKind kind) {
 
 void CacheHierarchy::replay(TraceSource& source) {
     source.reset();
+    const std::uint64_t line = l1_.config().line_bytes;
     TraceChunk chunk;
     while (source.next(chunk)) {
-        for (std::size_t i = 0; i < chunk.size(); ++i) access(chunk.addrs[i], chunk.kinds[i]);
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+            // Size-aware split: an access that straddles an L1 line
+            // boundary touches every covered line, exactly like the
+            // byte-accurate replay in compress/memsys — ignoring
+            // chunk.sizes here undercounted misses and traffic.
+            const std::uint64_t addr = chunk.addrs[i];
+            const AccessKind kind = chunk.kinds[i];
+            const std::uint64_t last =
+                addr + std::max<std::uint64_t>(chunk.sizes[i], 1) - 1;
+            access(addr, kind);
+            for (std::uint64_t a = l1_.line_base(addr) + line; a <= last; a += line)
+                access(a, kind);
+        }
     }
 }
 

@@ -33,7 +33,9 @@ public:
 
     /// Replay a whole chunked trace stream through the hierarchy (does not
     /// flush). Sequential and stateful, so chunking is invisible:
-    /// bit-identical to calling access() per trace entry.
+    /// bit-identical to calling access() per covered line. Accesses whose
+    /// [addr, addr+size) span straddles an L1 line boundary are split and
+    /// charged once per touched line.
     void replay(TraceSource& source);
 
     /// Convenience overload over an in-memory trace.

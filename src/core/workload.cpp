@@ -94,6 +94,26 @@ std::unique_ptr<TraceSource> WorkloadRepository::open_trace_source(
         chunk_accesses);
 }
 
+std::vector<std::unique_ptr<TraceSource>> WorkloadRepository::open_core_trace_sources(
+    const std::string& spec, unsigned cores, std::size_t chunk_accesses) {
+    require(cores >= 1 && cores <= 64,
+            "open_core_trace_sources: cores must be in [1, 64]");
+    std::vector<std::unique_ptr<TraceSource>> out;
+    out.reserve(cores);
+    if (spec.rfind("synthetic:", 0) == 0) {
+        if (chunk_accesses == 0) chunk_accesses = kDefaultTraceChunk;
+        SyntheticSpec parsed =
+            parse_synthetic_spec(spec.substr(std::string("synthetic:").size()));
+        parsed.cores = cores;  // the caller's core count wins over a cores= key
+        for (const SyntheticSpec& core_spec : per_core_specs(parsed))
+            out.push_back(std::make_unique<SyntheticSource>(core_spec, chunk_accesses));
+        return out;
+    }
+    for (unsigned c = 0; c < cores; ++c)
+        out.push_back(open_trace_source(spec, chunk_accesses));
+    return out;
+}
+
 void WorkloadRepository::clear() {
     std::lock_guard<std::mutex> lock(mutex_);
     cache_.clear();

@@ -1,0 +1,17 @@
+#include "energy/coherence_model.hpp"
+
+namespace memopt {
+
+double CoherenceEnergyModel::message_energy(std::uint64_t messages) const {
+    return tech_.ctrl_msg_pj * static_cast<double>(messages);
+}
+
+double CoherenceEnergyModel::transfer_energy(std::uint64_t bytes) const {
+    return tech_.per_byte_pj * static_cast<double>(bytes);
+}
+
+double CoherenceEnergyModel::lookup_energy(std::uint64_t lookups) const {
+    return tech_.dir_lookup_pj * static_cast<double>(lookups);
+}
+
+}  // namespace memopt

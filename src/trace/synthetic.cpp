@@ -34,6 +34,7 @@ std::string synthetic_kind_name(SyntheticKind kind) {
         case SyntheticKind::Hotspot: return "hotspot";
         case SyntheticKind::Stride: return "stride";
         case SyntheticKind::TwoPhase: return "two-phase";
+        case SyntheticKind::ProducerConsumer: return "producer-consumer";
     }
     MEMOPT_ASSERT_MSG(false, "invalid SyntheticKind");
     return "?";
@@ -50,6 +51,7 @@ SyntheticSpec parse_synthetic_spec(std::string_view text) {
     else if (kind == "hotspot") spec.kind = SyntheticKind::Hotspot;
     else if (kind == "stride") spec.kind = SyntheticKind::Stride;
     else if (kind == "two-phase") spec.kind = SyntheticKind::TwoPhase;
+    else if (kind == "producer-consumer") spec.kind = SyntheticKind::ProducerConsumer;
     else throw Error("synthetic spec: unknown kind '" + kind + "'");
 
     auto parse_u64 = [](std::string_view key, std::string_view value) {
@@ -86,9 +88,28 @@ SyntheticSpec parse_synthetic_spec(std::string_view text) {
         else if (key == "hotspot-bytes") spec.hotspot_bytes = parse_u64(key, value);
         else if (key == "hot-frac") spec.hot_fraction = parse_f64(key, value);
         else if (key == "stride") spec.stride = parse_u64(key, value);
+        else if (key == "cores") spec.cores = static_cast<unsigned>(parse_u64(key, value));
+        else if (key == "shared-bytes") spec.shared_bytes = parse_u64(key, value);
+        else if (key == "shared-frac") spec.shared_fraction = parse_f64(key, value);
         else throw Error("synthetic spec: unknown key '" + std::string(key) + "'");
     }
     return spec;
+}
+
+std::vector<SyntheticSpec> per_core_specs(const SyntheticSpec& spec) {
+    require(spec.cores >= 1 && spec.cores <= 64,
+            "per_core_specs: cores must be in [1, 64]");
+    std::vector<SyntheticSpec> out;
+    out.reserve(spec.cores);
+    for (unsigned c = 0; c < spec.cores; ++c) {
+        SyntheticSpec s = spec;
+        s.core_id = c;
+        // Decorrelate the per-core RNG streams while keeping the whole
+        // family a pure function of the parent seed.
+        s.base.seed = spec.base.seed + 0x9E3779B97F4A7C15ULL * (c + 1);
+        out.push_back(s);
+    }
+    return out;
 }
 
 SyntheticGenerator::SyntheticGenerator(const SyntheticSpec& spec)
@@ -124,6 +145,20 @@ SyntheticGenerator::SyntheticGenerator(const SyntheticSpec& spec)
         case SyntheticKind::Stride:
             require(spec_.stride >= 4 && spec_.stride % 4 == 0,
                     "strided_trace: stride must be a multiple of 4");
+            break;
+        case SyntheticKind::ProducerConsumer:
+            require(spec_.cores >= 1 && spec_.cores <= 64,
+                    "producer-consumer: cores must be in [1, 64]");
+            require(spec_.core_id < spec_.cores,
+                    "producer-consumer: core_id must be < cores");
+            require(spec_.shared_fraction >= 0.0 && spec_.shared_fraction <= 1.0,
+                    "producer-consumer: shared_fraction must be in [0,1]");
+            require(spec_.shared_bytes >= 16 && spec_.shared_bytes % 4 == 0,
+                    "producer-consumer: shared_bytes must be a multiple of 4, >= 16");
+            require(spec_.shared_bytes <= spec_.base.span_bytes / 2,
+                    "producer-consumer: shared region must cover at most half of the span");
+            require((spec_.base.span_bytes - spec_.shared_bytes) / spec_.cores >= 16,
+                    "producer-consumer: private slice per core too small");
             break;
     }
     rng_start_ = rng_;  // replay point: seed mixing + precomputation done
@@ -163,6 +198,21 @@ MemAccess SyntheticGenerator::next() {
             const bool phase2 = i_ >= spec_.base.num_accesses / 2;
             a.addr = pick_addr(rng_, phase2 ? half : 0, half);
             a.kind = pick_kind(rng_, spec_.base.write_fraction);
+            break;
+        }
+        case SyntheticKind::ProducerConsumer: {
+            // Shared draw first, then the address draw, then — private
+            // accesses only — the kind draw; a shared access's kind is
+            // fixed by the core's role (core 0 produces, the rest consume).
+            if (rng_.next_bool(spec_.shared_fraction)) {
+                a.addr = pick_addr(rng_, 0, spec_.shared_bytes);
+                a.kind = spec_.core_id == 0 ? AccessKind::Write : AccessKind::Read;
+            } else {
+                const std::uint64_t slice =
+                    (spec_.base.span_bytes - spec_.shared_bytes) / spec_.cores;
+                a.addr = pick_addr(rng_, spec_.shared_bytes + spec_.core_id * slice, slice);
+                a.kind = pick_kind(rng_, spec_.base.write_fraction);
+            }
             break;
         }
     }

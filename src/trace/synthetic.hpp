@@ -4,7 +4,7 @@
 // used by unit tests (known ground truth) and by benches that sweep profile
 // shapes beyond what the bundled AR32 kernels produce.
 //
-// All four trace families share one per-access engine, SyntheticGenerator:
+// All trace families share one per-access engine, SyntheticGenerator:
 // the materializing helpers (uniform_trace, ...) and the streaming
 // SyntheticSource (trace/source.hpp) both drain the same generator, so the
 // chunked stream is bit-identical to the materialized trace by
@@ -29,12 +29,13 @@ struct SyntheticParams {
     std::uint64_t seed = 1;                ///< RNG seed (deterministic output)
 };
 
-/// The four synthetic trace families.
+/// The synthetic trace families.
 enum class SyntheticKind {
-    Uniform,   ///< uniform random addresses over the span
-    Hotspot,   ///< scattered hotspots over a uniform background
-    Stride,    ///< sequential strided sweep
-    TwoPhase,  ///< disjoint working sets in two program phases
+    Uniform,           ///< uniform random addresses over the span
+    Hotspot,           ///< scattered hotspots over a uniform background
+    Stride,            ///< sequential strided sweep
+    TwoPhase,          ///< disjoint working sets in two program phases
+    ProducerConsumer,  ///< multi-core: core 0 writes a shared region, others read it
 };
 
 /// Full description of one synthetic trace: the family plus every knob.
@@ -48,19 +49,32 @@ struct SyntheticSpec {
     double hot_fraction = 0.9;
     // Stride only:
     std::uint64_t stride = 4;
+    // Multi-core (producer-consumer, and per_core_specs fan-out):
+    unsigned cores = 1;    ///< cores the trace family targets
+    unsigned core_id = 0;  ///< which core this spec generates for (< cores)
+    std::uint64_t shared_bytes = 4096;  ///< producer-consumer shared region size
+    double shared_fraction = 0.6;       ///< probability an access hits the shared region
 };
 
-/// Display name ("uniform", "hotspot", "stride", "two-phase").
+/// Display name ("uniform", "hotspot", "stride", "two-phase",
+/// "producer-consumer").
 std::string synthetic_kind_name(SyntheticKind kind);
 
 /// Parse a spec string of the form
 ///   "<kind>[,key=value]..."
-/// with kind in {uniform, hotspot, stride, two-phase} and keys
-/// span, n, seed, write, hotspots, hotspot-bytes, hot-frac, stride —
+/// with kind in {uniform, hotspot, stride, two-phase, producer-consumer}
+/// and keys span, n, seed, write, hotspots, hotspot-bytes, hot-frac,
+/// stride, cores, shared-bytes, shared-frac —
 /// e.g. "uniform,span=16777216,n=100000000,seed=7". Throws memopt::Error
 /// on malformed input. Parameter validity itself is checked when the
 /// generator is constructed.
 SyntheticSpec parse_synthetic_spec(std::string_view text);
+
+/// Fan a spec out to `spec.cores` per-core specs: core c gets core_id = c
+/// and a per-core remix of the seed, so the streams are decorrelated but
+/// the whole family is still determined by the one parent seed. Each core
+/// issues the full `n` accesses of the parent spec.
+std::vector<SyntheticSpec> per_core_specs(const SyntheticSpec& spec);
 
 /// Per-access synthetic trace engine. The i-th next() call returns access i
 /// of the deterministic sequence the spec describes; reset() rewinds to

@@ -7,6 +7,7 @@
 #include "cache/hierarchy.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
+#include "trace/source.hpp"
 #include "trace/synthetic.hpp"
 
 namespace memopt {
@@ -206,6 +207,29 @@ TEST(Replacement, RandomIsDeterministicAcrossRuns) {
     EXPECT_EQ(run(), run());
 }
 
+TEST(Replacement, RandomReplayAfterResetMatchesFreshModel) {
+    // Regression: reset() used to clear the arrays but not reseed the
+    // xorshift state, so a replay after reset() drew a different victim
+    // sequence than a fresh model — reset() was not the documented full
+    // rewind. The per-access hit pattern is the sensitive observable.
+    CacheConfig cfg = small_cache(4, 16, 512);
+    cfg.replacement = Replacement::Random;
+    const MemTrace trace = uniform_trace({.span_bytes = 8192, .num_accesses = 5000,
+                                          .write_fraction = 0.3, .seed = 21});
+    auto hit_pattern = [&](CacheModel& c) {
+        std::vector<bool> hits;
+        hits.reserve(trace.size());
+        for (const MemAccess& a : trace.accesses()) hits.push_back(c.access(a.addr, a.kind).hit);
+        return hits;
+    };
+    CacheModel model(cfg);
+    const std::vector<bool> fresh = hit_pattern(model);
+    model.reset();
+    EXPECT_EQ(hit_pattern(model), fresh);
+    EXPECT_EQ(model.stats().misses(),
+              static_cast<std::uint64_t>(std::count(fresh.begin(), fresh.end(), false)));
+}
+
 TEST(Replacement, LruBeatsRandomOnReuseFriendlyWorkloads) {
     // A hot working set that fits the cache plus uniform background noise:
     // LRU protects the hot lines, random replacement occasionally evicts
@@ -242,6 +266,24 @@ TEST(Hierarchy, L1HitsNeverReachL2) {
     const std::uint64_t l2_after_fill = h.l2().stats().accesses();
     h.access(0x104, AccessKind::Read);  // L1 hit
     EXPECT_EQ(h.l2().stats().accesses(), l2_after_fill);
+}
+
+TEST(Hierarchy, ReplaySplitsLineStraddlingAccesses) {
+    // Regression: replay(TraceSource&) used to ignore chunk.sizes, so an
+    // access straddling an L1 line boundary only touched its first line —
+    // undercounting misses relative to the byte-accurate replays.
+    CacheHierarchy h(small_cache(2, 16, 512), small_cache(4, 32, 4096));
+    MemTrace trace;
+    MemAccess a;
+    a.addr = 14;  // bytes 14..17 cover lines 0 and 16
+    a.size = 4;
+    a.kind = AccessKind::Read;
+    trace.add(a);
+    MaterializedSource source(trace);
+    h.replay(source);
+    EXPECT_EQ(h.l1().stats().read_misses, 2u);
+    EXPECT_TRUE(h.l1().contains(0x00));
+    EXPECT_TRUE(h.l1().contains(0x10));
 }
 
 TEST(Hierarchy, TrafficConservation) {

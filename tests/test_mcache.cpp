@@ -1,0 +1,367 @@
+// Tests for the multi-core coherent cache system: the MSI directory's
+// transition table (exhaustive over reachable state x event pairs), the
+// sharer-bitset/L1-residency invariants, single-core equivalence with the
+// two-level CacheHierarchy, and the determinism contract (bit-identical
+// results across replays and at any --jobs).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/coherence.hpp"
+#include "cache/hierarchy.hpp"
+#include "cache/mcache.hpp"
+#include "core/workload.hpp"
+#include "support/assert.hpp"
+#include "support/json.hpp"
+#include "support/parallel.hpp"
+#include "trace/source.hpp"
+#include "trace/synthetic.hpp"
+
+namespace memopt {
+namespace {
+
+constexpr std::uint64_t kLineA = 0x1000;
+
+std::uint64_t bits(std::initializer_list<unsigned> cores) {
+    std::uint64_t b = 0;
+    for (unsigned c : cores) b |= std::uint64_t{1} << c;
+    return b;
+}
+
+// ------------------------------------------------ MSI transition table ----
+//
+// One test per reachable (state, event) pair of the directory's table;
+// each checks the next state, the sharer set, and every action field.
+
+TEST(MsiDirectory, InvalidReadMissFetchesAndShares) {
+    MsiDirectory dir(4);
+    const CoherenceActions a = dir.on_read_miss(1, kLineA);
+    EXPECT_TRUE(a.fetch);
+    EXPECT_EQ(a.invalidate, 0u);
+    EXPECT_FALSE(a.writeback_owner.has_value());
+    EXPECT_EQ(dir.line(kLineA).state, MsiState::Shared);
+    EXPECT_EQ(dir.line(kLineA).sharers, bits({1}));
+}
+
+TEST(MsiDirectory, InvalidWriteMissFetchesAndOwns) {
+    MsiDirectory dir(4);
+    const CoherenceActions a = dir.on_write(2, kLineA);
+    EXPECT_TRUE(a.fetch);
+    EXPECT_EQ(a.invalidate, 0u);
+    EXPECT_FALSE(a.writeback_owner.has_value());
+    EXPECT_EQ(dir.line(kLineA).state, MsiState::Modified);
+    EXPECT_EQ(dir.line(kLineA).sharers, bits({2}));
+    EXPECT_EQ(dir.stats().invalidations, 0u);
+}
+
+TEST(MsiDirectory, SharedReadMissAddsSharer) {
+    MsiDirectory dir(4);
+    dir.on_read_miss(0, kLineA);
+    const CoherenceActions a = dir.on_read_miss(3, kLineA);
+    EXPECT_TRUE(a.fetch);
+    EXPECT_EQ(a.invalidate, 0u);
+    EXPECT_FALSE(a.writeback_owner.has_value());
+    EXPECT_EQ(dir.line(kLineA).state, MsiState::Shared);
+    EXPECT_EQ(dir.line(kLineA).sharers, bits({0, 3}));
+}
+
+TEST(MsiDirectory, SharedHolderWriteUpgradesWithoutFetch) {
+    MsiDirectory dir(4);
+    dir.on_read_miss(0, kLineA);
+    dir.on_read_miss(1, kLineA);
+    const CoherenceActions a = dir.on_write(0, kLineA);
+    EXPECT_FALSE(a.fetch);  // the holder already has the data
+    EXPECT_EQ(a.invalidate, bits({1}));
+    EXPECT_FALSE(a.writeback_owner.has_value());
+    EXPECT_EQ(dir.line(kLineA).state, MsiState::Modified);
+    EXPECT_EQ(dir.line(kLineA).sharers, bits({0}));
+    EXPECT_EQ(dir.stats().upgrades, 1u);
+    EXPECT_EQ(dir.stats().invalidations, 1u);
+}
+
+TEST(MsiDirectory, SharedNonHolderWriteInvalidatesAllAndFetches) {
+    MsiDirectory dir(4);
+    dir.on_read_miss(0, kLineA);
+    dir.on_read_miss(1, kLineA);
+    const CoherenceActions a = dir.on_write(2, kLineA);
+    EXPECT_TRUE(a.fetch);
+    EXPECT_EQ(a.invalidate, bits({0, 1}));
+    EXPECT_FALSE(a.writeback_owner.has_value());
+    EXPECT_EQ(dir.line(kLineA).state, MsiState::Modified);
+    EXPECT_EQ(dir.line(kLineA).sharers, bits({2}));
+    EXPECT_EQ(dir.stats().upgrades, 0u);
+    EXPECT_EQ(dir.stats().invalidations, 2u);
+}
+
+TEST(MsiDirectory, ModifiedRemoteReadDowngradesOwner) {
+    MsiDirectory dir(4);
+    dir.on_write(0, kLineA);
+    const CoherenceActions a = dir.on_read_miss(1, kLineA);
+    EXPECT_TRUE(a.fetch);
+    EXPECT_EQ(a.invalidate, 0u);  // the owner keeps a clean copy
+    ASSERT_TRUE(a.writeback_owner.has_value());
+    EXPECT_EQ(*a.writeback_owner, 0u);
+    EXPECT_EQ(dir.line(kLineA).state, MsiState::Shared);
+    EXPECT_EQ(dir.line(kLineA).sharers, bits({0, 1}));
+    EXPECT_EQ(dir.stats().downgrades, 1u);
+}
+
+TEST(MsiDirectory, ModifiedRemoteWriteFlushesAndKillsOwner) {
+    MsiDirectory dir(4);
+    dir.on_write(0, kLineA);
+    const CoherenceActions a = dir.on_write(1, kLineA);
+    EXPECT_TRUE(a.fetch);
+    EXPECT_EQ(a.invalidate, bits({0}));
+    ASSERT_TRUE(a.writeback_owner.has_value());
+    EXPECT_EQ(*a.writeback_owner, 0u);
+    EXPECT_EQ(dir.line(kLineA).state, MsiState::Modified);
+    EXPECT_EQ(dir.line(kLineA).sharers, bits({1}));
+    EXPECT_EQ(dir.stats().owner_flushes, 1u);
+    EXPECT_EQ(dir.stats().invalidations, 1u);
+}
+
+TEST(MsiDirectory, EvictDropsSharerAndInvalidatesWhenLast) {
+    MsiDirectory dir(4);
+    dir.on_read_miss(0, kLineA);
+    dir.on_read_miss(1, kLineA);
+    dir.on_evict(0, kLineA);
+    EXPECT_EQ(dir.line(kLineA).state, MsiState::Shared);
+    EXPECT_EQ(dir.line(kLineA).sharers, bits({1}));
+    dir.on_evict(1, kLineA);
+    EXPECT_EQ(dir.line(kLineA).state, MsiState::Invalid);
+    EXPECT_EQ(dir.tracked_lines(), 0u);
+    EXPECT_EQ(dir.stats().evictions, 2u);
+}
+
+TEST(MsiDirectory, ModifiedEvictInvalidatesEntry) {
+    MsiDirectory dir(4);
+    dir.on_write(2, kLineA);
+    dir.on_evict(2, kLineA);
+    EXPECT_EQ(dir.line(kLineA).state, MsiState::Invalid);
+    EXPECT_EQ(dir.tracked_lines(), 0u);
+}
+
+TEST(MsiDirectory, FlushDowngradesModifiedOwnerInPlace) {
+    MsiDirectory dir(4);
+    dir.on_write(1, kLineA);
+    dir.on_flush(1, kLineA);
+    EXPECT_EQ(dir.line(kLineA).state, MsiState::Shared);
+    EXPECT_EQ(dir.line(kLineA).sharers, bits({1}));
+}
+
+TEST(MsiDirectory, RejectsBadCoreCounts) {
+    EXPECT_THROW(MsiDirectory(0), Error);
+    EXPECT_THROW(MsiDirectory(65), Error);
+    EXPECT_NO_THROW(MsiDirectory(64));
+}
+
+// --------------------------------------------------- system invariants ----
+
+MultiCoreConfig tiny_config(unsigned cores, unsigned l2_banks = 2) {
+    MultiCoreConfig cfg;
+    cfg.cores = cores;
+    cfg.l2_banks = l2_banks;
+    cfg.l1.size_bytes = 512;
+    cfg.l1.line_bytes = 32;
+    cfg.l1.associativity = 2;
+    cfg.l2_bank.size_bytes = 4 * 1024;
+    cfg.l2_bank.line_bytes = 32;
+    cfg.l2_bank.associativity = 4;
+    return cfg;
+}
+
+SyntheticSpec sharing_spec(std::size_t n = 20000) {
+    SyntheticSpec spec;
+    spec.kind = SyntheticKind::ProducerConsumer;
+    spec.base.span_bytes = 16 * 1024;
+    spec.base.num_accesses = n;
+    spec.base.seed = 7;
+    spec.shared_bytes = 1024;
+    spec.shared_fraction = 0.5;
+    return spec;
+}
+
+void replay_sharing(MultiCoreCacheSystem& system, std::size_t n = 20000) {
+    SyntheticSpec spec = sharing_spec(n);
+    spec.cores = system.cores();
+    std::vector<std::unique_ptr<TraceSource>> sources;
+    for (const SyntheticSpec& core_spec : per_core_specs(spec))
+        sources.push_back(std::make_unique<SyntheticSource>(core_spec, 1024));
+    system.replay(sources);
+}
+
+// The directory's sharer bitsets must agree exactly with L1 residency and
+// dirtiness: bit c set iff core c holds the line, and Modified iff the
+// (unique) copy is dirty.
+void check_directory_matches_l1s(const MultiCoreCacheSystem& system) {
+    std::size_t resident = 0;
+    for (unsigned c = 0; c < system.cores(); ++c)
+        resident += system.l1(c).resident_lines();
+    EXPECT_EQ(system.directory().total_sharers(), resident);
+
+    for (const auto& [line, entry] : system.directory().snapshot()) {
+        ASSERT_NE(entry.state, MsiState::Invalid);
+        ASSERT_NE(entry.sharers, 0u);
+        if (entry.state == MsiState::Modified) {
+            EXPECT_EQ(std::popcount(entry.sharers), 1);
+        }
+        for (unsigned c = 0; c < system.cores(); ++c) {
+            const bool shares = ((entry.sharers >> c) & 1) != 0;
+            const std::optional<bool> dirty = system.l1(c).probe(line);
+            EXPECT_EQ(shares, dirty.has_value());
+            if (dirty.has_value()) {
+                EXPECT_EQ(*dirty, entry.state == MsiState::Modified);
+            }
+        }
+    }
+}
+
+TEST(MultiCore, DirectorySharersMatchL1ResidencyUnderContention) {
+    MultiCoreCacheSystem system(tiny_config(4));
+    replay_sharing(system);
+    EXPECT_GT(system.directory().stats().invalidations, 0u);
+    EXPECT_GT(system.directory().stats().downgrades, 0u);
+    check_directory_matches_l1s(system);
+    system.flush();
+    // After a flush every surviving copy is clean: no Modified entries.
+    for (const auto& [line, entry] : system.directory().snapshot())
+        EXPECT_EQ(entry.state, MsiState::Shared) << "line " << line;
+    check_directory_matches_l1s(system);
+}
+
+TEST(MultiCore, SingleCoreMatchesCacheHierarchy) {
+    const MultiCoreConfig cfg = tiny_config(1, 1);
+    MultiCoreCacheSystem system(cfg);
+    CacheHierarchy hierarchy(cfg.l1, cfg.l2_bank);
+
+    SyntheticSpec spec;
+    spec.base.span_bytes = 8 * 1024;
+    spec.base.num_accesses = 20000;
+    spec.base.seed = 11;
+
+    std::vector<std::unique_ptr<TraceSource>> sources;
+    sources.push_back(std::make_unique<SyntheticSource>(spec, 1024));
+    system.replay(sources);
+    SyntheticSource mirror(spec, 1024);
+    hierarchy.replay(mirror);
+
+    // One core, one bank: the coherent machine degenerates to the plain
+    // two-level hierarchy, counter for counter.
+    EXPECT_EQ(system.l1_totals(), hierarchy.l1().stats());
+    EXPECT_EQ(system.l2_totals(), hierarchy.l2().stats());
+    EXPECT_EQ(system.traffic().line_fetches, hierarchy.traffic().line_fetches);
+    EXPECT_EQ(system.traffic().line_writes, hierarchy.traffic().line_writes);
+    // And no coherence messages ever cross a single-core machine.
+    EXPECT_EQ(system.directory().stats().messages(), 0u);
+    EXPECT_EQ(system.directory().stats().owner_flushes, 0u);
+}
+
+TEST(MultiCore, StraddlingAccessTouchesBothLinesOnEveryCore) {
+    MultiCoreCacheSystem system(tiny_config(2));
+    MemTrace trace;
+    MemAccess a;
+    a.addr = 30;  // last 2 bytes of line 0, first 2 of line 32
+    a.size = 4;
+    a.kind = AccessKind::Read;
+    trace.add(a);
+    const auto shared = std::make_shared<const MemTrace>(std::move(trace));
+    std::vector<std::unique_ptr<TraceSource>> sources;
+    sources.push_back(std::make_unique<MaterializedSource>(shared));
+    sources.push_back(std::make_unique<MaterializedSource>(shared));
+    system.replay(sources);
+    EXPECT_EQ(system.l1_totals().read_misses + system.l1_totals().read_hits, 4u);
+    EXPECT_EQ(system.directory().line(0).sharers, bits({0, 1}));
+    EXPECT_EQ(system.directory().line(32).sharers, bits({0, 1}));
+}
+
+TEST(MultiCore, RejectsInvalidConfigs) {
+    MultiCoreConfig cfg = tiny_config(2);
+    cfg.l2_bank.line_bytes = 64;  // directory blocks must match the L1 line
+    EXPECT_THROW(MultiCoreCacheSystem{cfg}, Error);
+    cfg = tiny_config(2);
+    cfg.l1.write_policy = WritePolicy::WriteThroughNoAllocate;
+    EXPECT_THROW(MultiCoreCacheSystem{cfg}, Error);
+    cfg = tiny_config(2);
+    cfg.cores = 0;
+    EXPECT_THROW(MultiCoreCacheSystem{cfg}, Error);
+}
+
+// ------------------------------------------------------- determinism ----
+
+std::string run_and_serialize(unsigned cores, std::size_t chunk) {
+    MultiCoreCacheSystem system(tiny_config(cores));
+    std::string spec = "synthetic:producer-consumer,span=16384,n=20000,seed=7,"
+                       "shared-bytes=1024,shared-frac=0.5";
+    const auto sources = WorkloadRepository::instance().open_core_trace_sources(
+        spec, cores, chunk);
+    system.replay(sources);
+    system.flush();
+    std::ostringstream os;
+    JsonWriter w(os);
+    to_json(w, system);
+    return os.str();
+}
+
+TEST(MultiCore, BitIdenticalAcrossReplaysAndChunkSizes) {
+    const std::string a = run_and_serialize(4, 512);
+    EXPECT_EQ(a, run_and_serialize(4, 512));
+    // Round-robin arbitration is one access per core per turn, so chunk
+    // geometry must not be observable either.
+    EXPECT_EQ(a, run_and_serialize(4, 4096));
+}
+
+TEST(MultiCore, ProducerConsumerBitIdenticalAtAnyJobCount) {
+    const std::size_t prior = default_jobs();
+    set_default_jobs(1);
+    const std::string serial = run_and_serialize(4, 1024);
+    set_default_jobs(8);
+    const std::string parallel = run_and_serialize(4, 1024);
+    set_default_jobs(prior);
+    EXPECT_EQ(serial, parallel);
+}
+
+// ----------------------------------------------------- trace plumbing ----
+
+TEST(MultiCore, PerCoreSpecsDecorrelateSeedsAndAssignRoles) {
+    SyntheticSpec spec = sharing_spec(100);
+    spec.cores = 3;
+    const std::vector<SyntheticSpec> fan = per_core_specs(spec);
+    ASSERT_EQ(fan.size(), 3u);
+    for (unsigned c = 0; c < 3; ++c) {
+        EXPECT_EQ(fan[c].core_id, c);
+        for (unsigned d = c + 1; d < 3; ++d)
+            EXPECT_NE(fan[c].base.seed, fan[d].base.seed);
+    }
+    // Core 0 produces (writes) into the shared region; the rest consume.
+    SyntheticGenerator producer(fan[0]);
+    SyntheticGenerator consumer(fan[1]);
+    for (int i = 0; i < 100; ++i) {
+        const MemAccess p = producer.next();
+        if (p.addr < spec.shared_bytes) {
+            EXPECT_EQ(p.kind, AccessKind::Write);
+        }
+        const MemAccess q = consumer.next();
+        if (q.addr < spec.shared_bytes) {
+            EXPECT_EQ(q.kind, AccessKind::Read);
+        }
+    }
+}
+
+TEST(MultiCore, OpenCoreTraceSourcesKernelFansOut) {
+    const auto sources =
+        WorkloadRepository::instance().open_core_trace_sources("matmul", 2);
+    ASSERT_EQ(sources.size(), 2u);
+    TraceChunk a, b;
+    ASSERT_TRUE(sources[0]->next(a));
+    ASSERT_TRUE(sources[1]->next(b));
+    ASSERT_EQ(a.size(), b.size());
+    // Identical streams: worst-case sharing.
+    EXPECT_TRUE(std::equal(a.addrs.begin(), a.addrs.end(), b.addrs.begin()));
+}
+
+}  // namespace
+}  // namespace memopt
