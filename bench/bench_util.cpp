@@ -17,12 +17,18 @@ std::optional<std::string> dir_path(const char* env_var, const std::string& name
     return std::string(dir) + "/" + name + "." + extension;
 }
 
-std::optional<std::ofstream> dir_sink(const char* env_var, const std::string& name,
+std::optional<AtomicOstream> dir_sink(const char* env_var, const std::string& name,
                                       const std::string& extension) {
     const auto path = dir_path(env_var, name, extension);
     if (!path) return std::nullopt;
-    std::ofstream os(*path);
-    require(os.is_open(), std::string(env_var) + " sink: cannot create '" + *path + "'");
+    AtomicOstream os;
+    if (!os.open_staged(*path)) {
+        // A missing sink directory must not kill the bench, but a silently
+        // dropped BENCH_* export is undiagnosable — name the path.
+        std::fprintf(stderr, "memopt: warning: %s sink: cannot create '%s'; export dropped\n",
+                     env_var, path->c_str());
+        return std::nullopt;
+    }
     std::printf("(figure data -> %s)\n", path->c_str());
     return os;
 }
@@ -46,11 +52,11 @@ void print_shape(bool ok, const std::string& message) {
     std::printf("SHAPE %s: %s\n", ok ? "ok" : "WARN", message.c_str());
 }
 
-std::optional<std::ofstream> csv_sink(const std::string& name) {
+std::optional<AtomicOstream> csv_sink(const std::string& name) {
     return dir_sink("MEMOPT_CSV_DIR", name, "csv");
 }
 
-std::optional<std::ofstream> json_sink(const std::string& name) {
+std::optional<AtomicOstream> json_sink(const std::string& name) {
     return dir_sink("MEMOPT_JSON_DIR", name, "json");
 }
 
@@ -62,8 +68,13 @@ BenchReport::BenchReport(const std::string& name) {
     const auto path = dir_path("MEMOPT_JSON_DIR", name, "json");
     if (!path) return;
     path_ = *path;
-    out_.open(path_, std::ios::trunc);
-    require(out_.is_open(), "MEMOPT_JSON_DIR sink: cannot create '" + path_ + "'");
+    if (!out_.open_staged(path_)) {
+        std::fprintf(stderr,
+                     "memopt: warning: MEMOPT_JSON_DIR sink: cannot create '%s'; "
+                     "export dropped\n",
+                     path_.c_str());
+        return;
+    }
     writer_.emplace(out_);
     writer_->begin_object();
     writer_->member("schema", "memopt.bench.v1");
@@ -73,9 +84,10 @@ BenchReport::BenchReport(const std::string& name) {
 }
 
 BenchReport::~BenchReport() {
-    // A bench that exits without finish() leaves a truncated document; the
-    // destructor must not throw, so it only drops the file handle. The
-    // JSON-validation ctest steps catch any such path.
+    // A bench that exits without finish() never completed its document:
+    // discard the staged temp file so no truncated JSON appears under the
+    // final name (the destructor must not throw either way).
+    if (!finished_) out_.discard();
 }
 
 void BenchReport::write_fields(std::initializer_list<Field> fields) {
@@ -120,8 +132,7 @@ void BenchReport::finish(bool shape_ok, const std::string& message) {
     writer_->end_object();
     MEMOPT_ASSERT_MSG(writer_->complete(), "BenchReport: unbalanced JSON document");
     out_ << '\n';
-    out_.flush();
-    require(out_.good(), "MEMOPT_JSON_DIR sink: failed writing '" + path_ + "'");
+    require(out_.commit(), "MEMOPT_JSON_DIR sink: failed writing '" + path_ + "'");
     std::printf("(figure data -> %s)\n", path_.c_str());
     finished_ = true;
 }

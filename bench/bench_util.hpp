@@ -1,7 +1,6 @@
 // Shared helpers for the experiment-reproduction benches.
 #pragma once
 
-#include <fstream>
 #include <initializer_list>
 #include <optional>
 #include <string>
@@ -10,6 +9,7 @@
 #include <vector>
 
 #include "core/workload.hpp"
+#include "support/durable/atomic_file.hpp"
 #include "support/json.hpp"
 
 namespace memopt::bench {
@@ -35,14 +35,17 @@ void print_header(const std::string& experiment, const std::string& paper_claim,
 void print_shape(bool ok, const std::string& message);
 
 /// Figure-data export: when the MEMOPT_CSV_DIR environment variable is set,
-/// returns an open stream on <dir>/<name>.csv (throws memopt::Error if the
-/// file cannot be created); otherwise nullopt. Lets plots be regenerated
-/// from the exact series a bench printed.
-std::optional<std::ofstream> csv_sink(const std::string& name);
+/// returns a crash-safe staged stream for <dir>/<name>.csv that publishes
+/// on destruction (see AtomicOstream); otherwise nullopt. When the
+/// directory is missing or the open fails, warns on stderr naming the path
+/// and returns nullopt — the bench still runs, and the dropped export is
+/// diagnosable. Lets plots be regenerated from the exact series a bench
+/// printed.
+std::optional<AtomicOstream> csv_sink(const std::string& name);
 
 /// Machine-readable export: like csv_sink, but on <dir>/<name>.json with
 /// the directory taken from MEMOPT_JSON_DIR.
-std::optional<std::ofstream> json_sink(const std::string& name);
+std::optional<AtomicOstream> json_sink(const std::string& name);
 
 /// The path json_sink would write to, without opening it — for tools like
 /// google-benchmark that insist on creating the output file themselves.
@@ -107,7 +110,7 @@ private:
     void close_rows();
 
     std::string path_;
-    std::ofstream out_;
+    AtomicOstream out_;
     std::optional<JsonWriter> writer_;
     bool rows_open_ = false;
     bool finished_ = false;

@@ -20,10 +20,12 @@
 //   memopt_cli fault <kernel> [--protection none|parity|secded]
 //                    [--codec none|diff|zero-run|bdi|dictionary]
 //                    [--rate R] [--trials N] [--seed S] [--drowsy F]
+//                    [--checkpoint PATH [--resume] [--checkpoint-every N]]
 //
 // Exit codes: 0 = success, 1 = usage error (bad command line),
 // 2 = data or environment error (memopt::Error — missing kernel, unreadable
-// file, malformed trace, ...).
+// file, malformed trace, ...), 3 = interrupted (deadline or signal; partial
+// results were checkpointed / reported, rerun with --resume to continue).
 //
 // Every command accepts a global `--jobs N` option bounding the worker
 // threads of the parallel runtime (equivalent to MEMOPT_JOBS=N; jobs=1 is
@@ -38,13 +40,24 @@
 // `--json FILE`: the command's results are exported as one
 // "memopt.report.v1" document (see DESIGN.md) alongside the usual text
 // output. The "results" section is deterministic; wall-clock timers live
-// in the separate "metrics" section.
+// in the separate "metrics" section (set MEMOPT_JSON_METRICS=0 to omit it
+// when byte-diffing documents). The document is published crash-safely:
+// bytes stage into FILE.tmp and rename onto FILE only once complete.
+//
+// Long runs are resilient: `fault --checkpoint PATH` (and `study all
+// --checkpoint PATH`) snapshots completed work into a memopt.ckpt.v1 file,
+// `--resume` picks it back up bit-identically, and the global
+// `--deadline-sec S` arms a cooperative watchdog that (together with
+// SIGINT/SIGTERM) stops the run at the next unit boundary, checkpoints,
+// reports `"partial": true`, and exits with code 3 (DESIGN.md §9).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -69,6 +82,8 @@
 #include "sched/scheduler.hpp"
 #include "sim/kernels.hpp"
 #include "support/assert.hpp"
+#include "support/durable/atomic_file.hpp"
+#include "support/durable/cancel.hpp"
 #include "support/json.hpp"
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
@@ -94,6 +109,36 @@ void usage_require(bool condition, const std::string& message) {
     if (!condition) throw UsageError(message);
 }
 
+/// Why a checkpointed command stopped early (exit code 3); main() records
+/// it in the JSON envelope as "reason" next to "partial": true.
+std::string g_partial_reason;
+
+/// MEMOPT_JSON_METRICS=0 omits the wall-clock "metrics" section from --json
+/// documents so resumed and uninterrupted runs can be byte-diffed.
+bool json_metrics_enabled() {
+    const char* env = std::getenv("MEMOPT_JSON_METRICS");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+/// Minimal partial document for runs cancelled outside a checkpointed
+/// command (the staged envelope was discarded mid-value): same schema,
+/// "results": null, "partial": true. Written crash-safely like any
+/// final artifact.
+void write_partial_json(const std::string& path, const std::string& command,
+                        const std::string& target, const std::string& reason) {
+    std::ostringstream doc;
+    JsonWriter w(doc);
+    w.begin_object();
+    w.member("schema", command == "fault" ? "memopt.fault.v1" : "memopt.report.v1");
+    w.member("command", command);
+    w.member("target", target);
+    w.key("results").null();
+    w.member("partial", true);
+    w.member("reason", reason);
+    w.end_object();
+    atomic_write(path, doc.str() + "\n");
+}
+
 /// Trivial "--key value" option parser; positional args stay in order.
 struct Args {
     std::vector<std::string> positional;
@@ -104,6 +149,11 @@ struct Args {
         for (int i = first; i < argc; ++i) {
             const std::string arg = argv[i];
             if (arg.rfind("--", 0) == 0) {
+                // Valueless flags; everything else is "--key value".
+                if (arg == "--resume") {
+                    args.options["resume"] = "1";
+                    continue;
+                }
                 usage_require(i + 1 < argc, "option " + arg + " needs a value");
                 args.options[arg.substr(2)] = argv[++i];
             } else {
@@ -158,10 +208,12 @@ int usage() {
               "  encode <kernel> [--gates N]\n"
               "  schedule [--seed N]\n"
               "  study <kernel>                         all optimizations, one report\n"
-              "  study all                              whole-suite study, in parallel\n"
+              "  study all [--checkpoint PATH [--resume]]\n"
+              "                                         whole-suite study, in parallel\n"
               "  fault <kernel> [--protection none|parity|secded]\n"
               "            [--codec none|diff|zero-run|bdi|dictionary] [--rate R]\n"
               "            [--trials N] [--seed S] [--drowsy F] [--line BYTES]\n"
+              "            [--checkpoint PATH [--resume] [--checkpoint-every N]]\n"
               "global options:\n"
               "  --jobs N                               worker threads (0 = use default:\n"
               "                                         MEMOPT_JOBS or hardware; 1 = fully\n"
@@ -169,9 +221,21 @@ int usage() {
               "  --json FILE                            also write a memopt.report.v1 JSON\n"
               "                                         document (run/partition/compress/\n"
               "                                         encode/study/fault; fault exports\n"
-              "                                         memopt.fault.v1)\n"
+              "                                         memopt.fault.v1); crash-safe\n"
+              "                                         staged write, MEMOPT_JSON_METRICS=0\n"
+              "                                         omits the metrics section\n"
+              "  --deadline-sec S                       cooperative watchdog: stop at the\n"
+              "                                         next unit boundary after S seconds\n"
+              "                                         (0 stops at the first boundary),\n"
+              "                                         checkpoint, report partial, exit 3\n"
+              "  --checkpoint PATH / --resume           durable progress for fault and\n"
+              "  --checkpoint-every N                   study all (memopt.ckpt.v1 file);\n"
+              "                                         resumed runs are bit-identical to\n"
+              "                                         uninterrupted ones at any --jobs\n"
               "exit codes:\n"
-              "  0 success   1 usage error   2 data or environment error");
+              "  0 success   1 usage error   2 data or environment error\n"
+              "  3 interrupted by --deadline-sec or SIGINT/SIGTERM (partial results\n"
+              "    checkpointed; rerun with --resume)");
     return 1;
 }
 
@@ -343,11 +407,15 @@ int cmd_trace(const Args& args) {
     usage_require(fmt == "bin" || fmt == "mtrc" || fmt == "text",
                   "trace: --trace-format must be mtsc, bin or text");
     const bool binary = fmt != "text";
-    std::ofstream os(out, binary ? std::ios::binary : std::ios::out);
-    require(os.is_open(), "trace: cannot open '" + out + "'");
-    if (binary) write_trace_binary(os, *source);
-    else write_trace_text(os, *source);
-    require(os.good(), "trace: write failed for '" + out + "'");
+    atomic_write(
+        out,
+        [&](std::ostream& os) {
+            source->reset();  // commit retries re-run the body from the start
+            if (binary) write_trace_binary(os, *source);
+            else write_trace_text(os, *source);
+            require(os.good(), "trace: write failed for '" + out + "'");
+        },
+        binary ? std::ios::binary : std::ios_base::openmode{});
     std::printf("wrote %llu accesses to %s (%s)\n", (unsigned long long)source->size(),
                 out.c_str(), binary ? "binary" : "text");
     return 0;
@@ -523,6 +591,7 @@ int cmd_fault(const Args& args, JsonWriter* jw) {
     else if (codec_name == "bdi") config.codec = &bdi;
     else if (codec_name == "dictionary") config.codec = &dict;
     else throw UsageError("fault: unknown codec '" + codec_name + "'");
+    config.codec_tag = codec_name;
 
     const auto corpus = line_corpus(program.data, config.line_bytes);
 
@@ -544,7 +613,35 @@ int cmd_fault(const Args& args, JsonWriter* jw) {
                                           corpus.size(), config.line_bytes, run.cycles);
     }
 
-    const FaultCampaignResult result = run_campaign(config, corpus, probs);
+    FaultCampaignResult result;
+    const std::string ckpt_path = args.get("checkpoint", "");
+    if (!ckpt_path.empty()) {
+        CampaignCheckpointOptions copts;
+        copts.path = ckpt_path;
+        copts.resume = args.options.count("resume") != 0;
+        const std::int64_t every = args.get_int("checkpoint-every", 16);
+        usage_require(every > 0, "fault: --checkpoint-every expects a positive count");
+        copts.every = static_cast<std::size_t>(every);
+        const std::int64_t max_units = args.get_int("ckpt-max-units", 0);
+        usage_require(max_units >= 0, "fault: --ckpt-max-units expects a non-negative count");
+        copts.max_trials_this_run = static_cast<std::size_t>(max_units);
+        const CampaignCheckpointOutcome outcome =
+            run_campaign_checkpointed(config, corpus, probs, copts);
+        if (!outcome.completed) {
+            std::printf("campaign interrupted: %zu/%zu trials done (%s)\n"
+                        "(checkpoint -> %s; rerun with --resume to continue)\n",
+                        outcome.trials_done, outcome.trials_total,
+                        outcome.stop_reason.c_str(), ckpt_path.c_str());
+            if (jw != nullptr) jw->null();
+            g_partial_reason = outcome.stop_reason;
+            return 3;
+        }
+        result = outcome.result;
+    } else {
+        usage_require(args.options.count("resume") == 0,
+                      "fault: --resume requires --checkpoint PATH");
+        result = run_campaign(config, corpus, probs);
+    }
     std::printf("campaign        : %zu lines x %zu trials, %s codec, %s protection\n",
                 corpus.size(), config.trials, codec_name.c_str(),
                 protection_name(config.protection));
@@ -582,6 +679,55 @@ int cmd_study(const Args& args, JsonWriter* jw) {
     usage_require(!args.positional.empty(), "study: missing kernel name (or 'all')");
     StudyParams params;
     params.flow.constraints.max_banks = 4;
+
+    const std::string ckpt_path = args.get("checkpoint", "");
+    usage_require(ckpt_path.empty() || args.positional[0] == "all",
+                  "study: --checkpoint requires 'study all'");
+    usage_require(ckpt_path.empty() ? args.options.count("resume") == 0 : true,
+                  "study: --resume requires --checkpoint PATH");
+
+    if (args.positional[0] == "all" && !ckpt_path.empty()) {
+        // Checkpointed whole-suite study: kernels run in order, the
+        // finished prefix snapshots after each batch, and resumed kernels
+        // splice their recorded JSON into the envelope byte-identically.
+        StudyCheckpointOptions sopts;
+        sopts.path = ckpt_path;
+        sopts.resume = args.options.count("resume") != 0;
+        const std::int64_t every = args.get_int("checkpoint-every", 1);
+        usage_require(every > 0, "study: --checkpoint-every expects a positive count");
+        sopts.every = static_cast<std::size_t>(every);
+        const std::int64_t max_units = args.get_int("ckpt-max-units", 0);
+        usage_require(max_units >= 0, "study: --ckpt-max-units expects a non-negative count");
+        sopts.max_kernels_this_run = static_cast<std::size_t>(max_units);
+        sopts.config_tag = "banks=4";  // fingerprint of every result-shaping flag
+
+        const std::vector<Kernel> kernels = kernel_suite();
+        const StudySuiteOutcome outcome = study_suite_checkpointed(kernels, params, 0, sopts);
+        TablePrinter table({"kernel", "1B-1 clustering [%]", "1B-2 compression [%]",
+                            "1B-3 encoding [%]"});
+        for (const StudyOutcome& o : outcome.outcomes)
+            table.add_row({o.name, format_fixed(o.clustering_savings_pct, 1),
+                           format_fixed(o.compression_savings_pct, 1),
+                           format_fixed(o.encoding_reduction_pct, 1)});
+        table.print(std::cout);
+        if (!outcome.completed) {
+            std::printf("\nstudy interrupted: %zu/%zu kernels done (%s)\n"
+                        "(checkpoint -> %s; rerun with --resume to continue)\n",
+                        outcome.outcomes.size(), outcome.total,
+                        outcome.stop_reason.c_str(), ckpt_path.c_str());
+            if (jw != nullptr) jw->null();
+            g_partial_reason = outcome.stop_reason;
+            return 3;
+        }
+        std::printf("\n(%zu kernels studied with %zu jobs)\n", outcome.outcomes.size(),
+                    default_jobs());
+        if (jw != nullptr) {
+            jw->begin_array();
+            for (const StudyOutcome& o : outcome.outcomes) jw->raw_fragment(o.json);
+            jw->end_array();
+        }
+        return 0;
+    }
 
     if (args.positional[0] == "all") {
         // Whole-suite batch study: every (kernel x optimization) evaluated
@@ -622,6 +768,12 @@ int cmd_study(const Args& args, JsonWriter* jw) {
 int main(int argc, char** argv) {
     if (argc < 2) return usage();
     const std::string command = argv[1];
+    // Declared outside the try so the catch blocks can discard a staged
+    // document and (on cancellation) publish the minimal partial one.
+    std::string json_path;
+    std::string json_target;
+    AtomicOstream json_file;
+    std::optional<JsonWriter> jw;
     try {
         const Args args = Args::parse(argc, argv, 2);
         // Global knob: bound the parallel runtime before any command runs.
@@ -631,26 +783,37 @@ int main(int argc, char** argv) {
         usage_require(jobs >= 0, "--jobs expects a non-negative integer (0 = use default)");
         if (jobs > 0) set_default_jobs(static_cast<std::size_t>(jobs));
 
+        // Cooperative watchdog: SIGINT/SIGTERM always feed the global
+        // token; --deadline-sec additionally arms the wall clock. Engines
+        // poll it at unit boundaries and stop gracefully (exit code 3).
+        install_cancellation_handlers();
+        if (args.options.count("deadline-sec") != 0) {
+            const double deadline = args.get_double("deadline-sec", 0.0);
+            usage_require(deadline >= 0.0, "--deadline-sec expects a non-negative number");
+            CancellationToken::global().set_deadline_sec(deadline);
+        }
+
         // Global knob: export a memopt.report.v1 JSON document. The envelope
         // (schema/command/target + trailing metrics snapshot) is written
-        // here; each command fills in its "results" value.
-        const std::string json_path = args.get("json", "");
-        std::ofstream json_file;
-        std::optional<JsonWriter> jw;
+        // here; each command fills in its "results" value. Bytes stage into
+        // <FILE>.tmp and publish by rename only when the document closed
+        // cleanly, so a crashed or interrupted run never leaves a truncated
+        // document under the final name.
+        json_path = args.get("json", "");
+        json_target = args.positional.empty() ? std::string{} : args.positional[0];
         if (!json_path.empty()) {
             const bool supported = command == "run" || command == "partition" ||
                                    command == "compress" || command == "encode" ||
                                    command == "study" || command == "fault";
             usage_require(supported, "--json is not supported for command '" + command + "'");
-            json_file.open(json_path, std::ios::trunc);
-            require(json_file.is_open(), "cannot open --json file '" + json_path + "'");
+            require(json_file.open_staged(json_path),
+                    "cannot open --json file '" + json_path + "'");
             jw.emplace(json_file);
             jw->begin_object();
             jw->member("schema", command == "fault" ? "memopt.fault.v1"
                                                     : "memopt.report.v1");
             jw->member("command", command);
-            jw->member("target", args.positional.empty() ? std::string{}
-                                                         : args.positional[0]);
+            jw->member("target", json_target);
             jw->key("results");
         }
         JsonWriter* writer = jw.has_value() ? &*jw : nullptr;
@@ -672,24 +835,52 @@ int main(int argc, char** argv) {
             return usage();
         }
 
-        if (jw.has_value() && rc == 0) {
-            jw->key("metrics");
-            MetricsRegistry::instance().snapshot().to_json(*jw);
+        if (jw.has_value() && (rc == 0 || rc == 3)) {
+            if (rc == 3) {
+                // The command wrote null results; record why it stopped.
+                jw->member("partial", true);
+                jw->member("reason", g_partial_reason);
+            }
+            if (json_metrics_enabled()) {
+                jw->key("metrics");
+                MetricsRegistry::instance().snapshot().to_json(*jw);
+            }
             jw->end_object();
             MEMOPT_ASSERT_MSG(jw->complete(), "memopt_cli: unbalanced JSON document");
             json_file << '\n';
-            json_file.flush();
-            require(json_file.good(), "failed writing --json file '" + json_path + "'");
+            require(json_file.commit(), "failed writing --json file '" + json_path + "'");
             std::printf("(json report -> %s)\n", json_path.c_str());
+        } else {
+            json_file.discard();
         }
         return rc;
     } catch (const UsageError& e) {
+        json_file.discard();
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
+    } catch (const CancelledError& e) {
+        // Cancellation surfaced mid-command (no checkpointed driver caught
+        // it): the staged envelope is incomplete, so discard it and publish
+        // the minimal partial document instead.
+        json_file.discard();
+        if (!json_path.empty()) {
+            std::string reason = CancellationToken::global().reason();
+            if (reason.empty()) reason = e.what();
+            try {
+                write_partial_json(json_path, command, json_target, reason);
+                std::printf("(json report -> %s)\n", json_path.c_str());
+            } catch (const std::exception& pe) {
+                std::fprintf(stderr, "error: partial --json report failed: %s\n", pe.what());
+            }
+        }
+        std::fprintf(stderr, "interrupted: %s\n", e.what());
+        return 3;
     } catch (const Error& e) {
+        json_file.discard();
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     } catch (const std::exception& e) {
+        json_file.discard();
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     }

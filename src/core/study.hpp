@@ -79,4 +79,60 @@ std::vector<StudyReport> study_suite(std::span<const Kernel> kernels,
                                      const StudyParams& params = StudyParams{},
                                      std::size_t jobs = 0);
 
+// ---------------------------------------------------------------------------
+// Checkpoint/resume
+//
+// A suite's unit of durable progress is one kernel's finished study. The
+// checkpoint record stores the kernel's name, its fully rendered results
+// JSON (deterministic JsonWriter output at root depth), and the three
+// headline percentages — enough for the CLI to splice resumed kernels into
+// the envelope byte-identically via JsonWriter::raw_fragment without
+// re-running them.
+
+/// One kernel's durable study outcome (checkpoint record payload).
+struct StudyOutcome {
+    std::string name;
+    std::string json;  ///< rendered StudyReport object (root depth, indent 2)
+    double clustering_savings_pct = 0.0;
+    double compression_savings_pct = 0.0;
+    double encoding_reduction_pct = 0.0;
+};
+
+/// Render a finished report into its durable outcome form.
+StudyOutcome to_outcome(const StudyReport& report);
+
+std::string encode_study_record(const StudyOutcome& outcome);
+/// Throws memopt::Error on a malformed record.
+StudyOutcome decode_study_record(std::string_view record);
+
+struct StudyCheckpointOptions {
+    std::string path;        ///< checkpoint file; empty = never snapshot
+    bool resume = false;     ///< load an existing compatible checkpoint first
+    std::size_t every = 1;   ///< snapshot after this many new kernels
+    /// The caller's fingerprint of every StudyParams knob that shapes
+    /// results (the CLI builds it from its flags). Hashed together with
+    /// the kernel-name sequence; resume refuses a mismatch.
+    std::string config_tag;
+    /// Test hook: stop (as if cancelled) after this many new kernels; 0 =
+    /// unlimited.
+    std::size_t max_kernels_this_run = 0;
+};
+
+struct StudySuiteOutcome {
+    std::vector<StudyOutcome> outcomes;  ///< completed prefix, kernel order
+    std::size_t total = 0;
+    bool completed = false;
+    std::string stop_reason;  ///< why the run stopped early; empty when completed
+};
+
+/// Checkpointed suite driver: kernels run in order in batches of `every`,
+/// the finished prefix snapshots to a memopt.ckpt.v1 file (engine
+/// kCkptEngineStudy) after each batch, and cancellation (deadline, signal,
+/// max_kernels_this_run) returns completed == false with the prefix intact.
+/// A resumed run's outcome sequence is byte-identical to an uninterrupted
+/// one at any job count.
+StudySuiteOutcome study_suite_checkpointed(std::span<const Kernel> kernels,
+                                           const StudyParams& params, std::size_t jobs,
+                                           const StudyCheckpointOptions& ckpt);
+
 }  // namespace memopt

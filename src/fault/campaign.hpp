@@ -14,6 +14,8 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "cluster/address_map.hpp"
@@ -35,6 +37,7 @@ struct FaultCampaignConfig {
     double bit_flip_rate = 1e-4;     ///< per stored bit, per trial (uniform default)
     ProtectionScheme protection = ProtectionScheme::None;
     const LineCodec* codec = nullptr;  ///< when set, lines are stored compressed
+    std::string codec_tag;             ///< names the codec in the checkpoint config hash
     unsigned line_bytes = 32;          ///< corpus line size (multiple of 4)
     std::uint64_t sram_bank_bytes = 4096;  ///< bank cut for access-energy accounting
     SramTechnology sram;               ///< technology for access/protection energy
@@ -87,9 +90,74 @@ std::vector<double> sleepy_line_probabilities(const MemoryArchitecture& arch,
 /// the per-line per-bit flip probability (same length as the corpus; see
 /// sleepy_line_probabilities); otherwise config.bit_flip_rate applies
 /// uniformly. Deterministic for a given (config, corpus): bit-identical
-/// counters and energy at any jobs value.
+/// counters and energy at any jobs value. Polls the global
+/// CancellationToken at trial boundaries: a tripped deadline or signal
+/// surfaces as CancelledError (use the checkpointed runner to keep the
+/// completed trials instead).
 FaultCampaignResult run_campaign(const FaultCampaignConfig& config,
                                  std::span<const std::vector<std::uint8_t>> corpus,
                                  std::span<const double> line_flip_prob = {});
+
+// ---------------------------------------------------------------------------
+// Checkpoint/resume
+//
+// Trials are pure functions of (config, corpus, trial index), so the unit
+// of durable progress is one trial's integer tallies. The checkpointed
+// runner executes trials in index order in batches of `every`, snapshots
+// the completed prefix into a memopt.ckpt.v1 file (engine kCkptEngineFault)
+// after each batch, and reduces exactly like run_campaign once all trials
+// exist — which is why a resumed run is bit-identical to an uninterrupted
+// one at any --jobs value.
+
+/// One trial's tallies — the checkpoint record payload.
+struct FaultTrialStats {
+    std::uint64_t injected = 0;
+    std::uint64_t corrected = 0;
+    std::uint64_t detected = 0;
+    std::uint64_t codec_rejects = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t silent = 0;
+    std::uint64_t clean = 0;
+};
+
+/// Fixed 56-byte little-endian record (7 u64 tallies; the trial index is
+/// implicit in the record's position — records form a prefix of the trial
+/// sequence by construction).
+std::string encode_trial_record(const FaultTrialStats& stats);
+/// Throws memopt::Error when the record size is wrong.
+FaultTrialStats decode_trial_record(std::string_view record);
+
+/// Fingerprint of everything that shapes per-trial tallies: seed, trials,
+/// flip rate, protection, codec tag, line size, corpus bytes, and the
+/// per-line probability vector. Resume refuses a checkpoint whose hash
+/// differs (the recorded trials would not be prefixes of this campaign).
+std::uint64_t campaign_config_hash(const FaultCampaignConfig& config,
+                                   std::span<const std::vector<std::uint8_t>> corpus,
+                                   std::span<const double> line_flip_prob);
+
+struct CampaignCheckpointOptions {
+    std::string path;            ///< checkpoint file; empty = never snapshot
+    bool resume = false;         ///< load an existing compatible checkpoint first
+    std::size_t every = 16;      ///< snapshot after this many new trials
+    /// Test hook: stop (as if cancelled) after this many new trials this
+    /// run; 0 = unlimited. Gives deterministic partial runs without timing.
+    std::size_t max_trials_this_run = 0;
+};
+
+struct CampaignCheckpointOutcome {
+    FaultCampaignResult result;   ///< valid only when completed
+    std::size_t trials_done = 0;  ///< completed trials (including resumed ones)
+    std::size_t trials_total = 0;
+    bool completed = false;
+    std::string stop_reason;      ///< why the run stopped early; empty when completed
+};
+
+/// Checkpointed campaign driver. On cancellation (deadline, signal, or the
+/// max_trials_this_run hook) it snapshots the completed prefix and returns
+/// completed == false instead of throwing; the caller emits the partial
+/// report and exits with the documented code.
+CampaignCheckpointOutcome run_campaign_checkpointed(
+    const FaultCampaignConfig& config, std::span<const std::vector<std::uint8_t>> corpus,
+    std::span<const double> line_flip_prob, const CampaignCheckpointOptions& ckpt);
 
 }  // namespace memopt

@@ -1,0 +1,138 @@
+#include "support/durable/checkpoint.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "support/assert.hpp"
+#include "support/durable/atomic_file.hpp"
+#include "support/durable/io_faults.hpp"
+
+namespace memopt {
+
+namespace {
+
+constexpr char kCkptMagic[4] = {'M', 'C', 'K', 'P'};
+constexpr std::size_t kHeaderBytes = 32;
+
+void store_u32(std::uint8_t* p, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void store_u64(std::uint8_t* p, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t le_u32(const std::uint8_t* p) {
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+}
+
+std::uint64_t le_u64(const std::uint8_t* p) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+}
+
+}  // namespace
+
+std::string encode_checkpoint(const Checkpoint& ckpt) {
+    std::size_t body = 0;
+    for (const std::string& r : ckpt.records) body += 4 + r.size();
+    std::string out(kHeaderBytes + body + 8, '\0');
+    auto* p = reinterpret_cast<std::uint8_t*>(out.data());
+    std::memcpy(p, kCkptMagic, 4);
+    store_u32(p + 4, kCkptVersion);
+    store_u32(p + 8, ckpt.engine);
+    store_u32(p + 12, 0);
+    store_u64(p + 16, ckpt.config_hash);
+    store_u64(p + 24, static_cast<std::uint64_t>(ckpt.records.size()));
+    std::size_t at = kHeaderBytes;
+    for (const std::string& r : ckpt.records) {
+        store_u32(p + at, static_cast<std::uint32_t>(r.size()));
+        std::memcpy(p + at + 4, r.data(), r.size());
+        at += 4 + r.size();
+    }
+    store_u64(p + at, fnv1a64(std::span<const std::uint8_t>(p, at)));
+    return out;
+}
+
+void save_checkpoint(const std::string& path, const Checkpoint& ckpt) {
+    require(ckpt.records.size() <= (kMaxCheckpointBytes - kHeaderBytes - 8) / 4,
+            "checkpoint: too many records");
+    atomic_write(path, encode_checkpoint(ckpt), std::ios_base::binary);
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    require(is.good(), "checkpoint: cannot open: " + path);
+    is.seekg(0, std::ios::end);
+    const auto end = is.tellg();
+    require(end >= 0, "checkpoint: cannot size: " + path);
+    const auto size = static_cast<std::uint64_t>(end);
+    require(size <= kMaxCheckpointBytes, "checkpoint: file exceeds size cap: " + path);
+    require(size >= kHeaderBytes + 8, "checkpoint: truncated header: " + path);
+    is.seekg(0, std::ios::beg);
+    std::string buf(static_cast<std::size_t>(size), '\0');
+    is.read(buf.data(), static_cast<std::streamsize>(size));
+    require(is.gcount() == static_cast<std::streamsize>(size),
+            "checkpoint: short read: " + path);
+
+    const auto* p = reinterpret_cast<const std::uint8_t*>(buf.data());
+    require(std::memcmp(p, kCkptMagic, 4) == 0, "checkpoint: bad magic: " + path);
+    require(le_u32(p + 4) == kCkptVersion, "checkpoint: unsupported version: " + path);
+    const std::uint64_t stated = fnv1a64(std::span<const std::uint8_t>(p, size - 8));
+    require(le_u64(p + size - 8) == stated, "checkpoint: checksum mismatch: " + path);
+
+    Checkpoint ckpt;
+    ckpt.engine = le_u32(p + 8);
+    require(le_u32(p + 12) == 0, "checkpoint: nonzero reserved field: " + path);
+    ckpt.config_hash = le_u64(p + 16);
+    const std::uint64_t count = le_u64(p + 24);
+    const std::uint64_t body_end = size - 8;
+    // Every record needs at least its 4-byte length prefix, so `count` is
+    // bounded by the bytes actually present — reject before reserving.
+    require(count <= (body_end - kHeaderBytes) / 4, "checkpoint: record count exceeds file: " + path);
+    ckpt.records.reserve(static_cast<std::size_t>(count));
+    std::uint64_t at = kHeaderBytes;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        require(at + 4 <= body_end, "checkpoint: record length truncated: " + path);
+        const std::uint32_t len = le_u32(p + at);
+        require(at + 4 + len <= body_end, "checkpoint: record payload truncated: " + path);
+        ckpt.records.emplace_back(buf.data() + at + 4, len);
+        at += 4 + len;
+    }
+    require(at == body_end, "checkpoint: trailing bytes after records: " + path);
+    return ckpt;
+}
+
+std::optional<Checkpoint> load_checkpoint_for_resume(const std::string& path,
+                                                     std::uint32_t engine,
+                                                     std::uint64_t config_hash) {
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) return std::nullopt;
+    Checkpoint ckpt;
+    try {
+        ckpt = load_checkpoint(path);
+    } catch (const Error& e) {
+        std::cerr << "memopt: warning: ignoring unusable checkpoint (" << e.what()
+                  << "); starting fresh\n";
+        return std::nullopt;
+    }
+    if (ckpt.engine != engine) {
+        std::cerr << "memopt: warning: checkpoint " << path
+                  << " belongs to a different engine; starting fresh\n";
+        return std::nullopt;
+    }
+    if (ckpt.config_hash != config_hash) {
+        std::cerr << "memopt: warning: checkpoint " << path
+                  << " was written under a different configuration; starting fresh\n";
+        return std::nullopt;
+    }
+    return ckpt;
+}
+
+}  // namespace memopt

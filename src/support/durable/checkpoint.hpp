@@ -1,0 +1,69 @@
+// memopt.ckpt.v1 — the checkpoint container for long-run engines.
+//
+// A checkpoint is an append-only log of completed work units, snapshotted
+// atomically every N units so that a killed run resumes from the last
+// snapshot instead of from zero. Records are opaque byte strings: the
+// engine that wrote them (fault campaign, study suite) defines their
+// encoding; the container only guarantees integrity and attribution.
+//
+// Layout (explicit little-endian, like .mtsc):
+//
+//   offset  size  field
+//        0     4  magic "MCKP"
+//        4     4  u32 version (1)
+//        8     4  u32 engine id (kCkptEngine*)
+//       12     4  u32 reserved (0)
+//       16     8  u64 config hash — fingerprint of every parameter that
+//                 shapes per-unit results; resume refuses a mismatch
+//       24     8  u64 record count
+//       32     …  records: u32 length, then that many bytes, back to back
+//      end-8   8  u64 FNV-1a-64 of every byte before this field
+//
+// Corruption policy: load_checkpoint() validates magic, version, engine,
+// bounds of every record length against the file size, and the trailing
+// checksum, and throws memopt::Error naming the offending field — it never
+// reads past the buffer or trusts a length it has not bounded.
+// load_checkpoint_for_resume() converts any such failure into a one-line
+// stderr diagnostic plus nullopt, so a damaged checkpoint degrades to a
+// fresh start, never to UB or a crash.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace memopt {
+
+inline constexpr std::uint32_t kCkptVersion = 1;
+inline constexpr std::uint32_t kCkptEngineFault = 1;
+inline constexpr std::uint32_t kCkptEngineStudy = 2;
+
+/// Total container size cap: a checkpoint larger than this is rejected
+/// before any allocation sized from file contents.
+inline constexpr std::uint64_t kMaxCheckpointBytes = 1ull << 30;
+
+struct Checkpoint {
+    std::uint32_t engine = 0;
+    std::uint64_t config_hash = 0;
+    std::vector<std::string> records;  ///< one opaque record per completed unit
+};
+
+/// Serialize to the layout above. Deterministic: equal inputs, equal bytes.
+std::string encode_checkpoint(const Checkpoint& ckpt);
+
+/// Write via atomic_write: the file under `path` is always a complete,
+/// checksummed snapshot — a crash mid-save leaves the previous one.
+void save_checkpoint(const std::string& path, const Checkpoint& ckpt);
+
+/// Parse and validate; throws memopt::Error on any structural defect.
+Checkpoint load_checkpoint(const std::string& path);
+
+/// Resume entry point: missing file → nullopt (silent, normal first run);
+/// corrupt file or engine/config mismatch → one-line stderr warning naming
+/// the path and reason, then nullopt (fresh-start fallback).
+std::optional<Checkpoint> load_checkpoint_for_resume(const std::string& path,
+                                                     std::uint32_t engine,
+                                                     std::uint64_t config_hash);
+
+}  // namespace memopt

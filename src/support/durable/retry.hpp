@@ -1,0 +1,71 @@
+// Deterministic bounded retry with exponential backoff.
+//
+// RetryPolicy::run wraps an I/O operation and retries it when — and only
+// when — it throws TransientIoError. Structural errors (plain memopt::Error,
+// corruption detected by checksums, malformed containers) propagate on the
+// first throw: retrying them would just re-read the same bad bytes.
+//
+// Determinism contract: the backoff schedule, including jitter, is a pure
+// function of (site, unit, attempt) under the policy's seed — drawn from
+// support/rng, never from wall clock or a global RNG. Two replays of the
+// same faulted run therefore sleep the same nominal delays in the same
+// places, and with `enable_sleep = false` (the test configuration) the
+// schedule is still computed but no time passes, so retry-path tests are
+// instant and the delay values themselves are assertable.
+//
+// Paired with IoFaultInjector's guarantee that attempts >= max_failures
+// never fail, any policy with max_attempts > the injector's max_failures
+// (defaults: 4 > 2) converges on every site.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "support/durable/io_faults.hpp"
+
+namespace memopt {
+
+struct RetryPolicy {
+    std::uint32_t max_attempts = 4;      ///< total tries, including the first
+    std::uint64_t base_delay_us = 200;   ///< nominal delay before attempt 1's retry
+    double multiplier = 4.0;             ///< exponential growth per retry
+    std::uint64_t max_delay_us = 50000;  ///< backoff ceiling
+    std::uint64_t jitter_seed = 0;       ///< seeds the deterministic jitter stream
+    bool enable_sleep = true;            ///< false: compute delays but do not sleep
+
+    /// Deterministic backoff for the retry after attempt `attempt` (0-based)
+    /// of `unit` at `site`: min(base * multiplier^attempt, max) plus up to
+    /// +50% jitter drawn from an Rng keyed on (jitter_seed, site, unit,
+    /// attempt). Pure function; never consults wall clock.
+    std::uint64_t delay_us(std::string_view site, std::uint64_t unit,
+                           std::uint32_t attempt) const;
+
+    /// Sleep for delay_us(...) when enable_sleep; otherwise a no-op.
+    void backoff(std::string_view site, std::uint64_t unit, std::uint32_t attempt) const;
+
+    /// Run `fn` up to max_attempts times, backing off between attempts.
+    /// Only TransientIoError is retried; the last attempt's exception
+    /// propagates. `fn` is called as fn(attempt) so injection sites can key
+    /// their fault decision on the attempt number.
+    template <typename Fn>
+    auto run(std::string_view site, std::uint64_t unit, Fn&& fn) const
+        -> decltype(fn(std::uint32_t{0})) {
+        for (std::uint32_t attempt = 0;; ++attempt) {
+            try {
+                return fn(attempt);
+            } catch (const TransientIoError&) {
+                if (attempt + 1 >= max_attempts) throw;
+                backoff(site, unit, attempt);
+            }
+        }
+    }
+
+    /// The process-wide policy: defaults, overridable via MEMOPT_IO_RETRY
+    /// ("max_attempts,base_us[,max_us]"); parsed once.
+    static const RetryPolicy& process();
+};
+
+/// Parse "max_attempts,base_us[,max_us]". Throws memopt::Error on bad input.
+RetryPolicy parse_retry_policy(const std::string& spec);
+
+}  // namespace memopt

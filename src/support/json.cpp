@@ -156,4 +156,21 @@ JsonWriter& JsonWriter::null() {
     return *this;
 }
 
+JsonWriter& JsonWriter::raw_fragment(std::string_view fragment) {
+    require(!fragment.empty(), "JsonWriter: empty raw fragment");
+    before_value();
+    const std::string pad(stack_.size() * static_cast<std::size_t>(indent_width_), ' ');
+    std::size_t start = 0;
+    while (start <= fragment.size()) {
+        const std::size_t nl = fragment.find('\n', start);
+        if (nl == std::string_view::npos) {
+            os_ << fragment.substr(start);
+            break;
+        }
+        os_ << fragment.substr(start, nl - start) << '\n' << pad;
+        start = nl + 1;
+    }
+    return *this;
+}
+
 }  // namespace memopt

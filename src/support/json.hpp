@@ -49,6 +49,16 @@ public:
     JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
     JsonWriter& null();
 
+    /// Splice a pre-rendered JSON value (produced by another JsonWriter at
+    /// root depth with the same indent width) as the next value, re-basing
+    /// its lines onto the current nesting depth. Safe because the writer
+    /// escapes real newlines inside strings — a raw '\n' byte in `fragment`
+    /// is always structural whitespace. The fragment's well-formedness is
+    /// the caller's contract (it came from a JsonWriter); it is not
+    /// re-validated here. This is what lets checkpoint/resume replay a
+    /// stored per-unit document into a larger envelope byte-identically.
+    JsonWriter& raw_fragment(std::string_view fragment);
+
     /// key() + value() in one call.
     template <typename T>
     JsonWriter& member(std::string_view k, const T& v) {

@@ -24,7 +24,7 @@ struct LintOptions {
     /// Directory all scan paths and diagnostics are relative to.
     std::string root = ".";
     /// Files or directories to scan, relative to root (or absolute).
-    std::vector<std::string> paths = {"src", "bench", "tests"};
+    std::vector<std::string> paths = {"src", "bench", "tests", "examples", "tools"};
     /// Suppression baseline file; empty = no baseline.
     std::string baseline_path;
     /// Directory names excluded from the walk wherever they appear.

@@ -273,6 +273,32 @@ void check_d4(const SourceFile& file, Emitter& out) {
 }
 
 // ---------------------------------------------------------------------------
+// R1 — raw final-artifact writes bypassing the durable layer
+
+void check_r1(const SourceFile& file, Emitter& out) {
+    // The durable layer itself owns the one raw write (temp → fsync →
+    // rename); tests write scratch files that nothing consumes as results.
+    if (file.path.find("support/durable") != std::string::npos) return;
+    if (file.path.rfind("tests/", 0) == 0 || file.path.find("/tests/") != std::string::npos)
+        return;
+    const auto& t = file.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (i > 0 && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->"))) continue;
+        const bool raw_stream = is_ident(t[i], "ofstream");
+        const bool raw_fopen =
+            is_ident(t[i], "fopen") && i + 1 < t.size() && is_punct(t[i + 1], "(");
+        if (!raw_stream && !raw_fopen) continue;
+        out.emit("R1", t[i].line,
+                 std::string("raw ") + (raw_stream ? "std::ofstream" : "fopen()") +
+                     " writes the destination in place, so a crash mid-write leaves a "
+                     "truncated artifact under the final name; stage through "
+                     "atomic_write / AtomicOstream (support/durable/atomic_file.hpp) or "
+                     "annotate `memopt-lint: durable-write` with a rationale",
+                 "durable-write");
+    }
+}
+
+// ---------------------------------------------------------------------------
 // A1 — raw assert()
 
 void check_a1(const SourceFile& file, Emitter& out) {
@@ -353,6 +379,8 @@ const std::vector<RuleInfo>& rule_catalogue() {
         {"D2", "no nondeterministic seeds (random_device/time/rand/srand) outside support/rng"},
         {"D3", "no captured floating-point accumulation inside parallel lambdas"},
         {"D4", "no std::atomic<float|double>"},
+        {"R1", "final artifacts are written through support/durable (atomic_write/"
+               "AtomicOstream), never raw ofstream/fopen"},
         {"A1", "invariant checks use MEMOPT_ASSERT, never raw assert()"},
         {"H1", "headers carry include guards and no `using namespace`"},
     };
@@ -373,6 +401,7 @@ void check_file(const SourceFile& file, const std::set<std::string>& cross_file_
     check_d2(file, out);
     check_d3(file, out);
     check_d4(file, out);
+    check_r1(file, out);
     check_a1(file, out);
     check_h1(file, out);
 }

@@ -19,6 +19,13 @@
 //      shard-local partial sums reduced in order, not direct `+=`.
 //  D4  no std::atomic<float|double>: atomic FP read-modify-write makes the
 //      accumulation order scheduling-dependent by construction.
+//  R1  final artifacts are published through the durable layer
+//      (atomic_write / AtomicOstream, support/durable/atomic_file.hpp):
+//      a raw std::ofstream or fopen() outside support/durable writes the
+//      destination in place, so a crash mid-write leaves a truncated file
+//      under the final name. Scratch writes carry a
+//      `// memopt-lint: durable-write` annotation with a rationale; test
+//      sources (tests/) are exempt wholesale.
 //  A1  invariant checks use MEMOPT_ASSERT / MEMOPT_ASSERT_MSG, never raw
 //      assert( — raw assert vanishes under NDEBUG and prints no context.
 //  H1  header hygiene: every header starts with #pragma once (or a classic

@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "support/durable/atomic_file.hpp"
 #include "support/string_util.hpp"
 #include "trace/source.hpp"
 
@@ -197,14 +198,19 @@ bool is_binary_path(const std::string& path) {
 }  // namespace
 
 void save_trace(const std::string& path, const MemTrace& trace) {
-    std::ofstream os(path, is_binary_path(path) ? std::ios::binary : std::ios::out);
-    require(os.is_open(), "save_trace: cannot open '" + path + "'");
-    if (is_binary_path(path)) {
-        write_trace_binary(os, trace);
-    } else {
-        write_trace_text(os, trace);
-    }
-    require(os.good(), "save_trace: write failed for '" + path + "'");
+    // Crash-safe: a killed run must never leave a truncated trace under the
+    // final name. atomic_write stages into <path>.tmp and renames on commit.
+    atomic_write(
+        path,
+        [&](std::ostream& os) {
+            if (is_binary_path(path)) {
+                write_trace_binary(os, trace);
+            } else {
+                write_trace_text(os, trace);
+            }
+            require(os.good(), "save_trace: write failed for '" + path + "'");
+        },
+        is_binary_path(path) ? std::ios::binary : std::ios_base::openmode{});
 }
 
 MemTrace load_trace(const std::string& path) {

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "support/assert.hpp"
+#include "support/durable/cancel.hpp"
 #include "support/parallel.hpp"
 #include "trace/synthetic.hpp"
 #include "trace/trace.hpp"
@@ -302,6 +303,12 @@ inline std::vector<std::uint64_t> gather_context(const std::vector<TraceChunk>& 
 /// sums must be exact under reordering — every accumulation in this
 /// repository reduces integer-valued sums, so results are bit-identical at
 /// any job count.
+///
+/// Cancellation: the global CancellationToken is polled at every chunk
+/// boundary on all three execution paths, so a deadline or SIGINT/SIGTERM
+/// interrupts a billion-access replay within one chunk (~64Ki accesses).
+/// The resulting CancelledError unwinds through parallel_map like any
+/// worker exception; partial state is discarded by the caller.
 template <typename MakeState, typename MapChunk, typename Merge>
 auto stream_accumulate(TraceSource& source, std::size_t context_size, std::size_t jobs,
                        const MakeState& make_state, const MapChunk& map_chunk,
@@ -327,6 +334,7 @@ auto stream_accumulate(TraceSource& source, std::size_t context_size, std::size_
                     const std::size_t begin = chunks.size() * s / tasks;
                     const std::size_t end = chunks.size() * (s + 1) / tasks;
                     for (std::size_t k = begin; k < end; ++k) {
+                        CancellationToken::global().check();
                         const std::vector<std::uint64_t> ctx =
                             stream_detail::gather_context(chunks, k, context_size);
                         map_chunk(state, chunks[k], std::span<const std::uint64_t>(ctx));
@@ -340,6 +348,7 @@ auto stream_accumulate(TraceSource& source, std::size_t context_size, std::size_
         }
         State state = make_state();
         for (std::size_t k = 0; k < chunks.size(); ++k) {
+            CancellationToken::global().check();
             const std::vector<std::uint64_t> ctx =
                 stream_detail::gather_context(chunks, k, context_size);
             map_chunk(state, chunks[k], std::span<const std::uint64_t>(ctx));
@@ -352,6 +361,7 @@ auto stream_accumulate(TraceSource& source, std::size_t context_size, std::size_
         std::vector<std::uint64_t> tail;
         TraceChunk c;
         while (source.next(c)) {
+            CancellationToken::global().check();
             if (c.empty()) continue;
             map_chunk(state, c, std::span<const std::uint64_t>(tail));
             stream_detail::update_tail(tail, c.addrs, context_size);
@@ -373,6 +383,7 @@ auto stream_accumulate(TraceSource& source, std::size_t context_size, std::size_
         std::size_t filled = 0;
         TraceChunk c;
         while (filled < tasks && (more = source.next(c))) {
+            CancellationToken::global().check();
             if (c.empty()) continue;
             buffers[filled].assign(c);
             contexts[filled] = tail;

@@ -8,6 +8,9 @@
 #include "compress/codec.hpp"
 #include "compress/diff_codec.hpp"
 #include "compress/zero_run.hpp"
+#include "support/durable/atomic_file.hpp"
+#include "support/durable/cancel.hpp"
+#include "support/durable/retry.hpp"
 #include "support/string_util.hpp"
 
 #if defined(__unix__) || (defined(__APPLE__) && defined(__MACH__))
@@ -166,9 +169,14 @@ TraceSummary write_trace_stream(const std::string& path, TraceSource& source,
     require(blocks64 <= 0xFFFFFFFFULL, "write_trace_stream: too many blocks");
     const auto block_count = static_cast<std::uint32_t>(blocks64);
 
-    std::ofstream os(path, std::ios::binary | std::ios::trunc);
-    require(os.is_open(), "write_trace_stream: cannot open '" + path + "'");
-
+    TraceSummary s;
+    // Crash-safe: blocks stream into <path>.tmp and the container appears
+    // under its final name only on commit, so a killed writer never leaves
+    // a truncated '.mtsc' where a reader could find it. The body is
+    // restartable (it resets the source and all staging state on entry),
+    // which is what lets atomic_write retry the whole cycle on a transient
+    // fault.
+    atomic_write(path, [&](std::ostream& os) {
     // Header + offset table placeholders; rewritten once the summary and
     // the block offsets are known.
     {
@@ -179,7 +187,7 @@ TraceSummary write_trace_stream(const std::string& path, TraceSource& source,
     std::vector<std::uint64_t> offsets;
     offsets.reserve(block_count);
 
-    TraceSummary s;
+    s = TraceSummary{};
     // Staging columns: the source's chunking need not match the container's.
     std::vector<std::uint64_t> addrs;
     std::vector<std::uint64_t> cycles;
@@ -272,6 +280,7 @@ TraceSummary write_trace_stream(const std::string& path, TraceSource& source,
     os.write(reinterpret_cast<const char*>(table.data()),
              static_cast<std::streamsize>(table.size()));
     require(os.good(), "write_trace_stream: write failed for '" + path + "'");
+    }, std::ios::binary);
     return s;
 }
 
@@ -296,6 +305,9 @@ MemTrace read_trace_stream(const std::string& path) {
         static_cast<std::size_t>(std::min<std::uint64_t>(source.size(), kMaxReserveRecords)));
     TraceChunk chunk;
     while (source.next(chunk)) {
+        // Chunk boundaries are the cooperative cancellation points of the
+        // replay: a tripped deadline or signal stops between blocks.
+        CancellationToken::global().check();
         for (std::size_t i = 0; i < chunk.size(); ++i) {
             MemAccess a;
             a.addr = chunk.addrs[i];
@@ -327,9 +339,17 @@ MmapBinarySource::MmapBinarySource(const std::string& path) : path_(path) {
 MmapBinarySource::~MmapBinarySource() { close_file(); }
 
 void MmapBinarySource::open_file() {
+    // Transient open failures (injected or real EINTR-class flake) retry
+    // under the process policy; a genuinely missing file throws plain
+    // Error on the first attempt and is never retried.
+    const std::uint64_t unit = memopt::fnv1a64(std::string_view{path_});
 #if MEMOPT_HAS_MMAP
-    fd_ = ::open(path_.c_str(), O_RDONLY);
-    require(fd_ >= 0, "stream trace: cannot open '" + path_ + "'");
+    fd_ = RetryPolicy::process().run("mtsc.open", unit, [&](std::uint32_t attempt) {
+        io_faults().maybe_fail("mtsc.open", unit, attempt);
+        const int fd = ::open(path_.c_str(), O_RDONLY);
+        require(fd >= 0, "stream trace: cannot open '" + path_ + "'");
+        return fd;
+    });
     struct stat st{};
     if (::fstat(fd_, &st) != 0 || st.st_size < 0) {
         close_file();
@@ -348,8 +368,12 @@ void MmapBinarySource::open_file() {
 #else
     // No mmap on this platform: read the whole file (same semantics, not
     // out-of-core).
-    std::ifstream is(path_, std::ios::binary);
-    require(is.is_open(), "stream trace: cannot open '" + path_ + "'");
+    std::ifstream is = RetryPolicy::process().run("mtsc.open", unit, [&](std::uint32_t attempt) {
+        io_faults().maybe_fail("mtsc.open", unit, attempt);
+        std::ifstream candidate(path_, std::ios::binary);
+        require(candidate.is_open(), "stream trace: cannot open '" + path_ + "'");
+        return candidate;
+    });
     is.seekg(0, std::ios::end);
     const std::streamoff end = is.tellg();
     is.seekg(0, std::ios::beg);
@@ -450,10 +474,22 @@ const std::uint8_t* MmapBinarySource::validate_block(std::uint32_t block,
                 format("stream trace: block %u: bad payload size", block));
     }
     if (!verified_[block]) {
+        // A checksum mismatch can be a transient misread (injected here as
+        // a bit flip into the computed hash), so the verification re-reads
+        // the payload under the retry policy before giving up. Persistent
+        // corruption exhausts the retries and surfaces with the same
+        // diagnostic as before (TransientIoError is an Error).
         const std::uint64_t want = le_u64(p + 16);
-        const std::uint64_t got =
-            fnv1a64(p + kBlockHeaderBytes, static_cast<std::size_t>(payload_bytes));
-        require(got == want, format("stream trace: block %u: checksum mismatch", block));
+        RetryPolicy::process().run("mtsc.block", block, [&](std::uint32_t attempt) {
+            std::uint64_t got =
+                fnv1a64(p + kBlockHeaderBytes, static_cast<std::size_t>(payload_bytes));
+            if (io_faults().should_fail("mtsc.block", block, attempt)) got ^= 1;
+            if (got != want) {
+                throw TransientIoError(
+                    format("stream trace: block %u: checksum mismatch", block));
+            }
+            return 0;
+        });
     }
     *out_count = n;
     *out_payload_bytes = payload_bytes;
@@ -561,10 +597,28 @@ bool BinaryFileSource::next(TraceChunk& chunk) {
     const std::size_t n =
         static_cast<std::size_t>(std::min<std::uint64_t>(chunk_, count_ - pos_));
     raw_.resize(n * 24);
-    stream_->is.read(reinterpret_cast<char*>(raw_.data()),
-                     static_cast<std::streamsize>(raw_.size()));
-    require(stream_->is.gcount() == static_cast<std::streamsize>(raw_.size()),
-            "trace: truncated binary stream");
+    // Each attempt re-seeks to the chunk's absolute offset, so a short read
+    // (injected below by delivering half the bytes, or a real transient
+    // one) is healed by simply reading again. A file that is genuinely too
+    // short fails the gcount check with a plain Error and is not retried.
+    RetryPolicy::process().run("mtrc.read", pos_, [&](std::uint32_t attempt) {
+        stream_->is.clear();
+        stream_->is.seekg(static_cast<std::streamoff>(data_start_ + pos_ * 24));
+        if (!stream_->is.good()) {
+            throw TransientIoError("BinaryFileSource: seek failed for '" + path_ + "'");
+        }
+        if (io_faults().should_fail("mtrc.read", pos_, attempt)) {
+            stream_->is.read(reinterpret_cast<char*>(raw_.data()),
+                             static_cast<std::streamsize>(raw_.size() / 2));
+            throw TransientIoError("injected short read: '" + path_ + "' chunk at " +
+                                   std::to_string(pos_));
+        }
+        stream_->is.read(reinterpret_cast<char*>(raw_.data()),
+                         static_cast<std::streamsize>(raw_.size()));
+        require(stream_->is.gcount() == static_cast<std::streamsize>(raw_.size()),
+                "trace: truncated binary stream");
+        return 0;
+    });
     buffer_.begin(pos_);
     for (std::size_t i = 0; i < n; ++i) {
         const std::uint8_t* r = raw_.data() + i * 24;

@@ -1,0 +1,14 @@
+// Fixture: rule R1 — final artifacts written in place instead of through
+// the durable layer (atomic_write / AtomicOstream).
+#include <cstdio>
+#include <fstream>
+
+void dump_report(const char* path) {
+    std::ofstream os(path);
+    os << "results\n";
+}
+
+void dump_table(const char* path) {
+    std::FILE* f = fopen(path, "w");
+    if (f != nullptr) fclose(f);
+}

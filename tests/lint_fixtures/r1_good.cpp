@@ -1,0 +1,28 @@
+// Fixture: rule R1 — clean patterns: the durable staging API, reads, and
+// an annotated scratch write that is not a final artifact.
+#include <fstream>
+#include <string>
+
+void publish_report(const std::string& path, const std::string& doc) {
+    atomic_write(path, doc);
+}
+
+void publish_rows(const std::string& path) {
+    AtomicOstream os;
+    if (os.open_staged(path)) {
+        os << "rows\n";
+        os.commit();
+    }
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path);  // reads are not artifact writes
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+void scratch(const std::string& dir) {
+    // memopt-lint: durable-write -- throwaway probe file, deleted below
+    std::ofstream os(dir + "/probe.tmp");
+    os << "x";
+}

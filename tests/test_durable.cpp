@@ -1,0 +1,736 @@
+// Durable-execution layer tests: seeded I/O fault injection, deterministic
+// retry/backoff, crash-safe atomic writes, the memopt.ckpt.v1 container
+// (including a corruption fuzz suite mirroring StreamFuzzTest), campaign
+// and study checkpoint/resume bit-identity, and the cooperative watchdog.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "fault/campaign.hpp"
+#include "sim/kernels.hpp"
+#include "support/assert.hpp"
+#include "support/durable/atomic_file.hpp"
+#include "support/durable/cancel.hpp"
+#include "support/durable/checkpoint.hpp"
+#include "support/durable/io_faults.hpp"
+#include "support/durable/retry.hpp"
+#include "support/rng.hpp"
+#include "trace/io.hpp"
+#include "trace/stream_file.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/trace.hpp"
+
+namespace memopt {
+namespace {
+
+std::string temp_path(const std::string& name) {
+    return ::testing::TempDir() + "durable_" + name;
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot read " << path;
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+bool file_exists(const std::string& path) {
+    std::ifstream in(path);
+    return in.good();
+}
+
+/// Every test leaves the process-wide injector disabled and the global
+/// cancellation token disarmed, whatever it exercised.
+class DurableTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        set_io_faults(IoFaultSpec{});
+        CancellationToken::global().reset();
+    }
+    void TearDown() override {
+        set_io_faults(IoFaultSpec{});
+        CancellationToken::global().reset();
+    }
+};
+
+// ---------------------------------------------------------------------------
+// I/O fault injection
+
+TEST_F(DurableTest, FaultSpecParsesSeedRateAndMax) {
+    const IoFaultSpec spec = parse_io_fault_spec("7,0.25");
+    EXPECT_TRUE(spec.enabled);
+    EXPECT_EQ(spec.seed, 7u);
+    EXPECT_DOUBLE_EQ(spec.rate, 0.25);
+    EXPECT_EQ(spec.max_failures, 2u);
+
+    const IoFaultSpec custom = parse_io_fault_spec("11,1.0,max=1");
+    EXPECT_EQ(custom.seed, 11u);
+    EXPECT_DOUBLE_EQ(custom.rate, 1.0);
+    EXPECT_EQ(custom.max_failures, 1u);
+}
+
+TEST_F(DurableTest, FaultSpecRejectsMalformedInput) {
+    EXPECT_THROW(parse_io_fault_spec("x"), Error);
+    EXPECT_THROW(parse_io_fault_spec("7"), Error);
+    EXPECT_THROW(parse_io_fault_spec("7,2.0"), Error);
+    EXPECT_THROW(parse_io_fault_spec("7,-0.1"), Error);
+    EXPECT_THROW(parse_io_fault_spec("7,0.5,max=999"), Error);
+    EXPECT_THROW(parse_io_fault_spec("7,0.5,banana=1"), Error);
+}
+
+TEST_F(DurableTest, FaultDecisionsArePureAndBoundedByMaxFailures) {
+    IoFaultSpec spec;
+    spec.enabled = true;
+    spec.seed = 42;
+    spec.rate = 1.0;  // every eligible attempt fails
+    const IoFaultInjector inj(spec);
+    for (std::uint64_t unit = 0; unit < 16; ++unit) {
+        EXPECT_TRUE(inj.should_fail("site.a", unit, 0));
+        EXPECT_TRUE(inj.should_fail("site.a", unit, 1));
+        // The bound that makes retry loops converge: attempts >=
+        // max_failures never fail, whatever the rate.
+        EXPECT_FALSE(inj.should_fail("site.a", unit, 2));
+        EXPECT_FALSE(inj.should_fail("site.a", unit, 3));
+    }
+    // Same key, same answer — replays reproduce the same faults.
+    EXPECT_EQ(inj.should_fail("site.b", 9, 0), inj.should_fail("site.b", 9, 0));
+}
+
+TEST_F(DurableTest, FaultRateShapesTheDecisionStream) {
+    IoFaultSpec spec;
+    spec.enabled = true;
+    spec.seed = 3;
+    spec.rate = 0.5;
+    const IoFaultInjector inj(spec);
+    int failures = 0;
+    for (std::uint64_t unit = 0; unit < 1000; ++unit) {
+        failures += inj.should_fail("mtsc.block", unit, 0) ? 1 : 0;
+    }
+    EXPECT_GT(failures, 350);  // loose: Binomial(1000, 0.5)
+    EXPECT_LT(failures, 650);
+
+    spec.rate = 0.0;
+    const IoFaultInjector off(spec);
+    EXPECT_FALSE(off.enabled());
+    EXPECT_FALSE(off.should_fail("mtsc.block", 0, 0));
+}
+
+TEST_F(DurableTest, MaybeFailThrowsTransientIoError) {
+    IoFaultSpec spec;
+    spec.enabled = true;
+    spec.seed = 1;
+    spec.rate = 1.0;
+    const IoFaultInjector inj(spec);
+    EXPECT_THROW(inj.maybe_fail("s", 0, 0), TransientIoError);
+    EXPECT_NO_THROW(inj.maybe_fail("s", 0, 2));  // >= max_failures
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy
+
+TEST_F(DurableTest, BackoffScheduleIsDeterministicAndCapped) {
+    RetryPolicy policy;
+    policy.enable_sleep = false;
+    const std::uint64_t d0 = policy.delay_us("s", 7, 0);
+    const std::uint64_t d1 = policy.delay_us("s", 7, 1);
+    EXPECT_EQ(d0, policy.delay_us("s", 7, 0));  // pure function
+    EXPECT_GE(d0, policy.base_delay_us);
+    EXPECT_LE(d0, policy.base_delay_us + policy.base_delay_us / 2);  // +50% jitter cap
+    EXPECT_GT(d1, d0);  // exponential growth
+    // Far past the ceiling: nominal delay saturates at max_delay_us.
+    EXPECT_LE(policy.delay_us("s", 7, 30), policy.max_delay_us + policy.max_delay_us / 2);
+}
+
+TEST_F(DurableTest, RunRetriesTransientErrorsOnly) {
+    RetryPolicy policy;
+    policy.enable_sleep = false;
+    int calls = 0;
+    const int result = policy.run("s", 0, [&](std::uint32_t attempt) {
+        ++calls;
+        if (attempt < 2) throw TransientIoError("flaky");
+        return 99;
+    });
+    EXPECT_EQ(result, 99);
+    EXPECT_EQ(calls, 3);
+
+    // Structural corruption is never retried: one call, straight through.
+    calls = 0;
+    EXPECT_THROW(policy.run("s", 0, [&](std::uint32_t) -> int {
+        ++calls;
+        throw Error("bad magic");
+    }),
+                 Error);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST_F(DurableTest, RunGivesUpAfterMaxAttempts) {
+    RetryPolicy policy;
+    policy.enable_sleep = false;
+    policy.max_attempts = 3;
+    int calls = 0;
+    EXPECT_THROW(policy.run("s", 0, [&](std::uint32_t) -> int {
+        ++calls;
+        throw TransientIoError("always");
+    }),
+                 TransientIoError);
+    EXPECT_EQ(calls, 3);
+}
+
+TEST_F(DurableTest, RetryPolicyParsesAndRejects) {
+    const RetryPolicy p = parse_retry_policy("6,100,9999");
+    EXPECT_EQ(p.max_attempts, 6u);
+    EXPECT_EQ(p.base_delay_us, 100u);
+    EXPECT_EQ(p.max_delay_us, 9999u);
+    EXPECT_THROW(parse_retry_policy(""), Error);
+    EXPECT_THROW(parse_retry_policy("0,100"), Error);
+    EXPECT_THROW(parse_retry_policy("nope"), Error);
+}
+
+TEST_F(DurableTest, InjectorAndPolicyConvergeTogether) {
+    // The pairing contract: policy.max_attempts (4) > injector max_failures
+    // (2), so a site that faults on every eligible attempt still converges.
+    IoFaultSpec spec;
+    spec.enabled = true;
+    spec.seed = 5;
+    spec.rate = 1.0;
+    const IoFaultInjector inj(spec);
+    RetryPolicy policy;
+    policy.enable_sleep = false;
+    const int ok = policy.run("converge", 123, [&](std::uint32_t attempt) {
+        inj.maybe_fail("converge", 123, attempt);
+        return 1;
+    });
+    EXPECT_EQ(ok, 1);
+}
+
+// ---------------------------------------------------------------------------
+// atomic_write / AtomicOstream
+
+TEST_F(DurableTest, AtomicWritePublishesContentsAndCleansUp) {
+    const std::string path = temp_path("aw_basic.txt");
+    atomic_write(path, std::string("hello durable\n"));
+    EXPECT_EQ(slurp(path), "hello durable\n");
+    EXPECT_FALSE(file_exists(path + ".tmp"));
+    std::remove(path.c_str());
+}
+
+TEST_F(DurableTest, AtomicWriteFailureLeavesPreviousArtifactIntact) {
+    const std::string path = temp_path("aw_keep.txt");
+    atomic_write(path, std::string("version 1\n"));
+    EXPECT_THROW(atomic_write(path,
+                              [](std::ostream&) -> void {
+                                  throw Error("producer exploded mid-write");
+                              }),
+                 Error);
+    EXPECT_EQ(slurp(path), "version 1\n");  // old bytes, not a truncation
+    EXPECT_FALSE(file_exists(path + ".tmp"));
+    std::remove(path.c_str());
+}
+
+TEST_F(DurableTest, AtomicWriteRetriesUnderFaultInjection) {
+    IoFaultSpec spec;
+    spec.enabled = true;
+    spec.seed = 9;
+    spec.rate = 1.0;  // attempts 0 and 1 fail at every site
+    set_io_faults(spec);
+    const std::string path = temp_path("aw_faulted.txt");
+    atomic_write(path, std::string("survived\n"));
+    EXPECT_EQ(slurp(path), "survived\n");
+    std::remove(path.c_str());
+}
+
+TEST_F(DurableTest, AtomicOstreamCommitAndDiscard) {
+    const std::string path = temp_path("aos.txt");
+    AtomicOstream os;
+    ASSERT_TRUE(os.open_staged(path));
+    os << "rows\n";
+    EXPECT_FALSE(file_exists(path));  // nothing published before commit
+    EXPECT_TRUE(os.commit());
+    EXPECT_TRUE(os.commit());  // idempotent
+    EXPECT_EQ(slurp(path), "rows\n");
+    EXPECT_FALSE(file_exists(path + ".tmp"));
+
+    AtomicOstream drop;
+    ASSERT_TRUE(drop.open_staged(path));
+    drop << "corrupted half-update";
+    drop.discard();
+    EXPECT_EQ(slurp(path), "rows\n");  // untouched
+    std::remove(path.c_str());
+}
+
+TEST_F(DurableTest, AtomicOstreamDestructorAutoCommits) {
+    const std::string path = temp_path("aos_dtor.txt");
+    {
+        AtomicOstream os;
+        ASSERT_TRUE(os.open_staged(path));
+        os << "published on scope exit\n";
+    }
+    EXPECT_EQ(slurp(path), "published on scope exit\n");
+    std::remove(path.c_str());
+}
+
+TEST_F(DurableTest, AtomicOstreamMoveTransfersPublishDuty) {
+    const std::string path = temp_path("aos_move.txt");
+    {
+        AtomicOstream a;
+        ASSERT_TRUE(a.open_staged(path));
+        a << "moved\n";
+        AtomicOstream b(std::move(a));
+        // The moved-from shell owns nothing: destroying it must not publish
+        // or disturb b's staged bytes.
+    }
+    EXPECT_EQ(slurp(path), "moved\n");
+    std::remove(path.c_str());
+}
+
+TEST_F(DurableTest, AtomicOstreamOpenFailureIsReported) {
+    AtomicOstream os;
+    EXPECT_FALSE(os.open_staged("/no/such/dir/x.json"));
+}
+
+// ---------------------------------------------------------------------------
+// memopt.ckpt.v1 container
+
+Checkpoint sample_checkpoint() {
+    Checkpoint ckpt;
+    ckpt.engine = kCkptEngineFault;
+    ckpt.config_hash = 0xfeedfacecafebeefULL;
+    ckpt.records = {std::string("alpha"), std::string(),  // empty record is legal
+                    std::string("\x00\x01\xff\x7f", 4)};
+    return ckpt;
+}
+
+TEST_F(DurableTest, CheckpointRoundTripsThroughDisk) {
+    const std::string path = temp_path("ckpt_rt.bin");
+    const Checkpoint ckpt = sample_checkpoint();
+    save_checkpoint(path, ckpt);
+    const Checkpoint back = load_checkpoint(path);
+    EXPECT_EQ(back.engine, ckpt.engine);
+    EXPECT_EQ(back.config_hash, ckpt.config_hash);
+    EXPECT_EQ(back.records, ckpt.records);
+    // Deterministic encoding: equal inputs, equal bytes.
+    EXPECT_EQ(encode_checkpoint(ckpt), encode_checkpoint(ckpt));
+    std::remove(path.c_str());
+}
+
+TEST_F(DurableTest, ResumeMissingFileIsASilentFreshStart) {
+    EXPECT_EQ(load_checkpoint_for_resume(temp_path("ckpt_nope.bin"), kCkptEngineFault, 1),
+              std::nullopt);
+}
+
+TEST_F(DurableTest, ResumeRefusesEngineAndConfigMismatch) {
+    const std::string path = temp_path("ckpt_mismatch.bin");
+    save_checkpoint(path, sample_checkpoint());
+    EXPECT_EQ(load_checkpoint_for_resume(path, kCkptEngineStudy, 0xfeedfacecafebeefULL),
+              std::nullopt);
+    EXPECT_EQ(load_checkpoint_for_resume(path, kCkptEngineFault, 0xdeadbeefULL),
+              std::nullopt);
+    EXPECT_TRUE(load_checkpoint_for_resume(path, kCkptEngineFault, 0xfeedfacecafebeefULL)
+                    .has_value());
+    std::remove(path.c_str());
+}
+
+// Mirrors StreamFuzzTest: every truncation and every single-bit flip of a
+// valid container must surface as a clean memopt::Error (and a warned
+// nullopt from the resume entry point), never UB, a crash, or a silently
+// accepted mutant.
+TEST_F(DurableTest, CheckpointFuzzEveryTruncationIsRejected) {
+    const std::string encoded = encode_checkpoint(sample_checkpoint());
+    const std::string path = temp_path("ckpt_trunc.bin");
+    for (std::size_t len = 0; len < encoded.size(); ++len) {
+        atomic_write(path, encoded.substr(0, len), std::ios::binary);
+        EXPECT_THROW(load_checkpoint(path), Error) << "truncated to " << len;
+        EXPECT_EQ(load_checkpoint_for_resume(path, kCkptEngineFault,
+                                             0xfeedfacecafebeefULL),
+                  std::nullopt)
+            << "truncated to " << len;
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(DurableTest, CheckpointFuzzEveryBitFlipIsRejected) {
+    const std::string encoded = encode_checkpoint(sample_checkpoint());
+    const std::string path = temp_path("ckpt_flip.bin");
+    for (std::size_t byte = 0; byte < encoded.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string mutant = encoded;
+            mutant[byte] = static_cast<char>(mutant[byte] ^ (1 << bit));
+            atomic_write(path, mutant, std::ios::binary);
+            // Every byte is covered by the trailing checksum (and the
+            // checksum bytes themselves must then mismatch), so any
+            // single-bit corruption is detectable.
+            EXPECT_THROW(load_checkpoint(path), Error)
+                << "byte " << byte << " bit " << bit;
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(DurableTest, CheckpointFuzzRandomMutationsNeverCrash) {
+    const std::string encoded = encode_checkpoint(sample_checkpoint());
+    const std::string path = temp_path("ckpt_mut.bin");
+    Rng rng(2026);
+    for (int round = 0; round < 200; ++round) {
+        std::string mutant = encoded;
+        const int edits = 1 + static_cast<int>(rng.next_u64() % 8);
+        for (int e = 0; e < edits; ++e) {
+            const std::size_t at = rng.next_u64() % mutant.size();
+            mutant[at] = static_cast<char>(rng.next_u64());
+        }
+        atomic_write(path, mutant, std::ios::binary);
+        try {
+            const Checkpoint back = load_checkpoint(path);
+            // Astronomically unlikely (checksum collision), but if a mutant
+            // parses it must at least be structurally coherent.
+            EXPECT_LE(back.records.size(), 1u << 20);
+        } catch (const Error&) {
+            // expected for essentially every mutant
+        }
+    }
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Campaign checkpoint/resume
+
+FaultCampaignConfig small_campaign_config() {
+    FaultCampaignConfig config;
+    config.seed = 77;
+    config.trials = 24;
+    config.bit_flip_rate = 2e-3;
+    config.protection = ProtectionScheme::Secded;
+    config.codec_tag = "none";
+    config.line_bytes = 32;
+    return config;
+}
+
+std::vector<std::vector<std::uint8_t>> small_corpus() {
+    std::vector<std::uint8_t> image(512);
+    for (std::size_t i = 0; i < image.size(); ++i) {
+        image[i] = static_cast<std::uint8_t>(i * 37 + 11);
+    }
+    return line_corpus(image, 32);
+}
+
+void expect_results_equal(const FaultCampaignResult& a, const FaultCampaignResult& b) {
+    EXPECT_EQ(a.lines_evaluated, b.lines_evaluated);
+    EXPECT_EQ(a.faults_injected, b.faults_injected);
+    EXPECT_EQ(a.corrected, b.corrected);
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.codec_rejects, b.codec_rejects);
+    EXPECT_EQ(a.degraded, b.degraded);
+    EXPECT_EQ(a.silent, b.silent);
+    EXPECT_EQ(a.clean, b.clean);
+    EXPECT_EQ(a.energy.total(), b.energy.total());  // bit-exact, not approx
+}
+
+TEST_F(DurableTest, TrialRecordRoundTripsAndRejectsWrongSize) {
+    FaultTrialStats stats;
+    stats.injected = 5;
+    stats.corrected = 4;
+    stats.detected = 3;
+    stats.codec_rejects = 2;
+    stats.degraded = 1;
+    stats.silent = 7;
+    stats.clean = 11;
+    const std::string record = encode_trial_record(stats);
+    EXPECT_EQ(record.size(), 56u);
+    const FaultTrialStats back = decode_trial_record(record);
+    EXPECT_EQ(back.injected, stats.injected);
+    EXPECT_EQ(back.corrected, stats.corrected);
+    EXPECT_EQ(back.detected, stats.detected);
+    EXPECT_EQ(back.codec_rejects, stats.codec_rejects);
+    EXPECT_EQ(back.degraded, stats.degraded);
+    EXPECT_EQ(back.silent, stats.silent);
+    EXPECT_EQ(back.clean, stats.clean);
+    EXPECT_THROW(decode_trial_record(record.substr(0, 55)), Error);
+    EXPECT_THROW(decode_trial_record(record + "x"), Error);
+}
+
+TEST_F(DurableTest, CampaignConfigHashPinsResultShapingInputs) {
+    const auto corpus = small_corpus();
+    FaultCampaignConfig a = small_campaign_config();
+    const std::uint64_t base = campaign_config_hash(a, corpus, {});
+    EXPECT_EQ(base, campaign_config_hash(a, corpus, {}));  // stable
+
+    FaultCampaignConfig b = a;
+    b.seed = 78;
+    EXPECT_NE(campaign_config_hash(b, corpus, {}), base);
+    FaultCampaignConfig c = a;
+    c.codec_tag = "diff";
+    EXPECT_NE(campaign_config_hash(c, corpus, {}), base);
+    auto corpus2 = corpus;
+    corpus2[0][0] ^= 1;
+    EXPECT_NE(campaign_config_hash(a, corpus2, {}), base);
+    const std::vector<double> probs(corpus.size(), 1e-3);
+    EXPECT_NE(campaign_config_hash(a, corpus, probs), base);
+}
+
+TEST_F(DurableTest, CampaignResumesBitIdenticallyAtAnyJobs) {
+    const auto corpus = small_corpus();
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+        FaultCampaignConfig config = small_campaign_config();
+        config.jobs = jobs;
+        const FaultCampaignResult reference = run_campaign(config, corpus);
+
+        const std::string path =
+            temp_path("campaign_j" + std::to_string(jobs) + ".ckpt");
+        std::remove(path.c_str());
+
+        CampaignCheckpointOptions first;
+        first.path = path;
+        first.every = 4;
+        first.max_trials_this_run = 10;  // deterministic "interruption"
+        const CampaignCheckpointOutcome partial =
+            run_campaign_checkpointed(config, corpus, {}, first);
+        EXPECT_FALSE(partial.completed);
+        EXPECT_EQ(partial.trials_done, 10u);
+        EXPECT_EQ(partial.trials_total, config.trials);
+        EXPECT_FALSE(partial.stop_reason.empty());
+
+        CampaignCheckpointOptions second;
+        second.path = path;
+        second.resume = true;
+        second.every = 4;
+        const CampaignCheckpointOutcome resumed =
+            run_campaign_checkpointed(config, corpus, {}, second);
+        ASSERT_TRUE(resumed.completed);
+        EXPECT_EQ(resumed.trials_done, config.trials);
+        expect_results_equal(resumed.result, reference);
+        std::remove(path.c_str());
+    }
+}
+
+TEST_F(DurableTest, CampaignResumeIgnoresIncompatibleCheckpoint) {
+    const auto corpus = small_corpus();
+    FaultCampaignConfig config = small_campaign_config();
+    const FaultCampaignResult reference = run_campaign(config, corpus);
+
+    const std::string path = temp_path("campaign_stale.ckpt");
+    FaultCampaignConfig other = config;
+    other.seed = 12345;
+    CampaignCheckpointOptions stale;
+    stale.path = path;
+    stale.max_trials_this_run = 6;
+    (void)run_campaign_checkpointed(other, corpus, {}, stale);
+
+    // Resume under the real config: the stale checkpoint's hash mismatches,
+    // so the run restarts from zero and still converges on the reference.
+    CampaignCheckpointOptions resume;
+    resume.path = path;
+    resume.resume = true;
+    const CampaignCheckpointOutcome outcome =
+        run_campaign_checkpointed(config, corpus, {}, resume);
+    ASSERT_TRUE(outcome.completed);
+    expect_results_equal(outcome.result, reference);
+    std::remove(path.c_str());
+}
+
+TEST_F(DurableTest, CampaignWithoutCheckpointPathStillCompletes) {
+    const auto corpus = small_corpus();
+    const FaultCampaignConfig config = small_campaign_config();
+    const CampaignCheckpointOutcome outcome =
+        run_campaign_checkpointed(config, corpus, {}, CampaignCheckpointOptions{});
+    ASSERT_TRUE(outcome.completed);
+    expect_results_equal(outcome.result, run_campaign(config, corpus));
+}
+
+// ---------------------------------------------------------------------------
+// Study checkpoint/resume
+
+TEST_F(DurableTest, StudyRecordRoundTripsAndRejectsMalformed) {
+    StudyOutcome outcome;
+    outcome.name = "fir";
+    outcome.json = "{\n  \"x\": 1\n}";
+    outcome.clustering_savings_pct = 12.5;
+    outcome.compression_savings_pct = -3.25;
+    outcome.encoding_reduction_pct = 40.0;
+    const std::string record = encode_study_record(outcome);
+    const StudyOutcome back = decode_study_record(record);
+    EXPECT_EQ(back.name, outcome.name);
+    EXPECT_EQ(back.json, outcome.json);
+    EXPECT_EQ(back.clustering_savings_pct, outcome.clustering_savings_pct);
+    EXPECT_EQ(back.compression_savings_pct, outcome.compression_savings_pct);
+    EXPECT_EQ(back.encoding_reduction_pct, outcome.encoding_reduction_pct);
+    EXPECT_THROW(decode_study_record(record.substr(0, record.size() - 1)), Error);
+    EXPECT_THROW(decode_study_record(record + "y"), Error);
+    EXPECT_THROW(decode_study_record(""), Error);
+}
+
+TEST_F(DurableTest, StudySuiteResumesByteIdentically) {
+    const std::vector<Kernel> suite = kernel_suite();
+    ASSERT_GE(suite.size(), 2u);
+    const std::vector<Kernel> kernels(suite.begin(), suite.begin() + 2);
+    StudyParams params;
+    params.flow.constraints.max_banks = 4;
+
+    const std::vector<StudyReport> reference = study_suite(kernels, params);
+
+    const std::string path = temp_path("study.ckpt");
+    std::remove(path.c_str());
+    StudyCheckpointOptions first;
+    first.path = path;
+    first.config_tag = "banks=4";
+    first.max_kernels_this_run = 1;
+    const StudySuiteOutcome partial = study_suite_checkpointed(kernels, params, 0, first);
+    EXPECT_FALSE(partial.completed);
+    EXPECT_EQ(partial.outcomes.size(), 1u);
+    EXPECT_FALSE(partial.stop_reason.empty());
+
+    StudyCheckpointOptions second;
+    second.path = path;
+    second.resume = true;
+    second.config_tag = "banks=4";
+    const StudySuiteOutcome resumed = study_suite_checkpointed(kernels, params, 0, second);
+    ASSERT_TRUE(resumed.completed);
+    ASSERT_EQ(resumed.outcomes.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        // The resumed kernel's recorded JSON (written before the interrupt)
+        // must match a fresh render byte for byte — the property that lets
+        // the CLI splice checkpointed kernels into --json envelopes.
+        EXPECT_EQ(resumed.outcomes[i].json, to_outcome(reference[i]).json) << i;
+        EXPECT_EQ(resumed.outcomes[i].name, reference[i].name);
+    }
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative watchdog
+
+TEST_F(DurableTest, DeadlineZeroTripsAtTheFirstCheck) {
+    CancellationToken token;
+    token.set_deadline_sec(0.0);
+    EXPECT_TRUE(token.triggered());
+    EXPECT_THROW(token.check(), CancelledError);
+    EXPECT_NE(token.reason().find("deadline"), std::string::npos);
+}
+
+TEST_F(DurableTest, RequestLatchesReasonAndResetDisarms) {
+    CancellationToken token;
+    EXPECT_FALSE(token.triggered());
+    token.request("operator asked");
+    EXPECT_TRUE(token.triggered());
+    EXPECT_EQ(token.reason(), "operator asked");
+    token.request("second reason ignored");
+    EXPECT_EQ(token.reason(), "operator asked");  // first trip wins
+    token.reset();
+    EXPECT_FALSE(token.triggered());
+    EXPECT_EQ(token.reason(), "");
+    EXPECT_NO_THROW(token.check());
+}
+
+TEST_F(DurableTest, NegativeDeadlineDisarms) {
+    CancellationToken token;
+    token.set_deadline_sec(0.0);
+    EXPECT_TRUE(token.triggered());
+    token.reset();
+    token.set_deadline_sec(-1.0);
+    EXPECT_FALSE(token.triggered());
+}
+
+TEST_F(DurableTest, TrippedTokenCancelsACampaign) {
+    CancellationToken::global().request("test trip");
+    const auto corpus = small_corpus();
+    const FaultCampaignConfig config = small_campaign_config();
+    EXPECT_THROW(run_campaign(config, corpus), CancelledError);
+
+    // The checkpointed driver converts the trip into a graceful partial
+    // outcome instead of throwing.
+    const CampaignCheckpointOutcome outcome =
+        run_campaign_checkpointed(config, corpus, {}, CampaignCheckpointOptions{});
+    EXPECT_FALSE(outcome.completed);
+    EXPECT_EQ(outcome.trials_done, 0u);
+    EXPECT_EQ(outcome.stop_reason, "test trip");
+}
+
+TEST_F(DurableTest, TrippedTokenCancelsStreamReplay) {
+    // stream_accumulate polls the token at chunk boundaries; a pre-tripped
+    // token must surface as CancelledError from the replay entry points.
+    const std::string path = temp_path("cancel.mtsc");
+    SyntheticSpec spec;
+    spec.kind = SyntheticKind::Stride;
+    spec.base.num_accesses = 20000;
+    SyntheticSource source(spec, 1024);
+    write_trace_stream(path, source);
+
+    CancellationToken::global().request("stop replay");
+    EXPECT_THROW(read_trace_stream(path), CancelledError);
+    CancellationToken::global().reset();
+    EXPECT_EQ(read_trace_stream(path).size(), 20000u);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Streaming I/O under fault injection
+
+TEST_F(DurableTest, StreamContainerReadsIdenticallyUnderFaults) {
+    const std::string path = temp_path("faulted.mtsc");
+    SyntheticSpec spec;
+    spec.kind = SyntheticKind::Stride;
+    spec.base.num_accesses = 30000;
+    SyntheticSource source(spec, 2048);
+    write_trace_stream(path, source);
+    const MemTrace clean = read_trace_stream(path);
+
+    IoFaultSpec faults;
+    faults.enabled = true;
+    faults.seed = 13;
+    faults.rate = 0.5;  // every other open/block draws a transient failure
+    set_io_faults(faults);
+    const MemTrace faulted = read_trace_stream(path);
+    set_io_faults(IoFaultSpec{});
+
+    ASSERT_EQ(faulted.size(), clean.size());
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+        ASSERT_EQ(faulted.addrs()[i], clean.addrs()[i]) << i;
+        ASSERT_EQ(faulted.values()[i], clean.values()[i]) << i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(DurableTest, BinaryTraceReadsIdenticallyUnderFaults) {
+    const std::string path = temp_path("faulted.mtrc");
+    SyntheticSpec spec;
+    spec.kind = SyntheticKind::Stride;
+    spec.base.num_accesses = 4000;
+    SyntheticSource source(spec, 512);
+    MemTrace trace;
+    TraceChunk chunk;
+    while (source.next(chunk)) {
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+            MemAccess a;
+            a.addr = chunk.addrs[i];
+            a.cycle = chunk.cycles[i];
+            a.value = chunk.values[i];
+            a.size = chunk.sizes[i];
+            a.kind = chunk.kinds[i];
+            trace.add(a);
+        }
+    }
+    save_trace(path, trace);
+
+    IoFaultSpec faults;
+    faults.enabled = true;
+    faults.seed = 21;
+    faults.rate = 0.4;
+    set_io_faults(faults);
+    const MemTrace faulted = load_trace(path);
+    set_io_faults(IoFaultSpec{});
+
+    ASSERT_EQ(faulted.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        ASSERT_EQ(faulted.addrs()[i], trace.addrs()[i]) << i;
+        ASSERT_EQ(faulted.values()[i], trace.values()[i]) << i;
+    }
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace memopt

@@ -70,8 +70,8 @@ TEST_P(LintFixture, BadFixtureMatchesGolden) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllRules, LintFixture,
-                         ::testing::Values("d1_bad", "d2_bad", "d3_bad", "d4_bad", "a1_bad",
-                                           "h1_bad"));
+                         ::testing::Values("d1_bad", "d2_bad", "d3_bad", "d4_bad", "r1_bad",
+                                           "a1_bad", "h1_bad"));
 
 class LintGoodFixture : public ::testing::TestWithParam<const char*> {};
 
@@ -81,7 +81,7 @@ TEST_P(LintGoodFixture, GoodFixtureIsClean) {
 
 INSTANTIATE_TEST_SUITE_P(AllRules, LintGoodFixture,
                          ::testing::Values("d1_good.cpp", "d2_good.cpp", "d3_good.cpp",
-                                           "a1_good.cpp", "h1_good.hpp",
+                                           "r1_good.cpp", "a1_good.cpp", "h1_good.hpp",
                                            "h1_guard_good.hpp"));
 
 // ---------------------------------------------------------------------------
@@ -197,6 +197,24 @@ TEST(LintRules, D3ShardLocalPartialIsClean) {
     EXPECT_TRUE(findings.empty());
 }
 
+TEST(LintRules, R1ExemptInsideDurableLayerAndTests) {
+    const std::string code = "void f(const char* p) { std::ofstream os(p); }\n";
+    EXPECT_TRUE(check_snippet("src/support/durable/atomic_file.cpp", code).empty());
+    EXPECT_TRUE(check_snippet("tests/test_scratch.cpp", code).empty());
+    const auto findings = check_snippet("src/trace/io.cpp", code);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "R1");
+}
+
+TEST(LintRules, R1IgnoresMemberCallsAndReads) {
+    const auto findings = check_snippet("src/x.cpp",
+                                        "void f(Io& io, const char* p) {\n"
+                                        "    io.fopen(p);\n"
+                                        "    std::ifstream in(p);\n"
+                                        "}\n");
+    EXPECT_TRUE(findings.empty());
+}
+
 TEST(LintRules, A1IgnoresMemberAndDistinctIdentifiers) {
     const auto findings = check_snippet("t.cpp",
                                         "void f(Checker& c) {\n"
@@ -290,8 +308,8 @@ TEST(LintDriver, ScanIsDeterministic) {
     for (std::size_t i = 0; i < a.findings.size(); ++i) {
         EXPECT_EQ(a.findings[i].render(), b.findings[i].render());
     }
-    // All bad fixtures, none suppressed: 2 + 4 + 1 + 3 + 1 + 2.
-    EXPECT_EQ(a.active_count(), 13u);
+    // All bad fixtures, none suppressed: 2 + 4 + 1 + 3 + 2 + 1 + 2.
+    EXPECT_EQ(a.active_count(), 15u);
 }
 
 TEST(LintJson, ReportIsCompleteAndCarriesSchema) {

@@ -4,7 +4,8 @@
 //   memopt_lint [paths...] [--root DIR] [--baseline FILE] [--json FILE]
 //               [--list-rules] [--help]
 //
-// Walks the given paths (default: src bench tests, relative to --root),
+// Walks the given paths (default: src bench tests examples tools, relative
+// to --root),
 // tokenizes every C++ source file, and enforces the project's determinism
 // and hygiene invariants as named rules (see src/tools/lint/rules.hpp for
 // the catalogue). Findings print as `file:line: rule: message`; `--json`
@@ -12,12 +13,13 @@
 //
 // Exit codes: 0 clean (no unsuppressed findings), 1 findings, 2 usage or
 // environment error.
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "support/assert.hpp"
+#include "support/durable/atomic_file.hpp"
 #include "support/json.hpp"
 #include "tools/lint/lint.hpp"
 
@@ -28,7 +30,8 @@ constexpr const char* kUsage =
     "                   [--list-rules] [--help]\n"
     "\n"
     "Determinism & invariant static analysis over the memopt sources.\n"
-    "Paths default to `src bench tests` relative to --root (default: .).\n"
+    "Paths default to `src bench tests examples tools` relative to --root\n"
+    "(default: .).\n"
     "\n"
     "  --root DIR       tree root; scan paths and diagnostics are relative to it\n"
     "  --baseline FILE  suppression baseline (file:line:rule entries); matched\n"
@@ -87,7 +90,8 @@ int main(int argc, char** argv) {
             options.paths.push_back(arg);
         }
     }
-    if (options.paths.empty()) options.paths = {"src", "bench", "tests"};
+    if (options.paths.empty())
+        options.paths = {"src", "bench", "tests", "examples", "tools"};
 
     memopt::lint::LintReport report;
     try {
@@ -107,14 +111,18 @@ int main(int argc, char** argv) {
     }
 
     if (!json_path.empty()) {
-        std::ofstream out(json_path);
-        if (!out) {
-            std::cerr << "memopt_lint: cannot write " << json_path << "\n";
+        // Dogfood rule R1: the report publishes crash-safely through the
+        // durable layer, never as an in-place write of the final name.
+        std::ostringstream doc;
+        memopt::JsonWriter w(doc);
+        memopt::lint::write_json(w, options, report);
+        doc << "\n";
+        try {
+            memopt::atomic_write(json_path, doc.str());
+        } catch (const std::exception& e) {
+            std::cerr << "memopt_lint: cannot write " << json_path << ": " << e.what() << "\n";
             return 2;
         }
-        memopt::JsonWriter w(out);
-        memopt::lint::write_json(w, options, report);
-        out << "\n";
     }
 
     const std::size_t active = report.active_count();
