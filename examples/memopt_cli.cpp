@@ -203,6 +203,12 @@ int usage() {
               "  partition <kernel|file> [--banks N] [--block BYTES]\n"
               "            [--cluster none|frequency|affinity]\n"
               "            [--trace-stream SPEC] [--chunk-size N]\n"
+              "            [--bank-pool SPEC]                hybrid pool, e.g.\n"
+              "                                              sram=2,sttmram=6 (techs: sram,\n"
+              "                                              edram, sttmram, drowsy)\n"
+              "            [--gate-idle N]                   idle cycles before a bank is\n"
+              "                                              power-gated (0 = never gate)\n"
+              "            [--gate-leak-scale X]             scale gated leakage (ablation)\n"
               "  compress <kernel> [--platform vliw|risc]\n"
               "            [--codec diff|zero-run|bdi|dictionary]\n"
               "  encode <kernel> [--gates N]\n"
@@ -438,6 +444,55 @@ int cmd_partition(const Args& args, JsonWriter* jw) {
     else if (method_name == "affinity") method = ClusterMethod::Affinity;
     else throw UsageError("partition: unknown clustering method '" + method_name + "'");
 
+    const std::string pool_spec = args.get("bank-pool", "");
+    if (!pool_spec.empty()) {
+        // Hybrid pool path: keeps the legacy (no --bank-pool) report
+        // byte-identical by never touching the branches below.
+        BankPool pool;
+        try {
+            pool = BankPool::parse(pool_spec);
+        } catch (const Error& e) {
+            throw UsageError(std::string("partition: ") + e.what());
+        }
+        HybridGatingParams gating;
+        const std::int64_t idle = args.get_int("gate-idle", 200);
+        usage_require(idle >= 0, "partition: --gate-idle expects a non-negative count");
+        gating.enabled = idle > 0;
+        gating.idle_cycles = static_cast<std::uint64_t>(idle);
+        gating.gate_leak_scale = args.get_double("gate-leak-scale", 1.0);
+        usage_require(gating.gate_leak_scale >= 0.0,
+                      "partition: --gate-leak-scale expects a non-negative factor");
+
+        HybridFlowResult result;
+        if (!stream_spec.empty()) {
+            const std::int64_t chunk = args.get_int("chunk-size", 0);
+            usage_require(chunk >= 0, "partition: --chunk-size expects a non-negative count");
+            const std::unique_ptr<TraceSource> source =
+                WorkloadRepository::instance().open_trace_source(
+                    stream_spec, static_cast<std::size_t>(chunk));
+            result = flow.run_hybrid(*source, method, pool, gating);
+        } else {
+            result = flow.run_hybrid(trace_of(args.positional[0]), method, pool, gating);
+        }
+        result.report.energy.print(std::cout, "hybrid energy (" + pool.to_string() + "):");
+        std::printf("banks: %zu   wakeups: %llu\n", result.base.solution.arch.num_banks(),
+                    static_cast<unsigned long long>(result.report.total_wakeups()));
+        for (std::size_t b = 0; b < result.base.solution.arch.num_banks(); ++b) {
+            const Bank& bank = result.base.solution.arch.banks()[b];
+            const HybridBankReport& slice = result.report.banks[b];
+            const double gated_pct =
+                slice.activity.total_cycles() == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(slice.activity.gated_cycles) /
+                          static_cast<double>(slice.activity.total_cycles());
+            std::printf("  bank [%zu, %zu) -> %s  %-8s heat#%zu  gated %.1f%%\n",
+                        bank.first_block, bank.end_block(),
+                        format_bytes(bank.size_bytes).c_str(),
+                        technology_name(result.techs[b]), result.heat_rank[b], gated_pct);
+        }
+        if (jw != nullptr) to_json(*jw, result);
+        return 0;
+    }
     if (method == ClusterMethod::None) {
         FlowResult result;
         if (!stream_spec.empty()) {

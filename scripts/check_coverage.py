@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Coverage gate: check a gcovr Cobertura report against the checked-in floor.
+
+Usage:
+    python3 scripts/check_coverage.py <coverage.xml>            # gate (CI)
+    python3 scripts/check_coverage.py <coverage.xml> --update   # refresh floor
+    python3 scripts/check_coverage.py <coverage.xml> --floor <file> \
+        --margin-pct 2
+
+The input is the Cobertura XML document the coverage CI job produces with
+`gcovr --filter 'src/' --xml-pretty --output coverage.xml`; its root
+<coverage> element carries lines-covered / lines-valid totals for src/.
+The floor (scripts/coverage_floor.json) stores a single line-coverage
+percentage the tree must not drop below.
+
+The gate FAILS when measured line coverage is below the floor. Rising
+coverage never fails; a run that clears the floor by more than the margin
+prints a hint to refresh the floor so the gate tightens over time.
+--update rewrites the floor to the measured value minus the margin
+(default 2 points), which absorbs run-to-run jitter from timing-dependent
+branches without letting real coverage losses through.
+
+Exit codes: 0 ok, 1 below floor, 2 usage/input error.
+"""
+import argparse
+import json
+import sys
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+DEFAULT_FLOOR = Path(__file__).resolve().parent / "coverage_floor.json"
+
+
+def load_report(path: Path) -> tuple[int, int]:
+    try:
+        root = ET.parse(path).getroot()
+    except ET.ParseError as err:
+        sys.exit(f"error: {path} is not well-formed XML: {err}")
+    if root.tag != "coverage":
+        sys.exit(f"error: {path} is not a Cobertura document "
+                 f"(root element <{root.tag}>)")
+    try:
+        covered = int(root.attrib["lines-covered"])
+        valid = int(root.attrib["lines-valid"])
+    except (KeyError, ValueError):
+        # Older gcovr emits only the rate; synthesize counts from it.
+        try:
+            rate = float(root.attrib["line-rate"])
+        except (KeyError, ValueError):
+            sys.exit(f"error: {path} has neither lines-covered/lines-valid "
+                     "nor line-rate on <coverage>")
+        covered, valid = round(rate * 100000), 100000
+    if valid <= 0:
+        sys.exit(f"error: {path} reports no coverable lines")
+    return covered, valid
+
+
+def load_floor(path: Path) -> float:
+    with path.open() as f:
+        doc = json.load(f)
+    if doc.get("schema") != "memopt.coverage_floor.v1":
+        sys.exit(f"error: {path} is not a memopt.coverage_floor.v1 document "
+                 f"(schema={doc.get('schema')!r})")
+    return float(doc["line_coverage_pct"])
+
+
+def update_floor(path: Path, pct: float, margin: float) -> None:
+    floor = max(0.0, round(pct - margin, 1))
+    doc = {
+        "schema": "memopt.coverage_floor.v1",
+        "note": "minimum line coverage for src/ enforced by "
+                "scripts/check_coverage.py; refresh with: "
+                "scripts/check_coverage.py <coverage.xml> --update",
+        "line_coverage_pct": floor,
+    }
+    with path.open("w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"floor updated: {path} ({floor:.1f}% = measured {pct:.1f}% "
+          f"- {margin:.1f} margin)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("report", type=Path,
+                        help="Cobertura coverage.xml from gcovr")
+    parser.add_argument("--floor", type=Path, default=DEFAULT_FLOOR,
+                        help=f"floor file (default: {DEFAULT_FLOOR})")
+    parser.add_argument("--margin-pct", type=float, default=2.0,
+                        help="slack subtracted from the measurement on "
+                             "--update (default: 2)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the floor from this report instead of gating")
+    args = parser.parse_args()
+
+    if not args.report.exists():
+        print(f"error: report not found: {args.report}", file=sys.stderr)
+        return 2
+    covered, valid = load_report(args.report)
+    pct = 100.0 * covered / valid
+
+    if args.update:
+        update_floor(args.floor, pct, args.margin_pct)
+        return 0
+
+    if not args.floor.exists():
+        print(f"error: floor not found: {args.floor} "
+              "(create it with --update)", file=sys.stderr)
+        return 2
+    floor = load_floor(args.floor)
+
+    print(f"line coverage (src/): {covered}/{valid} = {pct:.1f}% "
+          f"(floor {floor:.1f}%)")
+    if pct < floor:
+        print(f"\nCOVERAGE GATE: FAIL — line coverage {pct:.1f}% is below the "
+              f"floor {floor:.1f}%")
+        return 1
+    if pct > floor + 2.0 * args.margin_pct:
+        print("hint: coverage well above the floor; consider tightening it "
+              "with --update")
+    print(f"\nCOVERAGE GATE: ok — {pct:.1f}% >= {floor:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

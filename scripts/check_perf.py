@@ -20,10 +20,18 @@ the gate tightens over time. Benchmarks missing from the baseline (new
 ones) or missing from the run (retired ones) warn but do not fail — new
 entries are adopted with --update.
 
+With --trajectory, the run is also appended to a rolling
+memopt.bench-trajectory.v1 document ({sha, date, per-benchmark ns/iter} per
+entry) before the gate evaluates, so even failing runs record their
+timings. The perf-regression CI job carries that file across runs via the
+actions cache and uploads it as the BENCH_trajectory artifact.
+
 Exit codes: 0 ok, 1 regression, 2 usage/input error.
 """
 import argparse
+import datetime
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -68,6 +76,39 @@ def update_baseline(path: Path, results: dict) -> None:
     print(f"baseline updated: {path} ({len(results)} benchmarks)")
 
 
+def append_trajectory(path: Path, sha: str, date: str, results: dict) -> None:
+    doc = {"schema": "memopt.bench-trajectory.v1",
+           "note": "per-benchmark real_time_ns history, one entry per CI run; "
+                   "appended by scripts/check_perf.py --trajectory",
+           "runs": []}
+    if path.exists():
+        try:
+            with path.open() as f:
+                existing = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            # A truncated cache restore must not wedge the gate forever;
+            # start a fresh trajectory and say so.
+            print(f"warning: discarding unreadable trajectory {path}: {err}",
+                  file=sys.stderr)
+            existing = None
+        if existing is not None:
+            if existing.get("schema") != "memopt.bench-trajectory.v1":
+                sys.exit(f"error: {path} is not a memopt.bench-trajectory.v1 "
+                         f"document (schema={existing.get('schema')!r})")
+            doc = existing
+    doc["runs"].append({
+        "sha": sha,
+        "date": date,
+        "benchmarks": {name: round(ns, 1) for name, ns in sorted(results.items())},
+    })
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"trajectory: appended run {sha[:12]} ({len(results)} benchmarks, "
+          f"{len(doc['runs'])} total runs) to {path}")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -78,12 +119,26 @@ def main() -> int:
                         help="allowed slowdown before failing (default: 25)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from this run instead of gating")
+    parser.add_argument("--trajectory", type=Path, default=None,
+                        help="append this run to a memopt.bench-trajectory.v1 "
+                             "history file before gating")
+    parser.add_argument("--sha", default=os.environ.get("GITHUB_SHA", "unknown"),
+                        help="commit sha recorded in the trajectory entry "
+                             "(default: $GITHUB_SHA)")
+    parser.add_argument("--date", default=None,
+                        help="ISO-8601 date recorded in the trajectory entry "
+                             "(default: now, UTC)")
     args = parser.parse_args()
 
     if not args.run.exists():
         print(f"error: run file not found: {args.run}", file=sys.stderr)
         return 2
     results = load_run(args.run)
+
+    if args.trajectory is not None:
+        date = args.date or datetime.datetime.now(datetime.timezone.utc) \
+            .strftime("%Y-%m-%dT%H:%M:%SZ")
+        append_trajectory(args.trajectory, args.sha, date, results)
 
     if args.update:
         update_baseline(args.baseline, results)

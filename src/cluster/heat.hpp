@@ -1,0 +1,29 @@
+// Bank heat ranking for cluster->bank technology placement.
+//
+// The hybrid assignment (partition/hybrid.hpp) minimizes energy directly,
+// which implicitly sends hot banks to fast SRAM and cold banks to dense NVM.
+// This module makes that ordering explicit and inspectable: a bank's *heat*
+// is its access density (accesses per byte of physical capacity), and the
+// heat rank orders banks hottest-first. Reports and benches use the rank to
+// show the hot->SRAM / cold->NVM policy at work; the clustering passes that
+// pack co-accessed blocks together are exactly what sharpens this gradient.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "partition/bank.hpp"
+#include "trace/profile.hpp"
+
+namespace memopt {
+
+/// Access density of every bank [accesses / byte]: total profile accesses
+/// landing in the bank divided by its physical capacity. The profile must
+/// be in the same (physical) block space as the architecture.
+std::vector<double> bank_heat(const MemoryArchitecture& arch, const BlockProfile& profile);
+
+/// Heat rank per bank: rank[b] == 0 for the hottest bank, 1 for the next,
+/// ... Deterministic: density ties break toward the lower bank index.
+std::vector<std::size_t> bank_heat_rank(const std::vector<double>& heat);
+
+}  // namespace memopt

@@ -3,11 +3,13 @@
 #include <optional>
 
 #include "cluster/frequency.hpp"
+#include "cluster/heat.hpp"
 #include "support/assert.hpp"
 #include "support/json.hpp"
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/stats.hpp"
+#include "trace/source.hpp"
 
 namespace memopt {
 
@@ -92,7 +94,8 @@ FlowResult MemoryOptimizationFlow::run(const BlockProfile& profile, ClusterMetho
 
 FlowResult MemoryOptimizationFlow::run_prepared(const BlockProfile& profile,
                                                 ClusterMethod method, const MemTrace* trace,
-                                                const AffinityMatrix* affinity) const {
+                                                const AffinityMatrix* affinity,
+                                                std::size_t pool_banks) const {
     static MetricCounter& runs = MetricsRegistry::instance().counter("flow.runs");
     runs.add();
 
@@ -135,6 +138,9 @@ FlowResult MemoryOptimizationFlow::run_prepared(const BlockProfile& profile,
                         physical.num_blocks() > params_.auto_greedy_blocks;
     PartitionSolution solution = [&] {
         const ScopedTimer scope(partition_timer());
+        if (pool_banks > 0)
+            return solve_partition_pooled(physical, params_.constraints, energy_params,
+                                          pool_banks, greedy);
         return greedy ? solve_partition_greedy(physical, params_.constraints, energy_params)
                       : solve_partition_optimal(physical, params_.constraints, energy_params);
     }();
@@ -142,6 +148,64 @@ FlowResult MemoryOptimizationFlow::run_prepared(const BlockProfile& profile,
     FlowResult result{method, std::move(map), std::move(solution), EnergyBreakdown{}};
     result.energy = result.solution.energy;
     return result;
+}
+
+HybridFlowResult MemoryOptimizationFlow::run_hybrid(const MemTrace& trace,
+                                                    ClusterMethod method, const BankPool& pool,
+                                                    const HybridGatingParams& gating) const {
+    MaterializedSource source(trace);
+    return run_hybrid(source, method, pool, gating);
+}
+
+HybridFlowResult MemoryOptimizationFlow::run_hybrid(TraceSource& source, ClusterMethod method,
+                                                    const BankPool& pool,
+                                                    const HybridGatingParams& gating) const {
+    require(pool.num_slots() > 0, "run_hybrid: empty bank pool");
+    if (method == ClusterMethod::Affinity) {
+        ProfileAffinity pa = [&] {
+            const ScopedTimer scope(profile_timer());
+            return build_profile_and_affinity(source, params_.block_size,
+                                              params_.affinity_window);
+        }();
+        return run_hybrid_prepared(pa.profile, method, &pa.affinity, source, pool, gating);
+    }
+    const BlockProfile profile = [&] {
+        const ScopedTimer scope(profile_timer());
+        return BlockProfile::from_source(source, params_.block_size);
+    }();
+    return run_hybrid_prepared(profile, method, nullptr, source, pool, gating);
+}
+
+HybridFlowResult MemoryOptimizationFlow::run_hybrid_prepared(
+    const BlockProfile& profile, ClusterMethod method, const AffinityMatrix* affinity,
+    TraceSource& source, const BankPool& pool, const HybridGatingParams& gating) const {
+    static MetricCounter& runs = MetricsRegistry::instance().counter("flow.hybrid_runs");
+    runs.add();
+
+    FlowResult base = run_prepared(profile, method, nullptr, affinity, pool.total_banks());
+
+    // The remap-table per-access overhead enters the hybrid evaluation the
+    // same way it enters the legacy one (constant per access, added at
+    // evaluation time).
+    PartitionEnergyParams energy_params = params_.energy;
+    if (method != ClusterMethod::None) {
+        const RemapTableModel remap(profile.num_blocks(), params_.remap);
+        energy_params.extra_pj_per_access = remap.lookup_energy();
+    }
+
+    const std::vector<BankActivity> activity = [&] {
+        const ScopedTimer scope(evaluate_timer());
+        return replay_bank_activity(base.solution.arch, base.map, source, gating,
+                                    params_.energy.runtime_cycles);
+    }();
+    std::vector<MemTechnology> techs =
+        assign_technologies(base.solution.arch, activity, pool, energy_params, gating);
+    HybridReport report =
+        evaluate_partition_hybrid(base.solution.arch, techs, activity, energy_params, gating);
+
+    const BlockProfile physical = base.map.apply(profile);
+    const std::vector<std::size_t> rank = bank_heat_rank(bank_heat(base.solution.arch, physical));
+    return HybridFlowResult{std::move(base), pool, std::move(techs), rank, std::move(report)};
 }
 
 FlowComparison MemoryOptimizationFlow::compare(const MemTrace& trace,
@@ -237,6 +301,38 @@ void to_json(JsonWriter& w, const FlowResult& result) {
     w.end_array();
     w.key("energy");
     result.energy.to_json(w);
+    w.end_object();
+}
+
+void to_json(JsonWriter& w, const HybridFlowResult& result) {
+    const MemoryArchitecture& arch = result.base.solution.arch;
+    w.begin_object();
+    w.member("method", cluster_method_name(result.base.method));
+    w.member("pool", result.pool.to_string());
+    w.member("num_banks", static_cast<std::uint64_t>(arch.num_banks()));
+    w.member("total_capacity_bytes", arch.total_capacity());
+    w.member("total_cycles", result.report.total_cycles);
+    w.key("banks").begin_array();
+    for (std::size_t b = 0; b < arch.num_banks(); ++b) {
+        const Bank& bank = arch.banks()[b];
+        const HybridBankReport& slice = result.report.banks[b];
+        w.begin_object();
+        w.member("first_block", static_cast<std::uint64_t>(bank.first_block));
+        w.member("num_blocks", static_cast<std::uint64_t>(bank.num_blocks));
+        w.member("size_bytes", bank.size_bytes);
+        w.member("tech", technology_name(result.techs[b]));
+        w.member("heat_rank", static_cast<std::uint64_t>(result.heat_rank[b]));
+        w.member("reads", slice.activity.reads);
+        w.member("writes", slice.activity.writes);
+        w.member("wakeups", slice.activity.wakeups);
+        w.member("active_cycles", slice.activity.active_cycles);
+        w.member("gated_cycles", slice.activity.gated_cycles);
+        w.member("energy_pj", slice.total_pj());
+        w.end_object();
+    }
+    w.end_array();
+    w.key("energy");
+    result.report.energy.to_json(w);
     w.end_object();
 }
 

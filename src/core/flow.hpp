@@ -18,6 +18,8 @@
 #include "cluster/affinity_cluster.hpp"
 #include "cluster/remap_cost.hpp"
 #include "energy/report.hpp"
+#include "energy/tech_model.hpp"
+#include "partition/hybrid.hpp"
 #include "partition/solver.hpp"
 #include "trace/affinity.hpp"
 #include "trace/trace.hpp"
@@ -59,6 +61,17 @@ struct FlowResult {
     EnergyBreakdown energy;       ///< full breakdown incl. remap overhead
 };
 
+/// Result of one flow configuration over a hybrid bank pool.
+struct HybridFlowResult {
+    FlowResult base;                  ///< clustering + splits (SRAM oracle)
+    BankPool pool;                    ///< the pool the banks were drawn from
+    std::vector<MemTechnology> techs; ///< technology of each bank
+    std::vector<std::size_t> heat_rank; ///< 0 = hottest bank (cluster/heat.hpp)
+    HybridReport report;              ///< gated heterogeneous energy
+
+    double total() const { return report.total(); }
+};
+
 /// Side-by-side evaluation of one trace under all configurations.
 struct FlowComparison {
     EnergyBreakdown monolithic;   ///< single-bank baseline
@@ -92,6 +105,19 @@ public:
     FlowResult run(const BlockProfile& profile, ClusterMethod method,
                    const MemTrace* trace = nullptr) const;
 
+    /// Hybrid-pool variant of run(): cluster and split as usual (bank
+    /// budget capped by the pool size), replay the trace once to extract
+    /// per-bank gating residency, then place the pool's technologies onto
+    /// the banks with the exact assignment DP (partition/hybrid.hpp).
+    /// Sequential and --jobs-invariant; resets `source` before replaying,
+    /// so back-to-back pool evaluations on one source are independent.
+    HybridFlowResult run_hybrid(const MemTrace& trace, ClusterMethod method,
+                                const BankPool& pool,
+                                const HybridGatingParams& gating = {}) const;
+    HybridFlowResult run_hybrid(TraceSource& source, ClusterMethod method,
+                                const BankPool& pool,
+                                const HybridGatingParams& gating = {}) const;
+
     /// Monolithic / partitioned / clustered comparison on one trace.
     FlowComparison compare(const MemTrace& trace,
                            ClusterMethod method = ClusterMethod::Frequency) const;
@@ -117,8 +143,17 @@ private:
     /// Shared implementation: cluster + partition + evaluate one profile.
     /// `affinity` is the pre-built windowed affinity from the fused trace
     /// replay (nullptr to build it from `trace` on demand).
+    /// `pool_banks` > 0 additionally caps the bank budget at the hybrid
+    /// pool size (solve_partition_pooled); 0 is the legacy path.
     FlowResult run_prepared(const BlockProfile& profile, ClusterMethod method,
-                            const MemTrace* trace, const AffinityMatrix* affinity) const;
+                            const MemTrace* trace, const AffinityMatrix* affinity,
+                            std::size_t pool_banks = 0) const;
+
+    /// Shared hybrid implementation: split (pool-capped), replay, assign.
+    HybridFlowResult run_hybrid_prepared(const BlockProfile& profile, ClusterMethod method,
+                                         const AffinityMatrix* affinity, TraceSource& source,
+                                         const BankPool& pool,
+                                         const HybridGatingParams& gating) const;
 
     FlowParams params_;
 };
@@ -129,5 +164,9 @@ void to_json(JsonWriter& w, const FlowResult& result);
 /// Serialize the monolithic/partitioned/clustered comparison with both
 /// savings percentages.
 void to_json(JsonWriter& w, const FlowComparison& cmp);
+
+/// Serialize a hybrid-pool run: pool spec, per-bank technology/activity/
+/// heat rank, and the gated energy breakdown.
+void to_json(JsonWriter& w, const HybridFlowResult& result);
 
 }  // namespace memopt

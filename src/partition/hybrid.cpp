@@ -1,0 +1,297 @@
+#include "partition/hybrid.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/assert.hpp"
+#include "trace/source.hpp"
+
+namespace memopt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void check_arch_map(const MemoryArchitecture& arch, const AddressMap& map) {
+    require(map.num_blocks() == arch.num_blocks(),
+            "replay_bank_activity: map does not match architecture");
+    require(map.block_size() == arch.block_size(),
+            "replay_bank_activity: block size mismatch");
+}
+
+}  // namespace
+
+std::vector<BankActivity> replay_bank_activity(const MemoryArchitecture& arch,
+                                               const AddressMap& map, TraceSource& source,
+                                               const HybridGatingParams& gating,
+                                               std::uint64_t min_total_cycles) {
+    require(source.size() > 0, "replay_bank_activity: empty trace");
+    check_arch_map(arch, map);
+    require(gating.gate_leak_scale >= 0.0,
+            "HybridGatingParams: gate_leak_scale must be >= 0");
+
+    const std::size_t num_banks = arch.num_banks();
+    std::vector<BankActivity> activity(num_banks);
+
+    // Same shape as the sleep controller of partition/sleep.cpp, but the
+    // replay records *cycles*, not energy: the gate state machine depends
+    // only on access times, so one pass serves every candidate technology.
+    struct BankState {
+        std::uint64_t last_access = 0;
+        std::uint64_t state_since = 0;  // cycle the current power state began
+        bool gated = false;
+    };
+    std::vector<BankState> states(num_banks);
+
+    std::uint64_t now = 0;
+    source.reset();
+    TraceChunk chunk;
+    while (source.next(chunk)) {
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+            MEMOPT_ASSERT_MSG(chunk.cycles[i] >= now, "trace cycles must be non-decreasing");
+            now = chunk.cycles[i];
+            const std::uint64_t phys = map.map_addr(chunk.addrs[i]);
+            const std::size_t block = static_cast<std::size_t>(phys / arch.block_size());
+            const std::size_t bank = arch.bank_of_block(block);
+
+            if (gating.enabled) {
+                // Retire gate transitions for every bank whose idle
+                // threshold has passed (cf. sleep.cpp: the accessed bank
+                // must be exact, the rest need the transition point for
+                // their own residency split).
+                for (std::size_t b = 0; b < num_banks; ++b) {
+                    BankState& s = states[b];
+                    if (!s.gated && now > s.last_access + gating.idle_cycles) {
+                        const std::uint64_t gate_start = s.last_access + gating.idle_cycles;
+                        activity[b].active_cycles += gate_start - s.state_since;
+                        s.gated = true;
+                        s.state_since = gate_start;
+                    }
+                }
+                BankState& s = states[bank];
+                if (s.gated) {
+                    activity[bank].gated_cycles += now - s.state_since;
+                    s.gated = false;
+                    s.state_since = now;
+                    ++activity[bank].wakeups;
+                }
+                s.last_access = now;
+            }
+            if (chunk.kinds[i] == AccessKind::Read)
+                ++activity[bank].reads;
+            else
+                ++activity[bank].writes;
+        }
+    }
+
+    // Close out every bank at the end of the observation window. The tail
+    // beyond the last access is idle time like any other: banks whose
+    // threshold passes inside it gate for the remainder.
+    const std::uint64_t end = std::max(now + 1, min_total_cycles);
+    for (std::size_t b = 0; b < num_banks; ++b) {
+        BankState& s = states[b];
+        if (gating.enabled && !s.gated && end > s.last_access + gating.idle_cycles) {
+            const std::uint64_t gate_start = s.last_access + gating.idle_cycles;
+            activity[b].active_cycles += gate_start - s.state_since;
+            s.gated = true;
+            s.state_since = gate_start;
+        }
+        if (s.gated)
+            activity[b].gated_cycles += end - s.state_since;
+        else
+            activity[b].active_cycles += end - s.state_since;
+    }
+    return activity;
+}
+
+std::vector<BankActivity> replay_bank_activity(const MemoryArchitecture& arch,
+                                               const AddressMap& map, const MemTrace& trace,
+                                               const HybridGatingParams& gating,
+                                               std::uint64_t min_total_cycles) {
+    MaterializedSource source(trace);
+    return replay_bank_activity(arch, map, source, gating, min_total_cycles);
+}
+
+double hybrid_bank_energy(const TechEnergyModel& model, const BankActivity& a,
+                          double cycle_ns, double gate_leak_scale) {
+    return static_cast<double>(a.reads) * model.read_energy() +
+           static_cast<double>(a.writes) * model.write_energy() +
+           model.leakage_energy(a.active_cycles, cycle_ns) +
+           model.refresh_energy(a.active_cycles, cycle_ns) +
+           model.gated_leakage_energy(a.gated_cycles, cycle_ns) * gate_leak_scale +
+           static_cast<double>(a.wakeups) * model.gate_wake_energy();
+}
+
+std::vector<MemTechnology> assign_technologies(const MemoryArchitecture& arch,
+                                               const std::vector<BankActivity>& activity,
+                                               const BankPool& pool,
+                                               const PartitionEnergyParams& params,
+                                               const HybridGatingParams& gating) {
+    const std::size_t num_banks = arch.num_banks();
+    require(activity.size() == num_banks,
+            "assign_technologies: activity does not match architecture");
+    require(pool.num_slots() > 0, "assign_technologies: empty pool");
+    require(pool.total_banks() >= num_banks,
+            "assign_technologies: pool has fewer banks than the architecture");
+
+    const std::vector<PoolSlot>& slots = pool.slots();
+    const std::size_t num_slots = slots.size();
+
+    // Per-(bank, slot) closed-form cost. Only technology-dependent terms
+    // enter the DP; bank select / remap / ecc are per-access constants that
+    // cannot change the arg-min.
+    std::vector<double> cost(num_banks * num_slots);
+    for (std::size_t b = 0; b < num_banks; ++b) {
+        for (std::size_t s = 0; s < num_slots; ++s) {
+            const TechEnergyModel model(slots[s].tech, arch.banks()[b].size_bytes, 32,
+                                        params.sram, params.protection);
+            cost[b * num_slots + s] =
+                hybrid_bank_energy(model, activity[b], params.cycle_ns,
+                                   gating.gate_leak_scale);
+        }
+    }
+
+    // Exact assignment DP over mixed-radix "banks used per slot" states.
+    // Slot counts beyond num_banks can never be exhausted, so each radix is
+    // capped — the state space stays small for realistic pools.
+    std::vector<std::size_t> cap(num_slots);
+    std::vector<std::size_t> stride(num_slots + 1);
+    stride[0] = 1;
+    for (std::size_t s = 0; s < num_slots; ++s) {
+        cap[s] = std::min(slots[s].count, num_banks);
+        stride[s + 1] = stride[s] * (cap[s] + 1);
+    }
+    const std::size_t num_states = stride[num_slots];
+    require(num_states <= (std::size_t{1} << 22),
+            "assign_technologies: pool too complex (bound the slot counts)");
+
+    std::vector<double> prev(num_states, kInf);
+    std::vector<double> cur(num_states, kInf);
+    // choice[b * num_states + state]: pool slot of bank b on the best path
+    // arriving at `state` after placing banks [0, b].
+    std::vector<std::uint8_t> choice(num_banks * num_states, 0xff);
+    prev[0] = 0.0;
+    for (std::size_t b = 0; b < num_banks; ++b) {
+        std::fill(cur.begin(), cur.end(), kInf);
+        std::uint8_t* const pick = choice.data() + b * num_states;
+        for (std::size_t state = 0; state < num_states; ++state) {
+            if (prev[state] == kInf) continue;
+            for (std::size_t s = 0; s < num_slots; ++s) {
+                const std::size_t used = (state / stride[s]) % (cap[s] + 1);
+                if (used == cap[s]) continue;
+                const std::size_t next = state + stride[s];
+                const double cand = prev[state] + cost[b * num_slots + s];
+                // Strict improvement only: with the fixed state/slot
+                // iteration order, cost ties resolve to the earliest pool
+                // slot and lowest usage state — deterministic everywhere.
+                if (cand < cur[next]) {
+                    cur[next] = cand;
+                    pick[next] = static_cast<std::uint8_t>(s);
+                }
+            }
+        }
+        std::swap(prev, cur);
+    }
+
+    std::size_t best_state = 0;
+    double best = kInf;
+    for (std::size_t state = 0; state < num_states; ++state) {
+        if (prev[state] < best) {
+            best = prev[state];
+            best_state = state;
+        }
+    }
+    MEMOPT_ASSERT_MSG(best < kInf, "assign_technologies: no feasible assignment");
+
+    std::vector<MemTechnology> techs(num_banks);
+    std::size_t state = best_state;
+    for (std::size_t b = num_banks; b-- > 0;) {
+        const std::uint8_t s = choice[b * num_states + state];
+        MEMOPT_ASSERT_MSG(s != 0xff, "assign_technologies: broken DP path");
+        techs[b] = slots[s].tech;
+        state -= stride[s];
+    }
+    MEMOPT_ASSERT(state == 0);
+    return techs;
+}
+
+std::uint64_t HybridReport::total_wakeups() const {
+    std::uint64_t total = 0;
+    for (const HybridBankReport& b : banks) total += b.activity.wakeups;
+    return total;
+}
+
+std::uint64_t HybridReport::total_gated_cycles() const {
+    std::uint64_t total = 0;
+    for (const HybridBankReport& b : banks) total += b.activity.gated_cycles;
+    return total;
+}
+
+HybridReport evaluate_partition_hybrid(const MemoryArchitecture& arch,
+                                       const std::vector<MemTechnology>& techs,
+                                       const std::vector<BankActivity>& activity,
+                                       const PartitionEnergyParams& params,
+                                       const HybridGatingParams& gating) {
+    const std::size_t num_banks = arch.num_banks();
+    require(techs.size() == num_banks,
+            "evaluate_partition_hybrid: techs do not match architecture");
+    require(activity.size() == num_banks,
+            "evaluate_partition_hybrid: activity does not match architecture");
+
+    HybridReport report;
+    report.banks.reserve(num_banks);
+    std::uint64_t accesses = 0;
+    double access_pj = 0.0;
+    double leak_pj = 0.0;
+    double refresh_pj = 0.0;
+    double gated_pj = 0.0;
+    double wake_pj = 0.0;
+    for (std::size_t b = 0; b < num_banks; ++b) {
+        const Bank& bank = arch.banks()[b];
+        const BankActivity& a = activity[b];
+        const TechEnergyModel model(techs[b], bank.size_bytes, 32, params.sram,
+                                    params.protection);
+        HybridBankReport slice;
+        slice.tech = techs[b];
+        slice.bank = bank;
+        slice.activity = a;
+        // Same accumulation shape as evaluate_partition(): one fused
+        // read+write term per bank, summed in bank order — the all-SRAM
+        // case reproduces the legacy "bank_access" double bit for bit.
+        slice.access_pj = static_cast<double>(a.reads) * model.read_energy() +
+                          static_cast<double>(a.writes) * model.write_energy();
+        slice.leakage_pj = model.leakage_energy(a.active_cycles, params.cycle_ns);
+        slice.refresh_pj = model.refresh_energy(a.active_cycles, params.cycle_ns);
+        slice.gated_pj = model.gated_leakage_energy(a.gated_cycles, params.cycle_ns) *
+                         gating.gate_leak_scale;
+        slice.wakeup_pj = static_cast<double>(a.wakeups) * model.gate_wake_energy();
+        access_pj += slice.access_pj;
+        leak_pj += slice.leakage_pj;
+        refresh_pj += slice.refresh_pj;
+        gated_pj += slice.gated_pj;
+        wake_pj += slice.wakeup_pj;
+        accesses += a.accesses();
+        report.total_cycles = std::max(report.total_cycles, a.total_cycles());
+        report.banks.push_back(slice);
+    }
+
+    report.energy.add("bank_access", access_pj);
+    const double select_pj = bank_select_energy(num_banks, params.sram);
+    report.energy.add("bank_select", select_pj * static_cast<double>(accesses));
+    report.energy.add("leakage", leak_pj);
+    if (refresh_pj > 0.0) report.energy.add("refresh", refresh_pj);
+    if (gating.enabled) {
+        report.energy.add("gated_leakage", gated_pj);
+        report.energy.add("wakeup", wake_pj);
+    }
+    if (params.extra_pj_per_access > 0.0)
+        report.energy.add("remap",
+                          params.extra_pj_per_access * static_cast<double>(accesses));
+    if (params.protection != ProtectionScheme::None)
+        report.energy.add("ecc", protection_access_energy(params.protection, 32,
+                                                          params.sram) *
+                                     static_cast<double>(accesses));
+    return report;
+}
+
+}  // namespace memopt

@@ -276,4 +276,15 @@ PartitionSolution solve_partition_brute(const BlockProfile& profile,
     return make_solution(profile, params, best_splits);
 }
 
+PartitionSolution solve_partition_pooled(const BlockProfile& profile,
+                                         const PartitionConstraints& constraints,
+                                         const PartitionEnergyParams& params,
+                                         std::size_t pool_banks, bool use_greedy) {
+    require(pool_banks >= 1, "solve_partition_pooled: empty bank pool");
+    PartitionConstraints clamped = constraints;
+    clamped.max_banks = std::min(constraints.max_banks, pool_banks);
+    return use_greedy ? solve_partition_greedy(profile, clamped, params)
+                      : solve_partition_optimal(profile, clamped, params);
+}
+
 }  // namespace memopt

@@ -51,4 +51,16 @@ PartitionSolution solve_partition_brute(const BlockProfile& profile,
                                         const PartitionConstraints& constraints,
                                         const PartitionEnergyParams& params);
 
+/// Pool-aware solving entry for hybrid bank pools: the bank budget is
+/// additionally capped by the pool's total bank count (`pool_banks`), since
+/// a split the pool cannot populate is infeasible. Splits are chosen under
+/// the SRAM reference oracle — the gating residency that differentiates the
+/// technologies is architecture-determined, so the SRAM-optimal splits are
+/// the right geometry for assign_technologies() (partition/hybrid.hpp) to
+/// place technologies onto.
+PartitionSolution solve_partition_pooled(const BlockProfile& profile,
+                                         const PartitionConstraints& constraints,
+                                         const PartitionEnergyParams& params,
+                                         std::size_t pool_banks, bool use_greedy);
+
 }  // namespace memopt
