@@ -71,7 +71,6 @@
 #include "core/report.hpp"
 #include "core/study.hpp"
 #include "core/workload.hpp"
-#include "encoding/baselines.hpp"
 #include "isa/disasm.hpp"
 #include "lang/codegen.hpp"
 #include "encoding/decoder_cost.hpp"

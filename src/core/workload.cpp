@@ -23,7 +23,7 @@ KernelRunPtr WorkloadRepository::run(const std::string& kernel_name, bool fetch)
     std::shared_future<KernelRunPtr> future;
     bool builder = false;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (!fetch) {
             // A with-fetch artifact is a strict superset; reuse it.
             const auto superset = cache_.find(Key{kernel_name, true});
@@ -115,7 +115,7 @@ std::vector<std::unique_ptr<TraceSource>> WorkloadRepository::open_core_trace_so
 }
 
 void WorkloadRepository::clear() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     cache_.clear();
 }
 

@@ -20,13 +20,13 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "isa/assembler.hpp"
 #include "sim/cpu.hpp"
+#include "support/thread_safety.hpp"
 
 namespace memopt {
 
@@ -99,8 +99,8 @@ public:
 private:
     using Key = std::pair<std::string, bool>;  ///< (kernel name, fetch variant)
 
-    mutable std::mutex mutex_;
-    std::map<Key, std::shared_future<KernelRunPtr>> cache_;
+    mutable Mutex mutex_;
+    std::map<Key, std::shared_future<KernelRunPtr>> cache_ MEMOPT_GUARDED_BY(mutex_);
     std::atomic<std::size_t> simulations_{0};
 };
 

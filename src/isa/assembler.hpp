@@ -40,7 +40,6 @@
 #include <string_view>
 #include <vector>
 
-#include "isa/isa.hpp"
 
 namespace memopt {
 

@@ -1,6 +1,7 @@
 #include "sim/cpu.hpp"
 
 #include "isa/encode.hpp"
+#include "sim/memory.hpp"
 #include "support/string_util.hpp"
 
 namespace memopt {

@@ -14,8 +14,6 @@
 #include <vector>
 
 #include "isa/assembler.hpp"
-#include "isa/isa.hpp"
-#include "sim/memory.hpp"
 #include "trace/trace.hpp"
 
 namespace memopt {

@@ -13,7 +13,7 @@ MetricsRegistry& MetricsRegistry::instance() {
 }
 
 MetricCounter& MetricsRegistry::counter(std::string_view name) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = counters_.find(name);
     if (it != counters_.end()) return *it->second;
     return *counters_.emplace(std::string(name), std::make_unique<MetricCounter>())
@@ -21,14 +21,14 @@ MetricCounter& MetricsRegistry::counter(std::string_view name) {
 }
 
 MetricTimer& MetricsRegistry::timer(std::string_view name) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = timers_.find(name);
     if (it != timers_.end()) return *it->second;
     return *timers_.emplace(std::string(name), std::make_unique<MetricTimer>()).first->second;
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     MetricsSnapshot snap;
     snap.counters.reserve(counters_.size());
     for (const auto& [name, counter] : counters_)
@@ -40,7 +40,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const auto& [name, counter] : counters_) counter->reset();
     for (const auto& [name, timer] : timers_) timer->reset();
 }

@@ -22,10 +22,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "support/thread_safety.hpp"
 
 namespace memopt {
 
@@ -103,9 +104,11 @@ public:
 private:
     MetricsRegistry() = default;
 
-    mutable std::mutex mutex_;
-    std::map<std::string, std::unique_ptr<MetricCounter>, std::less<>> counters_;
-    std::map<std::string, std::unique_ptr<MetricTimer>, std::less<>> timers_;
+    mutable Mutex mutex_;
+    std::map<std::string, std::unique_ptr<MetricCounter>, std::less<>> counters_
+        MEMOPT_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<MetricTimer>, std::less<>> timers_
+        MEMOPT_GUARDED_BY(mutex_);
 };
 
 /// RAII wall-clock timer: records the scope's duration on destruction.

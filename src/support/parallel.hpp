@@ -33,12 +33,13 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "support/thread_safety.hpp"
 
 namespace memopt {
 
@@ -63,10 +64,10 @@ private:
     void worker_main();
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    bool stop_ = false;
+    Mutex mutex_;
+    std::deque<std::function<void()>> queue_ MEMOPT_GUARDED_BY(mutex_);
+    bool stop_ MEMOPT_GUARDED_BY(mutex_) = false;
+    std::condition_variable_any cv_;
 };
 
 /// Process-wide parallelism default: the programmatic override if set, else

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "support/assert.hpp"
+
 namespace memopt {
 
 namespace {

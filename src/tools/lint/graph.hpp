@@ -1,0 +1,106 @@
+// memopt_lint project graph — pass 2 of the two-pass engine.
+//
+// The global rules consume the per-file indexes (index.hpp) as a whole:
+// the include graph (L2 cycles, I1 include closures), the module layering
+// DAG declared in tools/layering.toml (L1), and the JSON-schema goldens
+// (S1). Everything here is pure set/graph computation over already-cached
+// facts, so it is cheap enough to recompute on every run — which is what
+// makes the incremental cache sound: a header edit, a layering change, or
+// a golden update is honoured immediately without invalidating unrelated
+// per-file cache entries.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/lint/index.hpp"
+
+namespace memopt::lint {
+
+// ---------------------------------------------------------------------------
+// Module layering (tools/layering.toml)
+
+/// The declared layering DAG. Parsed from a small TOML subset:
+///   schema = "memopt.layering.v1"
+///   allow_same_layer = true
+///   [[layer]]
+///   rank = 0
+///   modules = ["support"]
+///   [[exception]]
+///   from = "trace"
+///   to = "compress"
+///   reason = "..."
+struct LayeringConfig {
+    std::map<std::string, int> module_layers;  // module -> rank
+    bool allow_same_layer = true;
+    /// Documented back-edges: `from` may include `to` despite the ranks.
+    std::vector<std::pair<std::string, std::string>> exceptions;
+
+    bool exception_allows(const std::string& from, const std::string& to) const;
+};
+
+/// Parse a layering document. Throws memopt::Error on malformed input,
+/// unknown keys, a missing/unsupported schema tag, or a module listed in
+/// two layers.
+LayeringConfig parse_layering(std::string_view text, const std::string& path);
+
+/// The layering module a root-relative path belongs to: the second path
+/// component under src/ ("src/cache/..." -> "cache"), otherwise the first
+/// component ("tests/..." -> "tests", "bench/..." -> "bench").
+std::string module_of(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Include graph
+
+/// Resolved quoted-include edges between scanned files.
+struct IncludeGraph {
+    /// file -> (include site array index -> resolved target path). Sites
+    /// whose target does not resolve to a scanned file (system headers,
+    /// generated files) are absent.
+    std::map<std::string, std::map<std::size_t, std::string>> resolved;
+    /// file -> resolved neighbour set (dedup'd), for traversals.
+    std::map<std::string, std::vector<std::string>> edges;
+};
+
+/// Resolve each index's quoted includes against the scanned file set.
+/// A target `T` in file `F` resolves to, in order: `src/T` (the project
+/// include root), `T` verbatim, or `dirname(F)/T` normalized.
+IncludeGraph build_include_graph(const std::map<std::string, FileIndex>& indexes);
+
+/// Strongly connected components of the include graph with more than one
+/// member (plus self-loops), each sorted, sorted by first member — the L2
+/// findings' raw material.
+std::vector<std::vector<std::string>> include_cycles(const IncludeGraph& graph);
+
+// ---------------------------------------------------------------------------
+// Global rule resolution (appends findings; caller sorts)
+
+/// L1: quoted includes must follow the layering DAG.
+void resolve_layering(const std::map<std::string, FileIndex>& indexes,
+                      const IncludeGraph& graph, const LayeringConfig& config,
+                      std::vector<Finding>& findings);
+
+/// L2: one finding per include cycle, anchored on its lexicographically
+/// smallest member.
+void resolve_cycles(const IncludeGraph& graph, std::vector<Finding>& findings);
+
+/// I1 (IWYU-lite): a quoted include is unused when no symbol its header
+/// declares is referenced AND every referenced symbol reachable through its
+/// include closure is also covered by the closures of the file's other
+/// direct includes. A .cpp's primary header (same directory + stem) and
+/// `keep-include`-annotated sites are exempt.
+void resolve_unused_includes(const std::map<std::string, FileIndex>& indexes,
+                             const IncludeGraph& graph, std::vector<Finding>& findings);
+
+/// S1: per golden, the union of JSON keys its source files emit through
+/// JsonWriter member()/key() literals must equal the frozen key set.
+/// Unknown emitted keys anchor on the emitting line; no-longer-emitted
+/// frozen keys anchor on the golden document itself.
+void resolve_schemas(const std::map<std::string, FileIndex>& indexes,
+                     const std::vector<SchemaGolden>& goldens,
+                     std::vector<Finding>& findings);
+
+}  // namespace memopt::lint

@@ -7,7 +7,11 @@
 #include <tuple>
 
 #include "support/assert.hpp"
+#include "support/durable/atomic_file.hpp"
 #include "support/json.hpp"
+#include "support/parallel.hpp"
+#include "tools/lint/graph.hpp"
+#include "tools/lint/index.hpp"
 
 namespace fs = std::filesystem;
 
@@ -55,6 +59,21 @@ std::string read_file(const fs::path& p) {
     std::ostringstream ss;
     ss << in.rdbuf();
     return ss.str();
+}
+
+/// Resolve an optional config path: explicit values must exist; an empty
+/// value falls back to `auto_rel` when present under root, else "".
+std::string resolve_config(const fs::path& root, const std::string& configured,
+                           const char* auto_rel, const char* what) {
+    if (!configured.empty()) {
+        const fs::path p = fs::path(configured).is_absolute() ? fs::path(configured)
+                                                              : root / configured;
+        if (!fs::exists(p)) {
+            throw Error(std::string("memopt_lint: ") + what + " not found: " + p.string());
+        }
+        return configured;
+    }
+    return fs::exists(root / auto_rel) ? std::string(auto_rel) : std::string();
 }
 
 }  // namespace
@@ -116,26 +135,109 @@ LintReport run_lint(const LintOptions& options) {
     std::sort(files.begin(), files.end());
     files.erase(std::unique(files.begin(), files.end()), files.end());
 
-    // Pass 1: tokenize everything and union the member-style unordered
-    // container names so a map declared in a header is recognized in the
-    // .cpp that iterates it.
-    std::vector<SourceFile> sources;
-    sources.reserve(files.size());
-    std::set<std::string> members;
-    for (const std::string& rel : files) {
-        SourceFile sf = tokenize(rel, read_file(root / rel));
-        const std::set<std::string> m = collect_unordered_members(sf);
-        members.insert(m.begin(), m.end());
-        sources.push_back(std::move(sf));
+    // Warm-cache load. A missing, unreadable, malformed, or version-
+    // mismatched cache is a silent full miss, never an error.
+    std::map<std::string, FileIndex> cached;
+    if (!options.cache_path.empty()) {
+        std::ifstream in(fs::path(options.cache_path), std::ios::binary);
+        if (in) {
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            cached = parse_cache(ss.str(), kEngineVersion);
+        }
     }
 
-    // Pass 2: rules.
+    // Pass 1: read + hash every file; reuse the cached index when the
+    // content hash matches, otherwise tokenize and re-index. parallel_map
+    // preserves input order, so the index set is identical at any jobs.
+    struct Slot {
+        FileIndex index;
+        bool from_cache = false;
+    };
+    std::vector<Slot> slots = parallel_map(
+        files,
+        [&](const std::string& rel) -> Slot {
+            const std::string content = read_file(root / rel);
+            const std::uint64_t hash = fnv1a64(content);
+            const auto it = cached.find(rel);
+            if (it != cached.end() && it->second.content_hash == hash) {
+                return Slot{it->second, true};
+            }
+            return Slot{build_file_index(tokenize(rel, content), hash), false};
+        },
+        options.jobs);
+
     LintReport report;
-    report.files_scanned = sources.size();
-    for (const SourceFile& sf : sources) check_file(sf, members, report.findings);
+    report.files_scanned = slots.size();
+    std::map<std::string, FileIndex> indexes;
+    for (Slot& slot : slots) {
+        if (slot.from_cache) ++report.files_from_cache;
+        indexes.emplace(slot.index.path, std::move(slot.index));
+    }
+
+    // Rewrite the cache only when it would change: every entry a hit and no
+    // stale entries to prune means the document on disk is already exact,
+    // and skipping the write (and its fsync) keeps warm re-lints cheap.
+    const bool cache_current =
+        report.files_from_cache == indexes.size() && cached.size() == indexes.size();
+    if (!options.cache_path.empty() && !cache_current) {
+        std::vector<FileIndex> ordered;
+        ordered.reserve(indexes.size());
+        for (const auto& [_, idx] : indexes) ordered.push_back(idx);
+        atomic_write(options.cache_path, serialize_cache(kEngineVersion, ordered));
+    }
+
+    // Pass 2: token-local findings straight from the indexes, then the
+    // project-wide rules over the index set.
+    std::set<std::string> member_union;
+    for (const auto& [_, idx] : indexes) {
+        member_union.insert(idx.unordered_members.begin(), idx.unordered_members.end());
+    }
+    for (const auto& [path, idx] : indexes) {
+        report.findings.insert(report.findings.end(), idx.local_findings.begin(),
+                               idx.local_findings.end());
+        std::set<std::string> names(member_union);
+        names.insert(idx.unordered_locals.begin(), idx.unordered_locals.end());
+        resolve_d1(path, idx.d1_sites, names, report.findings);
+    }
+
+    const IncludeGraph graph = build_include_graph(indexes);
+    const std::string layering =
+        resolve_config(root, options.layering_path, "tools/layering.toml", "layering config");
+    if (!layering.empty()) {
+        const fs::path p = fs::path(layering).is_absolute() ? fs::path(layering)
+                                                            : root / layering;
+        const LayeringConfig config = parse_layering(read_file(p), layering);
+        resolve_layering(indexes, graph, config, report.findings);
+    }
+    resolve_cycles(graph, report.findings);
+    resolve_unused_includes(indexes, graph, report.findings);
+
+    const std::string schemas_dir =
+        resolve_config(root, options.schemas_dir, "docs/schemas", "schemas directory");
+    if (!schemas_dir.empty()) {
+        const fs::path dir = fs::path(schemas_dir).is_absolute() ? fs::path(schemas_dir)
+                                                                 : root / schemas_dir;
+        std::vector<fs::path> golden_paths;
+        for (const auto& entry : fs::directory_iterator(dir)) {
+            if (entry.is_regular_file() && entry.path().extension() == ".json") {
+                golden_paths.push_back(entry.path());
+            }
+        }
+        std::sort(golden_paths.begin(), golden_paths.end());
+        std::vector<SchemaGolden> goldens;
+        goldens.reserve(golden_paths.size());
+        for (const fs::path& p : golden_paths) {
+            const std::string rel = fs::relative(p, root).generic_string();
+            goldens.push_back(parse_schema_golden(read_file(p), rel));
+        }
+        resolve_schemas(indexes, goldens, report.findings);
+    }
+
     std::sort(report.findings.begin(), report.findings.end(),
               [](const Finding& a, const Finding& b) {
-                  return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+                  return std::tie(a.file, a.line, a.rule, a.message) <
+                         std::tie(b.file, b.line, b.rule, b.message);
               });
 
     // Baseline: each entry may suppress exactly one finding; entries that
@@ -169,6 +271,7 @@ void write_json(JsonWriter& w, const LintOptions& options, const LintReport& rep
     for (const std::string& p : options.paths) w.value(p);
     w.end_array();
     w.member("files_scanned", static_cast<std::uint64_t>(report.files_scanned));
+    w.member("files_from_cache", static_cast<std::uint64_t>(report.files_from_cache));
     w.key("rules").begin_array();
     for (const RuleInfo& r : rule_catalogue()) {
         w.begin_object();
@@ -196,6 +299,84 @@ void write_json(JsonWriter& w, const LintOptions& options, const LintReport& rep
     w.member("baselined", static_cast<std::uint64_t>(report.baselined_count()));
     w.member("stale_baseline", static_cast<std::uint64_t>(report.stale_baseline.size()));
     w.end_object();
+    w.end_object();
+}
+
+void write_sarif(JsonWriter& w, const LintOptions& options, const LintReport& report) {
+    (void)options;
+    const std::vector<RuleInfo>& rules = rule_catalogue();
+    auto rule_index = [&](const std::string& id) -> std::int64_t {
+        for (std::size_t i = 0; i < rules.size(); ++i) {
+            if (id == rules[i].id) return static_cast<std::int64_t>(i);
+        }
+        return -1;
+    };
+
+    w.begin_object();
+    w.member("version", "2.1.0");
+    w.member("$schema", "https://json.schemastore.org/sarif-2.1.0.json");
+    w.key("runs").begin_array();
+    w.begin_object();
+
+    w.key("tool").begin_object();
+    w.key("driver").begin_object();
+    w.member("name", "memopt_lint");
+    w.member("version", "2.0.0");
+    w.member("informationUri", "https://example.invalid/memopt/docs/DESIGN.md");
+    w.key("rules").begin_array();
+    for (const RuleInfo& r : rules) {
+        w.begin_object();
+        w.member("id", r.id);
+        w.key("shortDescription").begin_object();
+        w.member("text", r.summary);
+        w.end_object();
+        w.key("defaultConfiguration").begin_object();
+        w.member("level", "error");
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();  // driver
+    w.end_object();  // tool
+
+    w.member("columnKind", "utf16CodeUnits");
+
+    w.key("results").begin_array();
+    for (const Finding& f : report.findings) {
+        w.begin_object();
+        w.member("ruleId", f.rule);
+        const std::int64_t idx = rule_index(f.rule);
+        if (idx >= 0) w.member("ruleIndex", idx);
+        w.member("level", "error");
+        w.key("message").begin_object();
+        w.member("text", f.message);
+        w.end_object();
+        w.key("locations").begin_array();
+        w.begin_object();
+        w.key("physicalLocation").begin_object();
+        w.key("artifactLocation").begin_object();
+        w.member("uri", f.file);
+        w.end_object();
+        w.key("region").begin_object();
+        w.member("startLine", static_cast<std::int64_t>(f.line > 0 ? f.line : 1));
+        w.end_object();
+        w.end_object();  // physicalLocation
+        w.end_object();  // location
+        w.end_array();
+        if (f.baselined) {
+            w.key("suppressions").begin_array();
+            w.begin_object();
+            w.member("kind", "external");
+            w.member("justification", "listed in tools/lint_baseline.txt");
+            w.end_object();
+            w.end_array();
+        }
+        w.end_object();  // result
+    }
+    w.end_array();
+
+    w.end_object();  // run
+    w.end_array();
     w.end_object();
 }
 

@@ -77,6 +77,45 @@ bool is_unordered_container(const Token& t) {
     return false;
 }
 
+/// Entry points that hand a lambda to the parallel runtime; D3/D5 police
+/// the state those lambdas capture.
+bool is_parallel_entry(const Token& t) {
+    return any_of_ident(t, {"parallel_for", "parallel_map", "submit", "stream_accumulate"});
+}
+
+/// Keywords that can precede an identifier without making it a declaration
+/// (`return foo(...)` is a call, not `foo` being declared).
+bool is_nondecl_keyword(const std::string& text) {
+    static const std::set<std::string> kw = {
+        "return", "if",    "else",  "while",  "for",     "switch",    "case",
+        "goto",   "new",   "delete", "throw", "sizeof",  "typeid",    "operator",
+        "do",     "co_return", "co_yield", "co_await",  "not",       "and",
+        "or",     "using", "namespace", "public", "private", "protected"};
+    return kw.count(text) != 0;
+}
+
+/// True when the identifier at `i` is in declaration position: preceded
+/// (after cv/ref/ptr qualifiers) by a type-ish identifier or a closed
+/// template-argument list, and not part of a member access or qualified
+/// name. Token-level heuristic; over-matching is harmless for its D5 use
+/// (a name "declared inside" a lambda is exempted, the safe direction).
+bool looks_declared_at(const std::vector<Token>& t, std::size_t i) {
+    if (t[i].kind != TokKind::Identifier) return false;
+    std::size_t p = i;
+    while (p > 0 && (is_punct(t[p - 1], "&") || is_punct(t[p - 1], "*") ||
+                     is_ident(t[p - 1], "const"))) {
+        --p;
+    }
+    if (p == 0) return false;
+    const Token& prev = t[p - 1];
+    if (is_punct(prev, ">")) return true;  // std::vector<int> name
+    if (prev.kind != TokKind::Identifier) return false;
+    if (is_nondecl_keyword(prev.text)) return false;
+    // (`a::b` / `x.y` candidates never reach here: their preceding token is
+    // punctuation, rejected above. `ns::Type name` does, and is a decl.)
+    return true;
+}
+
 struct Emitter {
     const SourceFile& file;
     std::vector<Finding>& findings;
@@ -96,7 +135,7 @@ struct Emitter {
 
 /// Names declared as unordered containers in this file (locals, parameters,
 /// members). Member-style names (trailing '_') also feed the cross-file set
-/// so that a container declared in a header is recognized in its .cpp.
+/// so that a container member declared in a header is recognized in its .cpp.
 void collect_unordered_names(const SourceFile& file, std::set<std::string>& local,
                              std::set<std::string>& members) {
     const auto& t = file.tokens;
@@ -111,59 +150,10 @@ void collect_unordered_names(const SourceFile& file, std::set<std::string>& loca
     }
 }
 
-void check_d1(const SourceFile& file, const std::set<std::string>& cross_file_members,
-              Emitter& out) {
-    std::set<std::string> names(cross_file_members);
-    std::set<std::string> members_unused;
-    collect_unordered_names(file, names, members_unused);
-    if (names.empty()) return;
-    const auto& t = file.tokens;
-
-    auto message = [](const std::string& name) {
-        return "iteration over unordered container '" + name +
-               "' visits elements in hash order; sort before any order-sensitive "
-               "consumption or annotate `memopt-lint: order-independent` with a rationale";
-    };
-
-    for (std::size_t i = 0; i < t.size(); ++i) {
-        // Range-for whose range expression mentions an unordered container.
-        if (is_ident(t[i], "for") && i + 1 < t.size() && is_punct(t[i + 1], "(")) {
-            std::size_t depth = 0;
-            bool classic_for = false;
-            std::size_t colon = std::string::npos;
-            std::size_t close = t.size();
-            for (std::size_t j = i + 1; j < t.size(); ++j) {
-                if (t[j].kind != TokKind::Punct) continue;
-                if (t[j].text == "(") ++depth;
-                else if (t[j].text == ")") {
-                    if (--depth == 0) {
-                        close = j;
-                        break;
-                    }
-                } else if (depth == 1 && t[j].text == ";") {
-                    classic_for = true;
-                } else if (depth == 1 && t[j].text == ":" && colon == std::string::npos) {
-                    colon = j;
-                }
-            }
-            if (!classic_for && colon != std::string::npos) {
-                for (std::size_t j = colon + 1; j < close; ++j) {
-                    if (t[j].kind == TokKind::Identifier && names.count(t[j].text) != 0) {
-                        out.emit("D1", t[j].line, message(t[j].text), "order-independent");
-                        break;
-                    }
-                }
-            }
-            continue;
-        }
-        // name.begin() / name.cbegin() / name.rbegin(): ordered traversal
-        // of an unordered container (iterator loops, range constructors).
-        if (t[i].kind == TokKind::Identifier && names.count(t[i].text) != 0 &&
-            i + 2 < t.size() && (is_punct(t[i + 1], ".") || is_punct(t[i + 1], "->")) &&
-            any_of_ident(t[i + 2], {"begin", "cbegin", "rbegin"})) {
-            out.emit("D1", t[i].line, message(t[i].text), "order-independent");
-        }
-    }
+std::string d1_message(const std::string& name) {
+    return "iteration over unordered container '" + name +
+           "' visits elements in hash order; sort before any order-sensitive "
+           "consumption or annotate `memopt-lint: order-independent` with a rationale";
 }
 
 // ---------------------------------------------------------------------------
@@ -227,7 +217,7 @@ void check_d3(const SourceFile& file, Emitter& out) {
     };
 
     for (std::size_t i = 0; i + 1 < t.size(); ++i) {
-        if (!any_of_ident(t[i], {"parallel_for", "parallel_map", "submit"})) continue;
+        if (!is_parallel_entry(t[i])) continue;
         if (!is_punct(t[i + 1], "(")) continue;
         const std::size_t begin = i + 1;
         const std::size_t end = skip_parens(t, begin);
@@ -273,10 +263,129 @@ void check_d4(const SourceFile& file, Emitter& out) {
 }
 
 // ---------------------------------------------------------------------------
+// D5 — compound mutation of captured state inside parallel regions
+// (the type-agnostic generalization of D3: even an exact integer tally is
+// a data race when several shards hit it unsynchronized)
+
+/// Leftmost identifier of the postfix chain ending at `j` (walks back over
+/// `a.b`, `a->b`, and `a[expr]` links), or npos when the chain does not
+/// start at a plain identifier.
+std::size_t root_of_lvalue(const std::vector<Token>& t, std::size_t j) {
+    std::size_t r = j;
+    for (;;) {
+        if (t[r].kind == TokKind::Punct && t[r].text == "]") {
+            // Skip back over the bracket group to the expression before it.
+            std::size_t depth = 0;
+            std::size_t k = r;
+            for (;; --k) {
+                if (is_punct(t[k], "]")) ++depth;
+                else if (is_punct(t[k], "[") && --depth == 0) break;
+                if (k == 0) return std::string::npos;
+            }
+            if (k == 0) return std::string::npos;
+            r = k - 1;
+            continue;
+        }
+        if (t[r].kind != TokKind::Identifier) return std::string::npos;
+        if (r >= 2 && (is_punct(t[r - 1], ".") || is_punct(t[r - 1], "->"))) {
+            r -= 2;
+            continue;
+        }
+        // A `::`-qualified root (`Class::static_member`) is outside state
+        // this heuristic can attribute; leave it to review.
+        if (r >= 1 && is_punct(t[r - 1], "::")) return std::string::npos;
+        return r;
+    }
+}
+
+void check_d5(const SourceFile& file, Emitter& out) {
+    const auto& t = file.tokens;
+    const auto fp_decls = collect_fp_scalars(file);
+
+    auto is_fp_scalar = [&](const std::string& name) {
+        for (const auto& [n, idx] : fp_decls) {
+            if (n == name) return true;
+        }
+        return false;
+    };
+
+    // Token indexes at which each identifier is (heuristically) declared,
+    // anywhere in the file.
+    auto declared_between = [&](const std::string& name, std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) {
+            if (t[k].kind == TokKind::Identifier && t[k].text == name &&
+                looks_declared_at(t, k))
+                return true;
+        }
+        return false;
+    };
+
+    auto compound_op = [&](const Token& tok) {
+        return is_punct(tok, "+=") || is_punct(tok, "-=") || is_punct(tok, "*=") ||
+               is_punct(tok, "/=") || is_punct(tok, "%=") || is_punct(tok, "&=") ||
+               is_punct(tok, "|=") || is_punct(tok, "^=");
+    };
+    auto incdec_op = [&](const Token& tok) {
+        return is_punct(tok, "++") || is_punct(tok, "--");
+    };
+
+    auto message = [](const std::string& root, const std::string& op) {
+        return "'" + op + "' on captured '" + root +
+               "' inside a parallel region is a data race unless externally "
+               "synchronized; make it shard-local and reduce in shard order, or "
+               "annotate `memopt-lint: guarded` naming the lock that protects it";
+    };
+
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (!is_parallel_entry(t[i])) continue;
+        if (!is_punct(t[i + 1], "(")) continue;
+        const std::size_t begin = i + 1;
+        const std::size_t end = skip_parens(t, begin);
+
+        auto flag_if_captured = [&](std::size_t target_end, const std::string& op,
+                                    int line) {
+            const std::size_t root = root_of_lvalue(t, target_end);
+            if (root == std::string::npos) return;
+            const std::string& name = t[root].text;
+            if (declared_between(name, begin, root)) return;  // shard-local
+            // Captured state is either declared earlier in this file or a
+            // member by the project's trailing-'_' convention; anything
+            // else (globals from other TUs) is out of scope here.
+            if (!declared_between(name, 0, begin) && !name.ends_with("_")) return;
+            // FP compound-assign is D3's finding; do not double-report.
+            if (op != "++" && op != "--" && is_fp_scalar(name)) return;
+            out.emit("D5", line, message(name, op), "guarded");
+        };
+
+        for (std::size_t j = begin + 1; j + 1 < end; ++j) {
+            if (compound_op(t[j + 1]) &&
+                (t[j].kind == TokKind::Identifier || is_punct(t[j], "]"))) {
+                flag_if_captured(j, t[j + 1].text, t[j + 1].line);
+            } else if (incdec_op(t[j])) {
+                if (j > begin && (t[j - 1].kind == TokKind::Identifier ||
+                                  is_punct(t[j - 1], "]"))) {
+                    flag_if_captured(j - 1, t[j].text, t[j].line);  // postfix
+                } else if (t[j + 1].kind == TokKind::Identifier) {
+                    // Prefix: the chain's root is the identifier right after
+                    // the operator (`++region->count_`).
+                    std::size_t root = j + 1;
+                    const std::string& name = t[root].text;
+                    if (declared_between(name, begin, root)) continue;
+                    if (!declared_between(name, 0, begin) && !name.ends_with("_"))
+                        continue;
+                    out.emit("D5", t[j].line, message(name, t[j].text), "guarded");
+                }
+            }
+        }
+        i = end > i ? end - 1 : i;
+    }
+}
+
+// ---------------------------------------------------------------------------
 // R1 — raw final-artifact writes bypassing the durable layer
 
 void check_r1(const SourceFile& file, Emitter& out) {
-    // The durable layer itself owns the one raw write (temp → fsync →
+    // The durable layer itself owns the one raw write (temp -> fsync ->
     // rename); tests write scratch files that nothing consumes as results.
     if (file.path.find("support/durable") != std::string::npos) return;
     if (file.path.rfind("tests/", 0) == 0 || file.path.find("/tests/") != std::string::npos)
@@ -379,12 +488,80 @@ const std::vector<RuleInfo>& rule_catalogue() {
         {"D2", "no nondeterministic seeds (random_device/time/rand/srand) outside support/rng"},
         {"D3", "no captured floating-point accumulation inside parallel lambdas"},
         {"D4", "no std::atomic<float|double>"},
+        {"D5", "no compound mutation of captured state inside parallel lambdas; "
+               "shard-local or annotated `guarded` only"},
+        {"L1", "module includes follow the layering DAG declared in tools/layering.toml"},
+        {"L2", "the include graph is acyclic"},
+        {"I1", "every quoted include is used (IWYU-lite); intentional keeps annotate "
+               "`keep-include`"},
+        {"S1", "JSON keys emitted via JsonWriter literals match the frozen schema "
+               "goldens (docs/schemas)"},
         {"R1", "final artifacts are written through support/durable (atomic_write/"
                "AtomicOstream), never raw ofstream/fopen"},
         {"A1", "invariant checks use MEMOPT_ASSERT, never raw assert()"},
         {"H1", "headers carry include guards and no `using namespace`"},
     };
     return rules;
+}
+
+std::vector<D1Site> collect_d1_sites(const SourceFile& file) {
+    std::vector<D1Site> sites;
+    const auto& t = file.tokens;
+    int group = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        // Range-for: record every identifier of the range expression, in
+        // order, under one group — resolution emits on the first that names
+        // an unordered container, exactly as the in-line rule did.
+        if (is_ident(t[i], "for") && i + 1 < t.size() && is_punct(t[i + 1], "(")) {
+            std::size_t depth = 0;
+            bool classic_for = false;
+            std::size_t colon = std::string::npos;
+            std::size_t close = t.size();
+            for (std::size_t j = i + 1; j < t.size(); ++j) {
+                if (t[j].kind != TokKind::Punct) continue;
+                if (t[j].text == "(") ++depth;
+                else if (t[j].text == ")") {
+                    if (--depth == 0) {
+                        close = j;
+                        break;
+                    }
+                } else if (depth == 1 && t[j].text == ";") {
+                    classic_for = true;
+                } else if (depth == 1 && t[j].text == ":" && colon == std::string::npos) {
+                    colon = j;
+                }
+            }
+            if (!classic_for && colon != std::string::npos) {
+                ++group;
+                for (std::size_t j = colon + 1; j < close; ++j) {
+                    if (t[j].kind != TokKind::Identifier) continue;
+                    sites.push_back(D1Site{t[j].text, t[j].line, group,
+                                           file.annotated(t[j].line, "D1") ||
+                                               file.annotated(t[j].line,
+                                                              "order-independent")});
+                }
+            }
+            continue;
+        }
+        // name.begin() / name.cbegin() / name.rbegin(): ordered traversal
+        // of an unordered container (iterator loops, range constructors).
+        if (t[i].kind == TokKind::Identifier && i + 2 < t.size() &&
+            (is_punct(t[i + 1], ".") || is_punct(t[i + 1], "->")) &&
+            any_of_ident(t[i + 2], {"begin", "cbegin", "rbegin"})) {
+            ++group;
+            sites.push_back(D1Site{t[i].text, t[i].line, group,
+                                   file.annotated(t[i].line, "D1") ||
+                                       file.annotated(t[i].line, "order-independent")});
+        }
+    }
+    return sites;
+}
+
+std::set<std::string> collect_unordered_locals(const SourceFile& file) {
+    std::set<std::string> local;
+    std::set<std::string> members;
+    collect_unordered_names(file, local, members);
+    return local;
 }
 
 std::set<std::string> collect_unordered_members(const SourceFile& file) {
@@ -394,16 +571,37 @@ std::set<std::string> collect_unordered_members(const SourceFile& file) {
     return members;
 }
 
-void check_file(const SourceFile& file, const std::set<std::string>& cross_file_members,
-                std::vector<Finding>& findings) {
+void resolve_d1(const std::string& path, const std::vector<D1Site>& sites,
+                const std::set<std::string>& names, std::vector<Finding>& findings) {
+    if (names.empty()) return;
+    int done_group = 0;
+    for (const D1Site& site : sites) {
+        if (site.group == done_group) continue;  // group already resolved
+        if (names.count(site.name) == 0) continue;
+        done_group = site.group;
+        if (site.suppressed) continue;
+        findings.push_back(Finding{path, site.line, "D1", d1_message(site.name), false});
+    }
+}
+
+void check_local(const SourceFile& file, std::vector<Finding>& findings) {
     Emitter out{file, findings};
-    check_d1(file, cross_file_members, out);
     check_d2(file, out);
     check_d3(file, out);
     check_d4(file, out);
+    check_d5(file, out);
     check_r1(file, out);
     check_a1(file, out);
     check_h1(file, out);
+}
+
+void check_file(const SourceFile& file, const std::set<std::string>& cross_file_members,
+                std::vector<Finding>& findings) {
+    std::set<std::string> names(cross_file_members);
+    const std::set<std::string> locals = collect_unordered_locals(file);
+    names.insert(locals.begin(), locals.end());
+    resolve_d1(file.path, collect_d1_sites(file), names, findings);
+    check_local(file, findings);
 }
 
 }  // namespace memopt::lint

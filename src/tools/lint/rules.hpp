@@ -5,37 +5,56 @@
 // search, and campaign results being bit-identical at any --jobs count.
 // These rules make the hazards that historically break that invariant
 // (unordered-container iteration feeding results, ambient entropy sources,
-// racy floating-point accumulation) machine-checked at lint time instead
-// of discovered at replay time.
+// racy accumulation), plus the architectural contracts the next subsystems
+// stand on (module layering, include hygiene, frozen JSON schemas),
+// machine-checked at lint time instead of discovered at replay time.
 //
-//  D1  iteration over std::unordered_map/unordered_set that feeds results
-//      must be sorted before order-sensitive consumption or carry a
-//      `// memopt-lint: order-independent` annotation with a rationale.
+// Token-local rules (checked per file, cacheable by content hash):
 //  D2  no nondeterministic seed sources (std::random_device, time(),
 //      rand(), srand()) outside src/support/rng — all randomness flows
 //      from an explicit memopt::Rng seed.
 //  D3  floating-point accumulation into shared (captured) state inside
-//      parallel_for / parallel_map / pool-submit lambdas must go through
-//      shard-local partial sums reduced in order, not direct `+=`.
+//      parallel_for / parallel_map / submit / stream_accumulate lambdas
+//      must go through shard-local partial sums reduced in order.
 //  D4  no std::atomic<float|double>: atomic FP read-modify-write makes the
 //      accumulation order scheduling-dependent by construction.
+//  D5  no compound mutation (`+=`, `++`, …) of captured state inside
+//      parallel lambdas at all — the type-agnostic generalization of D3:
+//      even an exact integer tally is a data race unless it is shard-local
+//      or lock-protected (annotate `memopt-lint: guarded` with the lock).
 //  R1  final artifacts are published through the durable layer
-//      (atomic_write / AtomicOstream, support/durable/atomic_file.hpp):
-//      a raw std::ofstream or fopen() outside support/durable writes the
-//      destination in place, so a crash mid-write leaves a truncated file
-//      under the final name. Scratch writes carry a
-//      `// memopt-lint: durable-write` annotation with a rationale; test
-//      sources (tests/) are exempt wholesale.
+//      (atomic_write / AtomicOstream, support/durable/atomic_file.hpp).
 //  A1  invariant checks use MEMOPT_ASSERT / MEMOPT_ASSERT_MSG, never raw
 //      assert( — raw assert vanishes under NDEBUG and prints no context.
 //  H1  header hygiene: every header starts with #pragma once (or a classic
 //      include guard) and contains no `using namespace`.
 //
+// Project-wide rules (need the semantic index, resolved by the driver):
+//  D1  iteration over std::unordered_map/unordered_set that feeds results
+//      must be sorted before order-sensitive consumption or carry a
+//      `// memopt-lint: order-independent` annotation. Member containers
+//      (trailing '_') are recognized across files via the index union.
+//  L1  module layering: a file may include only its own module, lower
+//      layers of the declared DAG (tools/layering.toml), or same-layer
+//      modules when the config allows; back-edges are findings.
+//  L2  the include graph is acyclic; every cycle is a finding on its
+//      lexicographically-smallest member.
+//  I1  IWYU-lite: a quoted include no symbol of which (directly or via its
+//      include closure, net of other includes) is referenced is unused;
+//      intentional keeps annotate `memopt-lint: keep-include` with a
+//      rationale.
+//  S1  JSON-schema freeze: the keys emitted through JsonWriter
+//      member("…")/key("…") literals in each schema's source files must
+//      equal the checked-in golden (docs/schemas/<id>.json); a key added
+//      or removed without updating the golden is a finding.
+//
 // Suppression: a finding on line L is suppressed by an annotation comment
 // `// memopt-lint: <word>` on line L or L-1, where <word> is the rule id
 // (e.g. `D1`) or the rule's named allowance (`order-independent` for
-// D1/D3). Legacy findings can instead be listed in the checked-in baseline
-// (tools/lint_baseline.txt) and burned down incrementally.
+// D1/D3, `guarded` for D5, `durable-write` for R1, `keep-include` for I1,
+// `layering` for L1). Legacy findings can instead be listed in the
+// checked-in baseline (tools/lint_baseline.txt) and burned down
+// incrementally.
 #pragma once
 
 #include <set>
@@ -65,17 +84,44 @@ struct RuleInfo {
 /// The rule catalogue, in report order.
 const std::vector<RuleInfo>& rule_catalogue();
 
+/// One D1 candidate: an identifier in iteration position (range-for range
+/// expression or a .begin()-family call). Sites sharing a `group` belong to
+/// one range-for — only the first whose name resolves to an unordered
+/// container emits. `suppressed` records the annotation state at the site,
+/// so cached indexes keep annotation semantics without tokens.
+struct D1Site {
+    std::string name;
+    int line = 0;
+    int group = 0;
+    bool suppressed = false;
+};
+
+/// All D1 candidates in `file`, in token order.
+std::vector<D1Site> collect_d1_sites(const SourceFile& file);
+
+/// Names declared as unordered containers in `file` (locals, parameters,
+/// members — everything D1 may match in-file).
+std::set<std::string> collect_unordered_locals(const SourceFile& file);
+
 /// Member-style names (trailing '_') declared as unordered containers in
 /// `file`. The driver unions these across all scanned files so that a
 /// container member declared in a header is recognized when its .cpp
 /// iterates it (rule D1's cross-file case).
 std::set<std::string> collect_unordered_members(const SourceFile& file);
 
-/// Run every rule against one tokenized file, appending findings.
-/// `cross_file_members` is the union of collect_unordered_members() over
-/// the whole scan (pass {} to lint a file in isolation). Findings
-/// suppressed by annotations are dropped here; baseline matching is the
-/// driver's job (see lint.hpp).
+/// Resolve D1 candidates against the full name set (file-local unordered
+/// declarations plus the cross-file member union), appending findings.
+void resolve_d1(const std::string& path, const std::vector<D1Site>& sites,
+                const std::set<std::string>& names, std::vector<Finding>& findings);
+
+/// Run the token-local rules (D2–D5, R1, A1, H1) against one file.
+/// Findings suppressed by annotations are dropped here; baseline matching
+/// is the driver's job (see lint.hpp).
+void check_local(const SourceFile& file, std::vector<Finding>& findings);
+
+/// Single-file convenience used by tests and in-isolation lints: the
+/// token-local rules plus D1 resolved against this file's declarations
+/// unioned with `cross_file_members`.
 void check_file(const SourceFile& file, const std::set<std::string>& cross_file_members,
                 std::vector<Finding>& findings);
 

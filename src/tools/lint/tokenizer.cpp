@@ -60,6 +60,13 @@ public:
     }
 
     SourceFile run() {
+        // UTF-8 BOM: editors on some platforms prepend EF BB BF. Skipping it
+        // keeps `#` directives on line 1 recognized as directives (the BOM
+        // bytes otherwise tokenize as punctuation and clear at_line_start_,
+        // so a leading `#pragma once` would miss H1's guard detection).
+        if (src_.size() >= 3 && src_[0] == '\xEF' && src_[1] == '\xBB' && src_[2] == '\xBF') {
+            pos_ = 3;
+        }
         while (pos_ < src_.size()) step();
         out_.last_line = line_;
         propagate_annotations();
@@ -129,6 +136,17 @@ private:
         const int start = line_;
         std::string text;
         while (pos_ < src_.size() && peek() != '\n') {
+            // A backslash-newline splice extends a // comment onto the next
+            // physical line (translation phase 2 runs before comment
+            // removal); without this the continuation line would tokenize
+            // as code and feed false findings.
+            if (peek() == '\\' && (peek(1) == '\n' || (peek(1) == '\r' && peek(2) == '\n'))) {
+                advance();  // '\'
+                if (peek() == '\r') advance();
+                advance();  // '\n'
+                text += ' ';
+                continue;
+            }
             text += peek();
             advance();
         }
@@ -152,19 +170,26 @@ private:
     }
 
     /// A whole preprocessor logical line, backslash continuations folded in.
-    /// Comments inside the directive are skipped (annotations still apply).
+    /// Comments inside the directive are skipped (annotations still apply);
+    /// string and character literals are copied opaquely so a `//` inside
+    /// one (`#define URL "http://…"`) cannot truncate the directive.
     void directive() {
         const int start = line_;
         std::string text;
         while (pos_ < src_.size()) {
             const char c = peek();
-            if (c == '\\' && peek(1) == '\n') {
+            if (c == '\\' && (peek(1) == '\n' || (peek(1) == '\r' && peek(2) == '\n'))) {
                 advance();
+                if (peek() == '\r') advance();
                 advance();
                 text += ' ';
                 continue;
             }
             if (c == '\n') break;
+            if (c == '"' || c == '\'') {
+                directive_literal(c, text);
+                continue;
+            }
             if (c == '/' && peek(1) == '/') {
                 line_comment();
                 break;
@@ -181,24 +206,72 @@ private:
         at_line_start_ = true;
     }
 
+    /// Copy a quoted literal inside a preprocessor directive verbatim,
+    /// honouring escapes and backslash-newline splices. Stops at an
+    /// unterminated literal's end of line (the directive ends there too).
+    void directive_literal(char delim, std::string& text) {
+        text += peek();
+        advance();  // opening delimiter
+        while (pos_ < src_.size() && peek() != '\n') {
+            const char c = peek();
+            if (c == '\\') {
+                if (peek(1) == '\n' || (peek(1) == '\r' && peek(2) == '\n')) {
+                    advance();
+                    if (peek() == '\r') advance();
+                    advance();
+                    continue;
+                }
+                text += peek();
+                advance();
+                if (pos_ < src_.size() && peek() != '\n') {
+                    text += peek();
+                    advance();
+                }
+                continue;
+            }
+            text += c;
+            advance();
+            if (c == delim) return;
+        }
+    }
+
     void quoted(char delim, TokKind kind) {
         const int start = line_;
+        std::string text;
         advance();  // opening delimiter
         while (pos_ < src_.size()) {
             const char c = peek();
             if (c == '\\') {
+                // Backslash-newline inside a literal is a phase-2 splice,
+                // not an escape sequence: the literal continues on the next
+                // physical line with nothing added to its value.
+                if (peek(1) == '\n' || (peek(1) == '\r' && peek(2) == '\n')) {
+                    advance();
+                    if (peek() == '\r') advance();
+                    advance();
+                    continue;
+                }
+                text += peek();
                 advance();
-                if (pos_ < src_.size()) advance();
+                if (pos_ < src_.size()) {
+                    text += peek();
+                    advance();
+                }
                 continue;
             }
             advance();
             if (c == delim) break;
+            text += c;
         }
-        push(kind, "", start);
+        push(kind, kind == TokKind::String ? std::move(text) : std::string(), start);
     }
 
     /// R"delim( ... )delim" — the preceding R identifier token has already
-    /// been emitted; drop it and emit one String token in its place.
+    /// been emitted; drop it and emit one String token in its place. The
+    /// d-char-seq cannot legally contain parentheses, backslashes, or
+    /// spaces, so the delimiter scan stops at the first of those (treating
+    /// a malformed prefix as an ordinary string rather than swallowing the
+    /// rest of the file).
     void raw_string() {
         const int start = out_.tokens.back().line;
         std::string& prev = out_.tokens.back().text;
@@ -213,13 +286,25 @@ private:
         advance();  // '"'
         std::string delim;
         while (pos_ < src_.size() && peek() != '(') {
-            delim += peek();
+            const char c = peek();
+            if (c == ')' || c == '\\' || c == ' ' || c == '"' || c == '\n' || delim.size() >= 16) {
+                // Not a valid raw-string prefix after all; re-lex the tail
+                // as ordinary tokens (the opening quote is already behind
+                // us, so emit the prefix as an opaque string token).
+                push(TokKind::String, std::move(delim), start);
+                return;
+            }
+            delim += c;
             advance();
         }
         const std::string close = ")" + delim + "\"";
-        while (pos_ < src_.size() && src_.compare(pos_, close.size(), close) != 0) advance();
+        std::string text;
+        while (pos_ < src_.size() && src_.compare(pos_, close.size(), close) != 0) {
+            text += peek();
+            advance();
+        }
         for (std::size_t i = 0; i < close.size() && pos_ < src_.size(); ++i) advance();
-        push(TokKind::String, "", start);
+        push(TokKind::String, std::move(text), start);
     }
 
     void identifier() {

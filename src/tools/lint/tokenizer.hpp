@@ -3,9 +3,12 @@
 // This is not a compiler front-end: it splits a translation unit into the
 // token categories the lint rules pattern-match against (identifiers,
 // numbers, string/char literals, punctuation, whole preprocessor
-// directives) while discarding the things that produce false positives in
-// grep-style linting — comments and the *contents* of string literals.
-// Lines are tracked per token so diagnostics are clickable.
+// directives) while keeping the things that produce false positives in
+// grep-style linting — comments and string-literal contents — out of the
+// identifier stream. String contents are retained on the String token
+// itself (the schema-conformance rule reads JSON keys out of them) but are
+// never visible to identifier-matching rules. Lines are tracked per token
+// so diagnostics are clickable.
 //
 // Comments are not discarded entirely: a comment of the form
 //     // memopt-lint: <word> [<word>...]
@@ -29,7 +32,7 @@ namespace memopt::lint {
 enum class TokKind {
     Identifier,   // identifiers and keywords (no distinction needed)
     Number,       // numeric literal (integer or floating, any base)
-    String,       // string literal, text not retained
+    String,       // string literal, raw content retained
     CharLit,      // character literal, text not retained
     Punct,        // operator/punctuation; common two-char operators fused
     PPDirective,  // whole preprocessor logical line, continuations folded
@@ -37,7 +40,10 @@ enum class TokKind {
 
 struct Token {
     TokKind kind;
-    std::string text;  // identifier/number/punct spelling; directive text for PPDirective
+    std::string text;  // identifier/number/punct spelling; directive text for
+                       // PPDirective; raw literal content (escapes unprocessed,
+                       // delimiters stripped) for String — the semantic pass
+                       // reads JSON keys out of JsonWriter call chains
     int line = 0;      // 1-based line of the token's first character
 };
 

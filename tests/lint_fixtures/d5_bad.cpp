@@ -1,0 +1,25 @@
+// Fixture: rule D5 — compound mutation of captured shared state inside a
+// parallel region: a data race even when the arithmetic itself is exact.
+#include <cstddef>
+
+void parallel_for(std::size_t n, void (*fn)(std::size_t));
+void submit(void (*task)());
+
+struct Tally {
+    std::size_t done_ = 0;
+    void run();
+};
+
+int racy_counts(std::size_t n, const int* v) {
+    std::size_t hits = 0;
+    long total = 0;
+    parallel_for(n, [&](std::size_t i) {
+        if (v[i] > 0) ++hits;
+        total += v[i];
+    });
+    return static_cast<int>(hits + static_cast<std::size_t>(total));
+}
+
+void Tally::run() {
+    submit([this] { done_ += 1; });
+}

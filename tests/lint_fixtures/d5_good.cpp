@@ -1,0 +1,24 @@
+// Fixture: D5-clean variants — shard-local accumulators, atomics, and a
+// lock-protected tally with the `guarded` annotation.
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+
+void parallel_for(std::size_t n, void (*fn)(std::size_t));
+
+extern std::mutex g_mutex;
+
+std::size_t clean_counts(std::size_t n, const int* v, std::size_t* shard_hits) {
+    std::atomic<std::size_t> hits{0};
+    std::size_t guarded_total = 0;
+    parallel_for(n, [&](std::size_t i) {
+        std::size_t local = 0;      // shard-local: declared inside the region
+        if (v[i] > 0) ++local;
+        shard_hits[i] = local;
+        hits.fetch_add(local, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(g_mutex);
+        // memopt-lint: guarded -- g_mutex held just above
+        guarded_total += local;
+    });
+    return hits.load() + guarded_total;
+}

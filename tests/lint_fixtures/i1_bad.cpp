@@ -1,0 +1,10 @@
+// Fixture: rule I1 — the i1_util.hpp include is unused (no declared symbol
+// referenced, nothing from its closure needed); i1_used.hpp is not.
+#include "i1_used.hpp"
+#include "i1_util.hpp"
+
+int consume() {
+    fixture::UsedThing thing;
+    thing.value = 7;
+    return thing.value;
+}

@@ -1,0 +1,10 @@
+// Fixture header: declares the one type i1_bad.cpp actually uses.
+#pragma once
+
+namespace fixture {
+
+struct UsedThing {
+    int value = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture header: declares helpers nothing in i1_bad.cpp refers to. It
+// shares the `fixture` namespace with i1_used.hpp on purpose — re-opening
+// a namespace is not a provided symbol, so the shared name must not make
+// this include look used.
+#pragma once
+
+namespace fixture {
+
+struct UnusedHelper {
+    int weight = 0;
+};
+
+int unused_freestanding(int weight_in);
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: rule L2 — mutually-including pair (cycle anchored here, the
+// lexicographically smallest member).
+#pragma once
+
+#include "l2_b.hpp"
+
+namespace fixture {
+
+struct NodeA {
+    NodeB* peer = nullptr;
+};
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: rule L2 — the second half of the include cycle.
+#pragma once
+
+#include "l2_a.hpp"
+
+namespace fixture {
+
+struct NodeB {
+    NodeA* peer = nullptr;
+};
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+﻿// Fixture: line accounting through the same edge cases — the BOM, spliced
+// strings, and raw strings above the real finding must not shift the
+// reported line number of the rand() call below.
+const char* spliced = "rand() in a string \
+spanning physical lines";
+const char* raw = R"x(assert(rand()))x";
+
+int seed() {
+    return rand();
+}

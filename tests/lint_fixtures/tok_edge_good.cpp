@@ -1,0 +1,14 @@
+﻿// Fixture: tokenizer edge cases that must stay finding-free. The file
+// starts with a UTF-8 BOM; strings below carry backslash continuations,
+// raw-string delimiters, and rule-trigger lookalikes that may never leak
+// into identifier tokens.
+const char* spliced = "call rand() and \
+srand(1) from a string\
+ with two continuations";
+// A comment continuation also hides the next physical line: rand() \
+   srand(time(nullptr));
+const char* raw = R"lint(std::ofstream os("x"); assert(rand());)lint";
+const char* raw_parens = R"(time(nullptr) -- an unmatched )" ")\" inside";
+const char* empty_raw = R"()";
+
+int answer() { return 42; }

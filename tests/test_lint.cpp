@@ -7,14 +7,20 @@
 // exact `file:line: rule: message` diagnostics the linter must emit for it.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "support/assert.hpp"
 #include "support/json.hpp"
+#include "tools/lint/graph.hpp"
+#include "tools/lint/index.hpp"
 #include "tools/lint/lint.hpp"
 #include "tools/lint/rules.hpp"
 #include "tools/lint/tokenizer.hpp"
@@ -70,8 +76,8 @@ TEST_P(LintFixture, BadFixtureMatchesGolden) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllRules, LintFixture,
-                         ::testing::Values("d1_bad", "d2_bad", "d3_bad", "d4_bad", "r1_bad",
-                                           "a1_bad", "h1_bad"));
+                         ::testing::Values("d1_bad", "d2_bad", "d3_bad", "d4_bad", "d5_bad",
+                                           "r1_bad", "a1_bad", "h1_bad", "tok_edge_bad"));
 
 class LintGoodFixture : public ::testing::TestWithParam<const char*> {};
 
@@ -81,8 +87,9 @@ TEST_P(LintGoodFixture, GoodFixtureIsClean) {
 
 INSTANTIATE_TEST_SUITE_P(AllRules, LintGoodFixture,
                          ::testing::Values("d1_good.cpp", "d2_good.cpp", "d3_good.cpp",
-                                           "r1_good.cpp", "a1_good.cpp", "h1_good.hpp",
-                                           "h1_guard_good.hpp"));
+                                           "d5_good.cpp", "r1_good.cpp", "a1_good.cpp",
+                                           "h1_good.hpp", "h1_guard_good.hpp",
+                                           "tok_edge_good.cpp"));
 
 // ---------------------------------------------------------------------------
 // Tokenizer
@@ -308,8 +315,10 @@ TEST(LintDriver, ScanIsDeterministic) {
     for (std::size_t i = 0; i < a.findings.size(); ++i) {
         EXPECT_EQ(a.findings[i].render(), b.findings[i].render());
     }
-    // All bad fixtures, none suppressed: 2 + 4 + 1 + 3 + 2 + 1 + 2.
-    EXPECT_EQ(a.active_count(), 15u);
+    // All bad fixtures, none suppressed: the per-file goldens (d1 2, d2 4,
+    // d3 1, d4 3, d5 3, r1 2, a1 1, h1 2, tok_edge 1) plus the cross-file
+    // pairs only the full scan can see (i1 1, l2 1).
+    EXPECT_EQ(a.active_count(), 21u);
 }
 
 TEST(LintJson, ReportIsCompleteAndCarriesSchema) {
@@ -330,6 +339,514 @@ TEST(LintJson, ReportIsCompleteAndCarriesSchema) {
     for (const RuleInfo& r : rule_catalogue()) {
         EXPECT_NE(doc.find("\"id\": \"" + std::string(r.id) + "\""), std::string::npos);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer edge cases (the tok_edge_* fixtures cover the same ground
+// end-to-end; these pin the token-level behaviour)
+
+TEST(LintTokenizer, SkipsUtf8Bom) {
+    const SourceFile sf = tokenize("t.cpp", "\xEF\xBB\xBFint x;\n");
+    ASSERT_GE(sf.tokens.size(), 2u);
+    EXPECT_EQ(sf.tokens[0].text, "int");
+    EXPECT_EQ(sf.tokens[0].line, 1);
+}
+
+TEST(LintTokenizer, BackslashContinuationInsideStringStaysOpaque) {
+    const SourceFile sf = tokenize("t.cpp",
+                                   "const char* s = \"rand() and \\\nsrand(1)\";\n"
+                                   "int after;\n");
+    bool saw_after = false;
+    for (const Token& t : sf.tokens) {
+        EXPECT_NE(t.text, "rand");
+        EXPECT_NE(t.text, "srand");
+        if (t.text == "after") {
+            saw_after = true;
+            EXPECT_EQ(t.line, 3);  // the continuation consumed a physical line
+        }
+    }
+    EXPECT_TRUE(saw_after);
+}
+
+TEST(LintTokenizer, RawStringCustomDelimiterSwallowsQuoteParen) {
+    // `)"` inside the literal must not terminate it: only `)x"` does.
+    const SourceFile sf = tokenize("t.cpp", "auto s = R\"x(a )\" b rand())x\"; int z;\n");
+    bool saw_z = false;
+    for (const Token& t : sf.tokens) {
+        EXPECT_NE(t.text, "rand");
+        saw_z = saw_z || t.text == "z";
+    }
+    EXPECT_TRUE(saw_z);
+}
+
+// ---------------------------------------------------------------------------
+// D5 on in-memory snippets
+
+TEST(LintRules, D5FlagsCapturedCompoundAndIncrement) {
+    const auto findings = check_snippet(
+        "t.cpp",
+        "void parallel_for(unsigned long, int);\n"
+        "int f(const int* v) {\n"
+        "    int hits = 0;\n"
+        "    parallel_for(8, [&](unsigned long i) { if (v[i]) hits += 1; });\n"
+        "    return hits;\n"
+        "}\n");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "D5");
+    EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(LintRules, D5ShardLocalAndGuardedAreClean) {
+    EXPECT_TRUE(check_snippet("t.cpp",
+                              "void parallel_for(unsigned long, int);\n"
+                              "void f() {\n"
+                              "    parallel_for(8, [](unsigned long i) {\n"
+                              "        unsigned long local = 0;\n"
+                              "        local += i;\n"
+                              "    });\n"
+                              "}\n")
+                    .empty());
+    EXPECT_TRUE(check_snippet("t.cpp",
+                              "void parallel_for(unsigned long, int);\n"
+                              "void f(long& shared) {\n"
+                              "    long shared_copy = shared;\n"
+                              "    parallel_for(8, [&](unsigned long i) {\n"
+                              "        // memopt-lint: guarded -- g_mutex held by caller\n"
+                              "        shared_copy += static_cast<long>(i);\n"
+                              "    });\n"
+                              "}\n")
+                    .empty());
+}
+
+TEST(LintRules, D5LeavesFloatingPointCompoundToD3) {
+    const auto findings = check_snippet(
+        "t.cpp",
+        "void parallel_for(unsigned long, int);\n"
+        "double f(const double* v) {\n"
+        "    double total = 0.0;\n"
+        "    parallel_for(8, [&](unsigned long i) { total += v[i]; });\n"
+        "    return total;\n"
+        "}\n");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "D3");  // not double-reported as D5
+}
+
+// ---------------------------------------------------------------------------
+// Semantic index (pass 1)
+
+TEST(LintIndex, Fnv1a64MatchesReferenceVectors) {
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(LintIndex, BuildFileIndexExtractsFacts) {
+    const std::string code =
+        "#pragma once\n"
+        "#include \"support/json.hpp\"\n"
+        "#include <unordered_map>\n"
+        "#include \"cache/bank.hpp\"  // memopt-lint: keep-include -- odr anchor\n"
+        "struct Foo {\n"
+        "    std::unordered_map<int, int> stats_;\n"
+        "};\n"
+        "inline void dump(memopt::JsonWriter& w) {\n"
+        "    w.member(\"alpha\", 1);\n"
+        "    w.key(\"beta\");\n"
+        "}\n";
+    const SourceFile sf = tokenize("src/cache/foo.hpp", code);
+    const FileIndex index = build_file_index(sf, fnv1a64(code));
+
+    EXPECT_EQ(index.path, "src/cache/foo.hpp");
+    EXPECT_TRUE(index.is_header);
+    EXPECT_EQ(index.content_hash, fnv1a64(code));
+
+    ASSERT_EQ(index.includes.size(), 3u);
+    EXPECT_EQ(index.includes[0].target, "support/json.hpp");
+    EXPECT_FALSE(index.includes[0].system);
+    EXPECT_FALSE(index.includes[0].keep_annotated);
+    EXPECT_EQ(index.includes[1].target, "unordered_map");
+    EXPECT_TRUE(index.includes[1].system);
+    EXPECT_EQ(index.includes[2].target, "cache/bank.hpp");
+    EXPECT_TRUE(index.includes[2].keep_annotated);
+
+    const auto& declared = index.declared_symbols;
+    EXPECT_NE(std::find(declared.begin(), declared.end(), "Foo"), declared.end());
+    EXPECT_NE(std::find(declared.begin(), declared.end(), "dump"), declared.end());
+
+    ASSERT_EQ(index.unordered_members.size(), 1u);
+    EXPECT_EQ(index.unordered_members[0], "stats_");
+
+    ASSERT_EQ(index.json_keys.size(), 2u);
+    EXPECT_EQ(index.json_keys[0].key, "alpha");
+    EXPECT_EQ(index.json_keys[0].line, 9);
+    EXPECT_EQ(index.json_keys[1].key, "beta");
+    EXPECT_EQ(index.json_keys[1].line, 10);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental cache
+
+std::vector<FileIndex> sample_indexes() {
+    const std::string code_a =
+        "#include \"b.hpp\"\nint use_b() { return helper_b(); }  // rand in \"str\"\n";
+    const std::string code_b = "#pragma once\nint helper_b();\n";
+    std::vector<FileIndex> indexes;
+    indexes.push_back(build_file_index(tokenize("a.cpp", code_a), fnv1a64(code_a)));
+    indexes.push_back(build_file_index(tokenize("b.hpp", code_b), fnv1a64(code_b)));
+    return indexes;
+}
+
+TEST(LintCache, SerializeParseRoundTrip) {
+    const std::vector<FileIndex> indexes = sample_indexes();
+    const std::string doc = serialize_cache("stamp-1", indexes);
+    const std::map<std::string, FileIndex> parsed = parse_cache(doc, "stamp-1");
+
+    ASSERT_EQ(parsed.size(), indexes.size());
+    for (const FileIndex& original : indexes) {
+        const auto it = parsed.find(original.path);
+        ASSERT_NE(it, parsed.end()) << original.path;
+        const FileIndex& round = it->second;
+        EXPECT_EQ(round.content_hash, original.content_hash);
+        EXPECT_EQ(round.is_header, original.is_header);
+        EXPECT_EQ(round.declared_symbols, original.declared_symbols);
+        EXPECT_EQ(round.used_identifiers, original.used_identifiers);
+        ASSERT_EQ(round.includes.size(), original.includes.size());
+        for (std::size_t i = 0; i < round.includes.size(); ++i) {
+            EXPECT_EQ(round.includes[i].target, original.includes[i].target);
+            EXPECT_EQ(round.includes[i].system, original.includes[i].system);
+        }
+        ASSERT_EQ(round.local_findings.size(), original.local_findings.size());
+        for (std::size_t i = 0; i < round.local_findings.size(); ++i) {
+            EXPECT_EQ(round.local_findings[i].render(), original.local_findings[i].render());
+        }
+    }
+}
+
+TEST(LintCache, EngineStampMismatchIsFullMiss) {
+    const std::string doc = serialize_cache("stamp-1", sample_indexes());
+    EXPECT_TRUE(parse_cache(doc, "stamp-2").empty());
+}
+
+TEST(LintCache, MalformedDocumentIsFullMiss) {
+    const std::string doc = serialize_cache("stamp-1", sample_indexes());
+    EXPECT_TRUE(parse_cache("", "stamp-1").empty());
+    EXPECT_TRUE(parse_cache("not a cache\n", "stamp-1").empty());
+    EXPECT_TRUE(parse_cache(doc + "garbage-tag trailing\n", "stamp-1").empty());
+}
+
+TEST(LintCache, WarmRunHitsAndContentChangeInvalidates) {
+    namespace fs = std::filesystem;
+    const fs::path root = fs::path(::testing::TempDir()) / "memopt_lint_cache_test";
+    fs::remove_all(root);
+    fs::create_directories(root);
+    const auto write_src = [&](const char* name, const std::string& body) {
+        std::ofstream out(root / name);
+        out << body;
+    };
+    write_src("a.cpp", "int a() { return 1; }\n");
+    write_src("b.cpp", "int b() { return 2; }\n");
+
+    LintOptions options;
+    options.root = root.string();
+    options.paths = {"."};
+    options.cache_path = (root / "lint.cache").string();
+
+    const LintReport cold = run_lint(options);
+    EXPECT_EQ(cold.files_scanned, 2u);
+    EXPECT_EQ(cold.files_from_cache, 0u);
+    EXPECT_TRUE(cold.findings.empty());
+
+    const LintReport warm = run_lint(options);
+    EXPECT_EQ(warm.files_from_cache, 2u);
+
+    // Content change: only the edited file re-indexes, and its new finding
+    // surfaces even though b.cpp came from the cache.
+    write_src("a.cpp", "int a() { return rand(); }\n");
+    const LintReport edited = run_lint(options);
+    EXPECT_EQ(edited.files_from_cache, 1u);
+    ASSERT_EQ(edited.findings.size(), 1u);
+    EXPECT_EQ(edited.findings[0].rule, "D2");
+    EXPECT_EQ(edited.findings[0].file, "a.cpp");
+
+    fs::remove_all(root);
+}
+
+// ---------------------------------------------------------------------------
+// Include graph, layering, cycles (pass 2 on synthetic indexes)
+
+FileIndex synthetic_index(const std::string& path,
+                          const std::vector<std::string>& include_targets) {
+    FileIndex index;
+    index.path = path;
+    index.is_header = path.ends_with(".hpp");
+    for (const std::string& target : include_targets) {
+        IncludeSite site;
+        site.target = target;
+        site.line = 1;
+        index.includes.push_back(site);
+    }
+    return index;
+}
+
+TEST(LintGraph, ResolvesProjectRootAndRelativeIncludes) {
+    std::map<std::string, FileIndex> indexes;
+    indexes["src/cache/bank.cpp"] =
+        synthetic_index("src/cache/bank.cpp", {"cache/bank.hpp", "util.hpp", "no/such.hpp"});
+    indexes["src/cache/bank.hpp"] = synthetic_index("src/cache/bank.hpp", {});
+    indexes["src/cache/util.hpp"] = synthetic_index("src/cache/util.hpp", {});
+
+    const IncludeGraph graph = build_include_graph(indexes);
+    const auto& resolved = graph.resolved.at("src/cache/bank.cpp");
+    ASSERT_EQ(resolved.size(), 2u);  // no/such.hpp does not resolve
+    EXPECT_EQ(resolved.at(0), "src/cache/bank.hpp");  // via the src/ include root
+    EXPECT_EQ(resolved.at(1), "src/cache/util.hpp");  // via dirname(F)/T
+}
+
+TEST(LintGraph, FindsCyclesAndSelfLoops) {
+    std::map<std::string, FileIndex> indexes;
+    indexes["a.hpp"] = synthetic_index("a.hpp", {"b.hpp"});
+    indexes["b.hpp"] = synthetic_index("b.hpp", {"c.hpp"});
+    indexes["c.hpp"] = synthetic_index("c.hpp", {"a.hpp"});
+    indexes["d.hpp"] = synthetic_index("d.hpp", {"d.hpp"});
+    indexes["e.hpp"] = synthetic_index("e.hpp", {"a.hpp"});  // feeds, not in cycle
+
+    const std::vector<std::vector<std::string>> cycles =
+        include_cycles(build_include_graph(indexes));
+    ASSERT_EQ(cycles.size(), 2u);
+    EXPECT_EQ(cycles[0], (std::vector<std::string>{"a.hpp", "b.hpp", "c.hpp"}));
+    EXPECT_EQ(cycles[1], (std::vector<std::string>{"d.hpp"}));
+}
+
+TEST(LintGraph, ModuleOfUsesSecondComponentUnderSrc) {
+    EXPECT_EQ(module_of("src/cache/bank.hpp"), "cache");
+    EXPECT_EQ(module_of("src/support/durable/atomic_file.cpp"), "support");
+    EXPECT_EQ(module_of("tests/test_lint.cpp"), "tests");
+    EXPECT_EQ(module_of("tools/memopt_lint.cpp"), "tools");
+}
+
+constexpr const char* kLayeringDoc =
+    "# comment\n"
+    "schema = \"memopt.layering.v1\"\n"
+    "allow_same_layer = true\n"
+    "[[layer]]\n"
+    "rank = 0\n"
+    "modules = [\"support\"]\n"
+    "[[layer]]\n"
+    "rank = 1\n"
+    "modules = [\"cache\", \"trace\"]\n"
+    "[[exception]]\n"
+    "from = \"support\"\n"
+    "to = \"trace\"\n"
+    "reason = \"fixture back-edge\"\n";
+
+TEST(LintGraph, ParsesLayeringDocument) {
+    const LayeringConfig config = parse_layering(kLayeringDoc, "layering.toml");
+    EXPECT_EQ(config.module_layers.at("support"), 0);
+    EXPECT_EQ(config.module_layers.at("cache"), 1);
+    EXPECT_EQ(config.module_layers.at("trace"), 1);
+    EXPECT_TRUE(config.allow_same_layer);
+    EXPECT_TRUE(config.exception_allows("support", "trace"));
+    EXPECT_FALSE(config.exception_allows("support", "cache"));
+}
+
+TEST(LintGraph, RejectsMalformedLayering) {
+    EXPECT_THROW(parse_layering("allow_same_layer = true\n", "t"), Error);  // no schema
+    EXPECT_THROW(parse_layering("schema = \"memopt.layering.v2\"\n", "t"), Error);
+    EXPECT_THROW(parse_layering("schema = \"memopt.layering.v1\"\n"
+                                "[[layer]]\n"
+                                "modules = [\"support\"]\n",  // missing rank
+                                "t"),
+                 Error);
+    EXPECT_THROW(parse_layering("schema = \"memopt.layering.v1\"\n"
+                                "[[layer]]\nrank = 0\nmodules = [\"support\"]\n"
+                                "[[layer]]\nrank = 1\nmodules = [\"support\"]\n",  // duplicate
+                                "t"),
+                 Error);
+    EXPECT_THROW(parse_layering("schema = \"memopt.layering.v1\"\n"
+                                "[[exception]]\nfrom = \"a\"\nto = \"b\"\n",  // no reason
+                                "t"),
+                 Error);
+}
+
+TEST(LintGraph, LayeringBackEdgeFlaggedUnlessExcepted) {
+    std::map<std::string, FileIndex> indexes;
+    indexes["src/support/low.hpp"] =
+        synthetic_index("src/support/low.hpp", {"cache/high.hpp", "trace/peer.hpp"});
+    indexes["src/cache/high.hpp"] = synthetic_index("src/cache/high.hpp", {"support/low.hpp"});
+    indexes["src/trace/peer.hpp"] = synthetic_index("src/trace/peer.hpp", {});
+    const IncludeGraph graph = build_include_graph(indexes);
+    const LayeringConfig config = parse_layering(kLayeringDoc, "layering.toml");
+
+    std::vector<Finding> findings;
+    resolve_layering(indexes, graph, config, findings);
+    // support -> cache is a back-edge; support -> trace is excepted, and
+    // cache -> support (downward) is the allowed direction.
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "L1");
+    EXPECT_EQ(findings[0].file, "src/support/low.hpp");
+    EXPECT_NE(findings[0].message.find("cache"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Schema goldens (S1)
+
+constexpr const char* kGoldenDoc =
+    "{\n"
+    "  \"schema\": \"memopt.schema-freeze.v1\",\n"
+    "  \"id\": \"memopt.test.v1\",\n"
+    "  \"notes\": \"ignored free-text field\",\n"
+    "  \"sources\": [\"src/core/emit.cpp\"],\n"
+    "  \"keys\": [\"alpha\", \"beta\"]\n"
+    "}\n";
+
+TEST(LintSchema, ParsesGoldenDocument) {
+    const SchemaGolden golden = parse_schema_golden(kGoldenDoc, "docs/schemas/test.json");
+    EXPECT_EQ(golden.id, "memopt.test.v1");
+    EXPECT_EQ(golden.sources, std::vector<std::string>{"src/core/emit.cpp"});
+    EXPECT_EQ(golden.keys, (std::set<std::string>{"alpha", "beta"}));
+}
+
+TEST(LintSchema, RejectsMalformedGoldens) {
+    EXPECT_THROW(parse_schema_golden("{]", "t"), Error);
+    EXPECT_THROW(parse_schema_golden("{\"id\": \"x\"}", "t"), Error);  // wrong schema tag
+    EXPECT_THROW(parse_json("{\"a\": 1} trailing", "t"), Error);
+}
+
+TEST(LintSchema, FlagsDriftInBothDirections) {
+    const SchemaGolden golden = parse_schema_golden(kGoldenDoc, "docs/schemas/test.json");
+
+    FileIndex emitter;
+    emitter.path = "src/core/emit.cpp";
+    emitter.json_keys = {{"alpha", 3}, {"gamma", 9}};  // gamma extra, beta gone
+    std::map<std::string, FileIndex> indexes;
+    indexes[emitter.path] = emitter;
+
+    std::vector<Finding> findings;
+    resolve_schemas(indexes, {golden}, findings);
+    ASSERT_EQ(findings.size(), 2u);
+    for (const Finding& f : findings) EXPECT_EQ(f.rule, "S1");
+    // The extra key anchors on its emission line; the vanished key on the
+    // golden document.
+    EXPECT_EQ(findings[0].file, "src/core/emit.cpp");
+    EXPECT_EQ(findings[0].line, 9);
+    EXPECT_NE(findings[0].message.find("gamma"), std::string::npos);
+    EXPECT_EQ(findings[1].file, "docs/schemas/test.json");
+    EXPECT_NE(findings[1].message.find("beta"), std::string::npos);
+
+    // In-sync emitter: clean.
+    indexes[emitter.path].json_keys = {{"alpha", 3}, {"beta", 4}};
+    findings.clear();
+    resolve_schemas(indexes, {golden}, findings);
+    EXPECT_TRUE(findings.empty());
+
+    // A frozen source that was deleted is drift too.
+    indexes.clear();
+    findings.clear();
+    resolve_schemas(indexes, {golden}, findings);
+    ASSERT_GE(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "S1");
+}
+
+// ---------------------------------------------------------------------------
+// Project rules end-to-end on the fixture tree
+
+TEST(LintDriver, UnusedIncludeAcrossFiles) {
+    LintOptions options;
+    options.root = MEMOPT_LINT_FIXTURES_DIR;
+    options.paths = {"i1_bad.cpp", "i1_used.hpp", "i1_util.hpp"};
+    const LintReport report = run_lint(options);
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].rule, "I1");
+    EXPECT_EQ(report.findings[0].file, "i1_bad.cpp");
+    EXPECT_EQ(report.findings[0].line, 4);
+    EXPECT_NE(report.findings[0].message.find("i1_util.hpp"), std::string::npos);
+}
+
+TEST(LintDriver, IncludeCycleAnchorsOnSmallestMember) {
+    LintOptions options;
+    options.root = MEMOPT_LINT_FIXTURES_DIR;
+    options.paths = {"l2_a.hpp", "l2_b.hpp"};
+    const LintReport report = run_lint(options);
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].rule, "L2");
+    EXPECT_EQ(report.findings[0].file, "l2_a.hpp");
+}
+
+TEST(LintDriver, FindingsAreJobsInvariant) {
+    LintOptions options;
+    options.root = MEMOPT_LINT_FIXTURES_DIR;
+    options.paths = {"."};
+
+    options.jobs = 1;
+    const LintReport serial = run_lint(options);
+    options.jobs = 8;
+    const LintReport parallel = run_lint(options);
+
+    EXPECT_EQ(serial.files_scanned, parallel.files_scanned);
+    ASSERT_EQ(serial.findings.size(), parallel.findings.size());
+    for (std::size_t i = 0; i < serial.findings.size(); ++i) {
+        EXPECT_EQ(serial.findings[i].render(), parallel.findings[i].render());
+    }
+
+    std::ostringstream doc_serial, doc_parallel;
+    {
+        JsonWriter w(doc_serial);
+        write_json(w, options, serial);
+    }
+    {
+        JsonWriter w(doc_parallel);
+        write_json(w, options, parallel);
+    }
+    EXPECT_EQ(doc_serial.str(), doc_parallel.str());  // bit-identical documents
+}
+
+// ---------------------------------------------------------------------------
+// SARIF output
+
+TEST(LintSarif, DocumentIsWellFormedAndCarriesSuppressions) {
+    const std::string baseline = ::testing::TempDir() + "/lint_sarif_baseline.txt";
+    {
+        std::ofstream out(baseline);
+        out << "d2_bad.cpp:7:D2\n";
+    }
+    LintOptions options;
+    options.root = MEMOPT_LINT_FIXTURES_DIR;
+    options.paths = {"d2_bad.cpp"};
+    options.baseline_path = baseline;
+    const LintReport report = run_lint(options);
+    std::remove(baseline.c_str());
+    ASSERT_EQ(report.findings.size(), 4u);
+    ASSERT_EQ(report.baselined_count(), 1u);
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    write_sarif(w, options, report);
+    EXPECT_TRUE(w.complete());
+
+    const JsonValue doc = parse_json(os.str(), "sarif");
+    EXPECT_EQ(doc.find("version")->string, "2.1.0");
+    ASSERT_NE(doc.find("$schema"), nullptr);
+
+    const JsonValue& run = doc.find("runs")->items.at(0);
+    const JsonValue& driver = *run.find("tool")->find("driver");
+    EXPECT_EQ(driver.find("name")->string, "memopt_lint");
+    EXPECT_EQ(driver.find("rules")->items.size(), rule_catalogue().size());
+
+    const std::vector<JsonValue>& results = run.find("results")->items;
+    ASSERT_EQ(results.size(), report.findings.size());
+    std::size_t suppressed = 0;
+    for (const JsonValue& result : results) {
+        ASSERT_NE(result.find("ruleId"), nullptr);
+        const JsonValue& location = result.find("locations")->items.at(0);
+        const JsonValue& physical = *location.find("physicalLocation");
+        EXPECT_EQ(physical.find("artifactLocation")->find("uri")->string, "d2_bad.cpp");
+        EXPECT_GT(physical.find("region")->find("startLine")->number, 0.0);
+        if (const JsonValue* sup = result.find("suppressions")) {
+            ++suppressed;
+            EXPECT_EQ(sup->items.at(0).find("kind")->string, "external");
+        }
+    }
+    EXPECT_EQ(suppressed, 1u);
 }
 
 }  // namespace

@@ -2,14 +2,17 @@
 //
 // Usage:
 //   memopt_lint [paths...] [--root DIR] [--baseline FILE] [--json FILE]
-//               [--list-rules] [--help]
+//               [--sarif FILE] [--cache FILE] [--jobs N]
+//               [--layering FILE] [--schemas DIR] [--list-rules] [--help]
 //
 // Walks the given paths (default: src bench tests examples tools, relative
-// to --root),
-// tokenizes every C++ source file, and enforces the project's determinism
-// and hygiene invariants as named rules (see src/tools/lint/rules.hpp for
-// the catalogue). Findings print as `file:line: rule: message`; `--json`
-// additionally writes a memopt.lint.v1 report for CI artifacts.
+// to --root), indexes every C++ source file — in parallel, incrementally
+// when --cache names an index cache — and enforces the project's
+// determinism, layering, include-hygiene, and schema invariants as named
+// rules (see src/tools/lint/rules.hpp for the catalogue). Findings print
+// as `file:line: rule: message`; `--json` additionally writes a
+// memopt.lint.v1 report and `--sarif` a SARIF 2.1.0 document for GitHub
+// code scanning.
 //
 // Exit codes: 0 clean (no unsuppressed findings), 1 findings, 2 usage or
 // environment error.
@@ -18,7 +21,6 @@
 #include <string>
 #include <vector>
 
-#include "support/assert.hpp"
 #include "support/durable/atomic_file.hpp"
 #include "support/json.hpp"
 #include "tools/lint/lint.hpp"
@@ -27,7 +29,8 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: memopt_lint [paths...] [--root DIR] [--baseline FILE] [--json FILE]\n"
-    "                   [--list-rules] [--help]\n"
+    "                   [--sarif FILE] [--cache FILE] [--jobs N]\n"
+    "                   [--layering FILE] [--schemas DIR] [--list-rules] [--help]\n"
     "\n"
     "Determinism & invariant static analysis over the memopt sources.\n"
     "Paths default to `src bench tests examples tools` relative to --root\n"
@@ -37,11 +40,21 @@ constexpr const char* kUsage =
     "  --baseline FILE  suppression baseline (file:line:rule entries); matched\n"
     "                   findings are reported but do not fail the run\n"
     "  --json FILE      write a memopt.lint.v1 JSON report\n"
+    "  --sarif FILE     write a SARIF 2.1.0 report (GitHub code scanning)\n"
+    "  --cache FILE     incremental index cache: unchanged files (by content\n"
+    "                   hash) skip re-tokenization on warm runs; findings are\n"
+    "                   identical either way\n"
+    "  --jobs N         scan parallelism (0 = hardware default); findings are\n"
+    "                   bit-identical at any value\n"
+    "  --layering FILE  module-layering config for rule L1 (default:\n"
+    "                   tools/layering.toml under --root when present)\n"
+    "  --schemas DIR    schema goldens for rule S1 (default: docs/schemas\n"
+    "                   under --root when present)\n"
     "  --list-rules     print the rule catalogue and exit\n"
     "\n"
     "Suppress a single finding in source with `// memopt-lint: <rule-id>` (or a\n"
-    "rule's named allowance, e.g. `order-independent`) on the finding's line or\n"
-    "the line above, with a rationale after `--`.\n"
+    "rule's named allowance, e.g. `order-independent`, `guarded`, `keep-include`)\n"
+    "on the finding's line or the line above, with a rationale after `--`.\n"
     "\n"
     "exit codes: 0 clean, 1 findings, 2 usage/environment error\n";
 
@@ -50,12 +63,33 @@ int usage_error(const std::string& msg) {
     return 2;
 }
 
+/// Render a report document and publish it through the durable layer
+/// (dogfooding rule R1: a crash mid-write must not leave a truncated
+/// artifact under the final name).
+int write_report(const std::string& path, const memopt::lint::LintOptions& options,
+                 const memopt::lint::LintReport& report,
+                 void (*render)(memopt::JsonWriter&, const memopt::lint::LintOptions&,
+                                const memopt::lint::LintReport&)) {
+    std::ostringstream doc;
+    memopt::JsonWriter w(doc);
+    render(w, options, report);
+    doc << "\n";
+    try {
+        memopt::atomic_write(path, doc.str());
+    } catch (const std::exception& e) {
+        std::cerr << "memopt_lint: cannot write " << path << ": " << e.what() << "\n";
+        return 2;
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     memopt::lint::LintOptions options;
     options.paths.clear();
     std::string json_path;
+    std::string sarif_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -84,6 +118,30 @@ int main(int argc, char** argv) {
             const char* v = value("--json");
             if (!v) return usage_error("--json requires a file argument");
             json_path = v;
+        } else if (arg == "--sarif") {
+            const char* v = value("--sarif");
+            if (!v) return usage_error("--sarif requires a file argument");
+            sarif_path = v;
+        } else if (arg == "--cache") {
+            const char* v = value("--cache");
+            if (!v) return usage_error("--cache requires a file argument");
+            options.cache_path = v;
+        } else if (arg == "--jobs") {
+            const char* v = value("--jobs");
+            if (!v) return usage_error("--jobs requires a count argument");
+            try {
+                options.jobs = static_cast<std::size_t>(std::stoul(v));
+            } catch (const std::exception&) {
+                return usage_error("--jobs requires a non-negative integer");
+            }
+        } else if (arg == "--layering") {
+            const char* v = value("--layering");
+            if (!v) return usage_error("--layering requires a file argument");
+            options.layering_path = v;
+        } else if (arg == "--schemas") {
+            const char* v = value("--schemas");
+            if (!v) return usage_error("--schemas requires a directory argument");
+            options.schemas_dir = v;
         } else if (!arg.empty() && arg[0] == '-') {
             return usage_error("unknown option '" + arg + "'");
         } else {
@@ -111,22 +169,17 @@ int main(int argc, char** argv) {
     }
 
     if (!json_path.empty()) {
-        // Dogfood rule R1: the report publishes crash-safely through the
-        // durable layer, never as an in-place write of the final name.
-        std::ostringstream doc;
-        memopt::JsonWriter w(doc);
-        memopt::lint::write_json(w, options, report);
-        doc << "\n";
-        try {
-            memopt::atomic_write(json_path, doc.str());
-        } catch (const std::exception& e) {
-            std::cerr << "memopt_lint: cannot write " << json_path << ": " << e.what() << "\n";
-            return 2;
-        }
+        const int rc = write_report(json_path, options, report, memopt::lint::write_json);
+        if (rc != 0) return rc;
+    }
+    if (!sarif_path.empty()) {
+        const int rc = write_report(sarif_path, options, report, memopt::lint::write_sarif);
+        if (rc != 0) return rc;
     }
 
     const std::size_t active = report.active_count();
-    std::cerr << "memopt_lint: " << report.files_scanned << " files, " << active
-              << " finding(s), " << report.baselined_count() << " baselined\n";
+    std::cerr << "memopt_lint: " << report.files_scanned << " files ("
+              << report.files_from_cache << " from cache), " << active << " finding(s), "
+              << report.baselined_count() << " baselined\n";
     return active == 0 ? 0 : 1;
 }
